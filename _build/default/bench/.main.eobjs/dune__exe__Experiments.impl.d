@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Float List Printf Runs Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_util

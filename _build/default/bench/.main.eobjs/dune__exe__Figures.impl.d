@@ -1,0 +1,1 @@
+bench/figures.ml: Dist Format Fun Grid Layout List Printf Redistribution Segment String Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_symtab Xdp_util

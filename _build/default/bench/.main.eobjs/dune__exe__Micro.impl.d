@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_symtab Xdp_util

@@ -1,0 +1,1 @@
+bench/runs.ml: Printf Xdp_runtime Xdp_sim Xdp_util

@@ -1,0 +1,120 @@
+(* Bechamel micro-benchmarks of the run-time structures (experiment
+   MB): the costs §3.1 leaves open ("more efficient algorithms could
+   be developed"): iown() queries against growing segment tables,
+   symbol-table state updates, rendezvous matching, section algebra,
+   the fft1D kernel and whole-program simulation rate. *)
+
+open Bechamel
+open Toolkit
+module Symtab = Xdp_symtab.Symtab
+module Board = Xdp_sim.Board
+
+let symtab_with_segments nsegs =
+  let st = Symtab.create ~pid:0 () in
+  let layout =
+    Xdp_dist.Layout.make ~shape:[ nsegs ] ~dist:[ Xdp_dist.Dist.Block ]
+      ~grid:(Xdp_dist.Grid.linear 1)
+  in
+  Symtab.declare st ~name:"A" ~layout ~seg_shape:[ 1 ];
+  st
+
+let bench_iown nsegs =
+  let st = symtab_with_segments nsegs in
+  let box = Xdp_util.Box.make [ Xdp_util.Triplet.range 1 nsegs ] in
+  Test.make
+    ~name:(Printf.sprintf "iown(%d segs)" nsegs)
+    (Staged.stage (fun () -> ignore (Symtab.iown st "A" box)))
+
+let bench_recv_state () =
+  let st = symtab_with_segments 16 in
+  let box = Xdp_util.Box.make [ Xdp_util.Triplet.range 3 6 ] in
+  Test.make ~name:"recv init+complete"
+    (Staged.stage (fun () ->
+         Symtab.mark_recv_init st "A" box;
+         Symtab.mark_recv_complete st "A" box))
+
+let bench_rendezvous () =
+  Test.make ~name:"rendezvous match"
+    (Staged.stage (fun () ->
+         let b = Board.create Xdp_sim.Costmodel.message_passing in
+         Board.post_recv b ~time:0.0 ~dst:1 ~name:"X" ~kind:Board.Value
+           ~token:1;
+         Board.post_send b ~time:0.0 ~src:0 ~name:"X" ~kind:Board.Value
+           ~payload:[| 1.0 |] ~directed:None;
+         ignore (Board.pop_delivery b)))
+
+let bench_box_inter () =
+  let a =
+    Xdp_util.Box.make
+      [ Xdp_util.Triplet.make ~lo:1 ~hi:64 ~stride:2;
+        Xdp_util.Triplet.range 1 64 ]
+  in
+  let b =
+    Xdp_util.Box.make
+      [ Xdp_util.Triplet.make ~lo:3 ~hi:60 ~stride:3;
+        Xdp_util.Triplet.range 17 32 ]
+  in
+  Test.make ~name:"Box.inter (2-D strided)"
+    (Staged.stage (fun () -> ignore (Xdp_util.Box.inter a b)))
+
+let bench_dht () =
+  let buf = Array.init 64 (fun i -> sin (float_of_int i)) in
+  Test.make ~name:"fft1D kernel (n=64)"
+    (Staged.stage (fun () -> Xdp.Kernels.dht (Array.copy buf)))
+
+let bench_interpreter () =
+  let p =
+    Xdp_apps.Vecadd.build ~n:32 ~nprocs:4 ~stage:Xdp_apps.Vecadd.Naive ()
+  in
+  Test.make ~name:"simulate vecadd naive n=32 P=4"
+    (Staged.stage (fun () ->
+         ignore
+           (Xdp_runtime.Exec.run ~init:Xdp_apps.Vecadd.init ~nprocs:4 p)))
+
+let all_tests () =
+  Test.make_grouped ~name:"xdp" ~fmt:"%s %s"
+    [
+      bench_iown 4;
+      bench_iown 64;
+      bench_iown 512;
+      bench_recv_state ();
+      bench_rendezvous ();
+      bench_box_inter ();
+      bench_dht ();
+      bench_interpreter ();
+    ]
+
+let run () =
+  Printf.printf
+    "\n============ MB: run-time structure micro-benchmarks (Bechamel) \
+     ============\n\n%!";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances (all_tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  let results = Analyze.merge ols instances results in
+  (* plain-text report: ns per run for the monotonic clock *)
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun instance_name tbl ->
+      if instance_name = Measure.label Instance.monotonic_clock then
+        Hashtbl.iter
+          (fun test_name ols_result ->
+            let est =
+              match Analyze.OLS.estimates ols_result with
+              | Some (t :: _) -> Printf.sprintf "%.1f" t
+              | _ -> "n/a"
+            in
+            rows := [ test_name; est ] :: !rows)
+          tbl)
+    results;
+  Xdp_util.Table.print ~title:"MB: nanoseconds per operation (OLS estimate)"
+    ~header:[ "operation"; "ns/run" ]
+    (List.sort compare !rows)

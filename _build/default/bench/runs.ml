@@ -1,0 +1,47 @@
+(* Shared helpers for the benchmark harness: run a program, verify it
+   against a reference, and collect the row metrics the tables
+   report. *)
+
+module Exec = Xdp_runtime.Exec
+module Trace = Xdp_sim.Trace
+
+type row = {
+  label : string;
+  stats : Trace.stats;
+  verified : bool;
+}
+
+let verify ?(eps = 1e-9) r name reference =
+  Xdp_util.Tensor.max_diff (Exec.array r name) reference < eps
+
+let run ?(cost = Xdp_sim.Costmodel.message_passing) ?init ?free_on_release
+    ~nprocs ~label ?check prog =
+  let r = Exec.run ~cost ?init ?free_on_release ~nprocs prog in
+  let verified =
+    match check with
+    | Some (name, reference) -> verify r name reference
+    | None -> true
+  in
+  if not verified then
+    Printf.printf "!! %s: VERIFICATION FAILED\n%!" label;
+  (r, { label; stats = r.stats; verified })
+
+let speedup base row = base.stats.Trace.makespan /. row.stats.Trace.makespan
+
+let metric_cells ?base row =
+  let s = row.stats in
+  [
+    row.label;
+    Xdp_util.Table.cell_int s.Trace.messages;
+    Xdp_util.Table.cell_int s.Trace.bytes;
+    Xdp_util.Table.cell_int s.Trace.guard_evals;
+    Xdp_util.Table.cell_float ~decimals:1 s.Trace.makespan;
+    (match base with
+    | Some b -> Xdp_util.Table.cell_ratio (speedup b row)
+    | None -> "1.00x");
+    Xdp_util.Table.cell_pct (Trace.idle_fraction s);
+    (if row.verified then "yes" else "NO");
+  ]
+
+let metric_header =
+  [ "variant"; "msgs"; "bytes"; "guards"; "makespan"; "speedup"; "idle"; "ok" ]

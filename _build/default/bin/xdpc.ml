@@ -1,0 +1,224 @@
+(* xdpc — command-line driver for the XDP reproduction.
+
+   Builds one of the bundled applications at a chosen optimization
+   stage, optionally dumps the IL+XDP code, runs it on the simulated
+   SPMD machine under a chosen cost model, verifies the result against
+   the sequential reference where one exists, and reports statistics. *)
+
+open Cmdliner
+
+let cost_of_string = function
+  | "message_passing" | "mp" -> Ok Xdp_sim.Costmodel.message_passing
+  | "shared_address" | "sa" -> Ok Xdp_sim.Costmodel.shared_address
+  | "idealized" | "ideal" -> Ok Xdp_sim.Costmodel.idealized
+  | s -> Error (`Msg (Printf.sprintf "unknown cost model %s" s))
+
+let cost_conv =
+  Arg.conv
+    ( cost_of_string,
+      fun ppf (c : Xdp_sim.Costmodel.t) -> Format.fprintf ppf "%s" c.name )
+
+type job = {
+  prog : Xdp.Ir.program;
+  init : string -> int list -> float;
+  reference : Xdp_util.Tensor.t option; (* expected contents of [check] *)
+  check : string;                       (* array to verify *)
+}
+
+let vecadd_job ~n ~nprocs ~stage ~misaligned =
+  let dist_b =
+    if misaligned then Xdp_dist.Dist.Cyclic else Xdp_dist.Dist.Block
+  in
+  let stage =
+    match stage with
+    | "naive" -> Xdp_apps.Vecadd.Naive
+    | "elim" -> Xdp_apps.Vecadd.Elim
+    | "localized" -> Xdp_apps.Vecadd.Localized
+    | "bound" -> Xdp_apps.Vecadd.Bound
+    | s -> failwith ("vecadd: unknown stage " ^ s ^ " (naive|elim|localized|bound)")
+  in
+  {
+    prog = Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b ~stage ();
+    init = Xdp_apps.Vecadd.init;
+    reference = Some (Xdp_apps.Vecadd.expected ~n);
+    check = "A";
+  }
+
+let fft3d_job ~n ~nprocs ~stage ~seg =
+  let stage =
+    match stage with
+    | "baseline" -> Xdp_apps.Fft3d.Baseline
+    | "localized" -> Xdp_apps.Fft3d.Localized
+    | "fused" -> Xdp_apps.Fft3d.Fused
+    | "pipelined" -> Xdp_apps.Fft3d.Pipelined
+    | s ->
+        failwith
+          ("fft3d: unknown stage " ^ s
+         ^ " (baseline|localized|fused|pipelined)")
+  in
+  let seq = Xdp_apps.Fft3d.sequential ~n ~nprocs in
+  let reference =
+    Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init:Xdp_apps.Fft3d.init seq) "A"
+  in
+  {
+    prog = Xdp_apps.Fft3d.build ~n ~nprocs ?seg_rows:seg ~stage ();
+    init = Xdp_apps.Fft3d.init;
+    reference = Some reference;
+    check = "A";
+  }
+
+let jacobi_job ~n ~nprocs ~stage ~sweeps =
+  let stage =
+    match stage with
+    | "naive" -> Xdp_apps.Jacobi.Naive
+    | "elim" -> Xdp_apps.Jacobi.Elim
+    | "auto" | "auto-halo" -> Xdp_apps.Jacobi.Auto_halo
+    | "halo" -> Xdp_apps.Jacobi.Halo
+    | s ->
+        failwith ("jacobi: unknown stage " ^ s ^ " (naive|elim|auto|halo)")
+  in
+  let seq =
+    Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage:Xdp_apps.Jacobi.Sequential
+      ()
+  in
+  let reference =
+    Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init:Xdp_apps.Jacobi.init seq) "A"
+  in
+  {
+    prog = Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage ();
+    init = Xdp_apps.Jacobi.init;
+    reference = Some reference;
+    check = "A";
+  }
+
+let jacobi2d_job ~n ~nprocs ~sweeps =
+  (* squarest grid whose product is nprocs *)
+  let rec best r = if nprocs mod r = 0 then r else best (r - 1) in
+  let pr = best (int_of_float (sqrt (float_of_int nprocs))) in
+  let pc = nprocs / pr in
+  let seq =
+    Xdp_apps.Jacobi2d.build ~n ~pr:1 ~pc:1 ~sweeps
+      ~stage:Xdp_apps.Jacobi2d.Sequential ()
+  in
+  let reference =
+    Xdp_runtime.Seq.array
+      (Xdp_runtime.Seq.run ~init:Xdp_apps.Jacobi2d.init seq) "A"
+  in
+  {
+    prog =
+      Xdp_apps.Jacobi2d.build ~n ~pr ~pc ~sweeps
+        ~stage:Xdp_apps.Jacobi2d.Halo ();
+    init = Xdp_apps.Jacobi2d.init;
+    reference = Some reference;
+    check = "A";
+  }
+
+let reduce_job ~n ~nprocs ~stage =
+  let stage =
+    match stage with
+    | "naive" -> Xdp_apps.Reduce.Naive
+    | "partial" -> Xdp_apps.Reduce.Partial
+    | s -> failwith ("reduce: unknown stage " ^ s ^ " (naive|partial)")
+  in
+  {
+    prog = Xdp_apps.Reduce.build ~n ~nprocs ~stage ();
+    init = Xdp_apps.Reduce.init;
+    reference = None;
+    check = "OUT";
+  }
+
+let farm_job ~ntasks ~nprocs ~stage =
+  let variant =
+    match stage with
+    | "static" -> Xdp_apps.Farm.Static
+    | "dynamic" -> Xdp_apps.Farm.Dynamic
+    | s -> failwith ("farm: unknown variant " ^ s ^ " (static|dynamic)")
+  in
+  {
+    prog = Xdp_apps.Farm.build ~ntasks ~nprocs ~variant ();
+    init = Xdp_apps.Farm.init ~base:20000.0 ~skew:Xdp_apps.Farm.Front_loaded ~ntasks;
+    reference = None;
+    check = "ACC";
+  }
+
+let run app stage n nprocs sweeps seg misaligned cost dump trace gantt =
+  try
+    let job =
+      match app with
+      | "vecadd" -> vecadd_job ~n ~nprocs ~stage ~misaligned
+      | "fft3d" -> fft3d_job ~n ~nprocs ~stage ~seg
+      | "jacobi" -> jacobi_job ~n ~nprocs ~stage ~sweeps
+      | "jacobi2d" -> jacobi2d_job ~n ~nprocs ~sweeps
+      | "reduce" -> reduce_job ~n ~nprocs ~stage
+      | "farm" -> farm_job ~ntasks:n ~nprocs ~stage
+      | s -> failwith ("unknown app " ^ s ^ " (vecadd|fft3d|jacobi|jacobi2d|reduce|farm)")
+    in
+    if dump then begin
+      print_string (Xdp.Pp.program_to_string job.prog);
+      print_string (Xdp.Match_check.report job.prog)
+    end;
+    let r =
+      Xdp_runtime.Exec.run ~cost ~init:job.init ~trace:(trace || gantt)
+        ~nprocs job.prog
+    in
+    Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
+    if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
+    if gantt then
+      print_string
+        (Xdp_sim.Gantt.render ~nprocs ~makespan:r.stats.makespan
+           (Xdp_sim.Trace.events r.trace));
+    (match job.reference with
+    | Some expected ->
+        let got = Xdp_runtime.Exec.array r job.check in
+        let d = Xdp_util.Tensor.max_diff got expected in
+        if d < 1e-9 then
+          Format.printf "verified: %s matches sequential reference@."
+            job.check
+        else begin
+          Format.printf "VERIFICATION FAILED: max diff %g on %s@." d
+            job.check;
+          exit 1
+        end
+    | None ->
+        let acc = Xdp_runtime.Exec.array r job.check in
+        let sum = ref 0.0 in
+        Xdp_util.Box.iter
+          (fun idx -> sum := !sum +. Xdp_util.Tensor.get acc idx)
+          (Xdp_util.Tensor.full_box acc);
+        Format.printf "sum(%s) = %.1f@." job.check !sum);
+    0
+  with Failure msg | Invalid_argument msg ->
+    Format.eprintf "xdpc: %s@." msg;
+    1
+
+let app_t =
+  Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm.")
+
+let stage_t =
+  Arg.(value & opt string "naive" & info [ "stage"; "s" ] ~doc:"Optimization stage / variant of the app.")
+
+let n_t = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Problem size (tasks for farm).")
+let procs_t = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Number of simulated processors.")
+let sweeps_t = Arg.(value & opt int 4 & info [ "sweeps" ] ~doc:"Jacobi sweeps.")
+let seg_t = Arg.(value & opt (some int) None & info [ "seg" ] ~doc:"FFT segment rows.")
+let mis_t = Arg.(value & flag & info [ "misaligned" ] ~doc:"Distribute B CYCLIC in vecadd.")
+
+let cost_t =
+  Arg.(
+    value
+    & opt cost_conv Xdp_sim.Costmodel.message_passing
+    & info [ "cost"; "c" ] ~doc:"Cost model: message_passing, shared_address, idealized.")
+
+let dump_t = Arg.(value & flag & info [ "dump-ir"; "d" ] ~doc:"Print the IL+XDP program.")
+let trace_t = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event trace.")
+let gantt_t = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Print an ASCII Gantt chart.")
+
+let cmd =
+  let doc = "run a bundled XDP application on the simulated SPMD machine" in
+  Cmd.v
+    (Cmd.info "xdpc" ~doc)
+    Term.(
+      const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
+      $ cost_t $ dump_t $ trace_t $ gantt_t)
+
+let () = exit (Cmd.eval' cmd)

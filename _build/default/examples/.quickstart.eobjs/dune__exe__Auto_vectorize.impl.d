@@ -1,0 +1,1 @@
+examples/auto_vectorize.ml: Float List Printf Xdp Xdp_dist Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+examples/fft3d_pipeline.ml: List Printf Xdp Xdp_apps Xdp_runtime Xdp_sim Xdp_util

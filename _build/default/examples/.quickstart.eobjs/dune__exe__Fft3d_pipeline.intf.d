@@ -1,0 +1,1 @@
+examples/fft3d_pipeline.mli:

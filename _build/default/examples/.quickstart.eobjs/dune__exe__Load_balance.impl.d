@@ -1,0 +1,1 @@
+examples/load_balance.ml: Float List Printf Xdp_apps Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+examples/ownership_monitor.ml: Printf Xdp Xdp_dist Xdp_runtime Xdp_util

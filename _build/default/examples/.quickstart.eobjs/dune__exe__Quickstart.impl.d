@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Xdp Xdp_dist Xdp_runtime Xdp_util

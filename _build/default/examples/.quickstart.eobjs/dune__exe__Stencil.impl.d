@@ -1,0 +1,1 @@
+examples/stencil.ml: List Printf Xdp_apps Xdp_runtime Xdp_util

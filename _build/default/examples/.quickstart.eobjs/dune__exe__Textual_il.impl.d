@@ -1,0 +1,1 @@
+examples/textual_il.ml: Array Format Printf Xdp Xdp_dist Xdp_runtime Xdp_sim Xdp_symtab Xdp_util

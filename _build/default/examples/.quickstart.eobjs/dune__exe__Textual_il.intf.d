@@ -1,0 +1,1 @@
+examples/textual_il.mli:

@@ -1,0 +1,63 @@
+(* Load balancing by data movement (paper §2.6-2.7).
+
+   "Normally, one implements load balancing by migrating processes
+   between processors.  However, in XDP, load balancing can be
+   implemented by migrating ownership of data while still running the
+   same SPMD program on each processor."
+
+   A master owning all task descriptors publishes one value send per
+   task; every processor loops, receiving whichever task the
+   rendezvous board hands it next — so work flows to idle processors
+   with no code migration at all.  We compare against the static
+   owner-computes schedule under several skews of task cost.
+
+   Run with:  dune exec examples/load_balance.exe *)
+
+let ntasks = 32
+let nprocs = 4
+let base = 20000.0
+
+let run ~skew variant =
+  let prog = Xdp_apps.Farm.build ~ntasks ~nprocs ~variant () in
+  let r =
+    Xdp_runtime.Exec.run
+      ~init:(Xdp_apps.Farm.init ~base ~skew ~ntasks)
+      ~nprocs prog
+  in
+  (* Every task must be processed exactly once: the accumulated costs
+     must sum to the total work. *)
+  let acc = Xdp_runtime.Exec.array r "ACC" in
+  let sum = ref 0.0 in
+  for q = 1 to nprocs do
+    sum := !sum +. Xdp_util.Tensor.get acc [ q ]
+  done;
+  let want = Xdp_apps.Farm.total_work ~base ~skew ~ntasks () in
+  if Float.abs (!sum -. want) > 1e-6 then begin
+    Printf.printf "LOST WORK: got %f want %f\n" !sum want;
+    exit 1
+  end;
+  r.stats
+
+let () =
+  Printf.printf
+    "%d tasks on %d processors; task cost = data value (spin kernel).\n\n"
+    ntasks nprocs;
+  Printf.printf "%-14s %14s %14s %10s\n" "skew" "static" "dynamic" "gain";
+  List.iter
+    (fun skew ->
+      let s = run ~skew Xdp_apps.Farm.Static in
+      let d = run ~skew Xdp_apps.Farm.Dynamic in
+      Printf.printf "%-14s %14.1f %14.1f %9.2fx\n"
+        (Xdp_apps.Farm.skew_name skew)
+        s.makespan d.makespan
+        (s.makespan /. d.makespan))
+    [
+      Xdp_apps.Farm.Uniform;
+      Xdp_apps.Farm.Linear;
+      Xdp_apps.Farm.Quadratic;
+      Xdp_apps.Farm.Front_loaded;
+      Xdp_apps.Farm.Random 42;
+    ];
+  print_endline
+    "\nWith skewed task costs, migrating data ownership keeps every\n\
+     processor busy; the same SPMD binary runs on every node throughout."

@@ -1,0 +1,1 @@
+lib/apps/farm.ml: Printf Xdp Xdp_dist Xdp_util

@@ -1,0 +1,1 @@
+lib/apps/farm.mli: Xdp

@@ -1,0 +1,1 @@
+lib/apps/fft3d.ml: Option Printf Xdp Xdp_dist

@@ -1,0 +1,1 @@
+lib/apps/fft3d.mli: Xdp Xdp_dist

@@ -1,0 +1,1 @@
+lib/apps/jacobi.ml: Float Xdp Xdp_dist

@@ -1,0 +1,1 @@
+lib/apps/jacobi2d.ml: Float List Xdp Xdp_dist

@@ -1,0 +1,1 @@
+lib/apps/jacobi2d.mli: Xdp

@@ -1,0 +1,1 @@
+lib/apps/overlap.ml: List Xdp Xdp_dist

@@ -1,0 +1,1 @@
+lib/apps/reduce.ml: List Xdp Xdp_dist

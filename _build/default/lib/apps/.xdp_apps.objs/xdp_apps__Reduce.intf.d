@@ -1,0 +1,1 @@
+lib/apps/reduce.mli: Xdp

@@ -1,0 +1,1 @@
+lib/apps/vecadd.ml: Xdp Xdp_dist Xdp_util

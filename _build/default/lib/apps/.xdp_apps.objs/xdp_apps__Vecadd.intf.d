@@ -1,0 +1,1 @@
+lib/apps/vecadd.mli: Xdp Xdp_dist Xdp_util

@@ -1,0 +1,141 @@
+open Xdp.Ir
+open Xdp.Build
+
+type variant = Static | Dynamic
+
+let variant_name = function Static -> "static" | Dynamic -> "dynamic"
+
+let grid nprocs = Xdp_dist.Grid.linear nprocs
+
+(* W entirely on P1: CYCLIC(ntasks) over P puts every index in block 0,
+   which belongs to grid coordinate 0. *)
+let master_layout ~ntasks ~nprocs =
+  Xdp_dist.Layout.make ~shape:[ ntasks ]
+    ~dist:[ Xdp_dist.Dist.Block_cyclic ntasks ]
+    ~grid:(grid nprocs)
+
+let per_proc_decl name nprocs =
+  decl ~name ~shape:[ nprocs ] ~dist:[ Xdp_dist.Dist.Block ]
+    ~grid:(grid nprocs) ~seg_shape:[ 1 ] ()
+
+let build ~ntasks ~nprocs ~variant () =
+  if ntasks mod nprocs <> 0 then
+    invalid_arg "Farm: nprocs must divide ntasks";
+  match variant with
+  | Static ->
+      let b = ntasks / nprocs in
+      let decls =
+        [
+          decl ~name:"W" ~shape:[ ntasks ] ~dist:[ Xdp_dist.Dist.Block ]
+            ~grid:(grid nprocs) ~seg_shape:[ b ] ();
+          per_proc_decl "ACC" nprocs;
+        ]
+      in
+      let t = var "t" in
+      program ~name:"farm-static" ~decls
+        [
+          loop "t" (i 1) (i ntasks)
+            [
+              iown (sec "W" [ at t ])
+              @: [
+                   apply "spin" [ sec "W" [ at t ] ];
+                   set "ACC" [ mypid ] (elem "ACC" [ mypid ] +: elem "W" [ t ]);
+                 ];
+            ];
+        ]
+  | Dynamic ->
+      let decls =
+        [
+          {
+            arr_name = "W";
+            layout = master_layout ~ntasks ~nprocs;
+            seg_shape = [ ntasks ];
+            universal = false;
+          };
+          {
+            arr_name = "JOB";
+            layout =
+              Xdp_dist.Layout.make ~shape:[ 1 ]
+                ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid nprocs);
+            seg_shape = [ 1 ];
+            universal = false;
+          };
+          per_proc_decl "T" nprocs;
+          per_proc_decl "ACC" nprocs;
+        ]
+      in
+      let t = var "t" in
+      let master =
+        iown (sec "JOB" [ at (i 1) ])
+        @: [
+             (* Publish one value send per task; idle processors pull. *)
+             loop "t" (i 1) (i ntasks)
+               [
+                 set "JOB" [ i 1 ] (elem "W" [ t ]);
+                 send (sec "JOB" [ at (i 1) ]);
+               ];
+             (* One poison pill per processor terminates the workers. *)
+             set "JOB" [ i 1 ] (f (-1.0));
+             loop "q" (i 1) (i nprocs) [ send (sec "JOB" [ at (i 1) ]) ];
+           ]
+      in
+      let worker =
+        [
+          setv "done_" (i 0);
+          loop "r" (i 1)
+            (i (ntasks + 1))
+            [
+              (var "done_" =: i 0)
+              @: [
+                   recv
+                     ~into:(sec "T" [ at mypid ])
+                     ~from:(sec "JOB" [ at (i 1) ]);
+                   await (sec "T" [ at mypid ])
+                   @: [
+                        if_
+                          (elem "T" [ mypid ] <: f 0.0)
+                          [ setv "done_" (i 1) ]
+                          [
+                            apply "spin" [ sec "T" [ at mypid ] ];
+                            set "ACC" [ mypid ]
+                              (elem "ACC" [ mypid ] +: elem "T" [ mypid ]);
+                          ];
+                      ];
+                 ];
+            ];
+        ]
+      in
+      program ~name:"farm-dynamic" ~decls (master :: worker)
+
+type skew = Uniform | Linear | Quadratic | Front_loaded | Random of int
+
+let skew_name = function
+  | Uniform -> "uniform"
+  | Linear -> "linear"
+  | Quadratic -> "quadratic"
+  | Front_loaded -> "front-loaded"
+  | Random seed -> Printf.sprintf "random(%d)" seed
+
+let cost ?(base = 200.0) ~skew ~ntasks t =
+
+  match skew with
+  | Uniform -> base
+  | Linear -> base *. float_of_int t /. float_of_int ntasks *. 2.0
+  | Quadratic ->
+      base *. (float_of_int (t * t) /. float_of_int (ntasks * ntasks)) *. 3.0
+  | Front_loaded -> if t <= ntasks / 4 then base *. 4.0 else base /. 2.0
+  | Random seed ->
+      let rng = Xdp_util.Prng.of_seed (seed + (t * 7919)) in
+      base *. (0.25 +. (1.5 *. Xdp_util.Prng.float rng))
+
+let init ?base ~skew ~ntasks name idx =
+  match (name, idx) with
+  | "W", [ t ] -> cost ?base ~skew ~ntasks t
+  | _ -> 0.0
+
+let total_work ?base ~skew ~ntasks () =
+  let acc = ref 0.0 in
+  for t = 1 to ntasks do
+    acc := !acc +. cost ?base ~skew ~ntasks t
+  done;
+  !acc

@@ -1,0 +1,47 @@
+(** Dynamic load balancing by data movement — the paper's §2.6/§2.7
+    pattern: "load balancing can be implemented by migrating ownership
+    of data while still running the same SPMD program on each
+    processor", and "any processor that was otherwise idle could
+    initiate a receive of that variable, and then perform the
+    indicated job".
+
+    A work array [W] of [ntasks] task descriptors (the value of
+    [W[t]] {e is} the task's cost in flops, via the [spin] kernel)
+    is processed two ways:
+
+    - [Static]: [W] is BLOCK-distributed; owner-computes — each
+      processor grinds through its own block, so skewed costs strand
+      work on one processor;
+    - [Dynamic]: [W] lives entirely on P1, which publishes one value
+      send of the variable [JOB[1]] per task (plus one poison pill per
+      processor); every processor loops posting receives of [JOB[1]]
+      as it becomes idle, so tasks flow to whoever is free.  This uses
+      XDP's multiple-outstanding-sends/receives semantics directly.
+
+    Each processor accumulates the costs it processed into
+    [ACC[mypid]]; the sum over processors must equal the sum of all
+    task costs (each task executed exactly once) — the correctness
+    check used by tests. *)
+
+open Xdp.Ir
+
+type variant = Static | Dynamic
+
+val variant_name : variant -> string
+
+(** [build ~ntasks ~nprocs ~variant ()]. Requires [nprocs | ntasks]. *)
+val build : ntasks:int -> nprocs:int -> variant:variant -> unit -> program
+
+type skew = Uniform | Linear | Quadratic | Front_loaded | Random of int
+
+val skew_name : skew -> string
+
+(** Task-cost initializer for the [W] array (same values under both
+    variants; other arrays start at 0).  [base] (default 200 flops)
+    scales every task: dynamic balancing only pays off once tasks are
+    coarse relative to the machine's message latency, a crossover
+    experiment T5 sweeps. *)
+val init : ?base:float -> skew:skew -> ntasks:int -> string -> int list -> float
+
+(** Total work under a skew (the expected [sum ACC]). *)
+val total_work : ?base:float -> skew:skew -> ntasks:int -> unit -> float

@@ -1,0 +1,306 @@
+open Xdp.Build
+
+type stage = Sequential | Halo
+
+let stage_name = function Sequential -> "sequential" | Halo -> "halo"
+
+let stencil up down left right center =
+  (f 0.5 *: center)
+  +: (f 0.125 *: (up +: down +: left +: right))
+
+let base_decls ~n ~pr ~pc =
+  let grid = Xdp_dist.Grid.make [ pr; pc ] in
+  let br = n / pr and bc = n / pc in
+  [
+    decl ~name:"A" ~shape:[ n; n ]
+      ~dist:[ Xdp_dist.Dist.Block; Xdp_dist.Dist.Block ]
+      ~grid ~seg_shape:[ br; bc ] ();
+    decl ~name:"Anew" ~shape:[ n; n ]
+      ~dist:[ Xdp_dist.Dist.Block; Xdp_dist.Dist.Block ]
+      ~grid ~seg_shape:[ br; bc ] ();
+  ]
+
+let sequential ~n ~pr ~pc ~sweeps =
+  let iv = var "i" and jv = var "j" in
+  program ~name:"jacobi2d" ~decls:(base_decls ~n ~pr ~pc)
+    [
+      loop "t" (i 1) (i sweeps)
+        [
+          loop "i" (i 2)
+            (i (n - 1))
+            [
+              loop "j" (i 2)
+                (i (n - 1))
+                [
+                  set "Anew" [ iv; jv ]
+                    (stencil
+                       (elem "A" [ iv -: i 1; jv ])
+                       (elem "A" [ iv +: i 1; jv ])
+                       (elem "A" [ iv; jv -: i 1 ])
+                       (elem "A" [ iv; jv +: i 1 ])
+                       (elem "A" [ iv; jv ]));
+                ];
+            ];
+          loop "i" (i 2)
+            (i (n - 1))
+            [
+              loop "j" (i 2)
+                (i (n - 1))
+                [ set "A" [ iv; jv ] (elem "Anew" [ iv; jv ]) ];
+            ];
+        ];
+    ]
+
+let halo ~n ~pr ~pc ~sweeps =
+  let nprocs = pr * pc in
+  let br = n / pr and bc = n / pc in
+  let decls =
+    base_decls ~n ~pr ~pc
+    @ List.map
+        (fun name ->
+          decl ~name ~shape:[ nprocs; n ]
+            ~dist:[ Xdp_dist.Dist.Block; Xdp_dist.Dist.Star ]
+            ~grid:(Xdp_dist.Grid.linear nprocs)
+            ~seg_shape:[ 1; n ] ())
+        [ "HN"; "HS"; "HW"; "HE" ]
+  in
+  (* grid coordinates of the executing processor, 0-based *)
+  let r0 = (mypid -: i 1) /: i pc in
+  let c0 = (mypid -: i 1) %: i pc in
+  let rlo = (r0 *: i br) +: i 1 and rhi = (r0 +: i 1) *: i br in
+  let clo = (c0 *: i bc) +: i 1 and chi = (c0 +: i 1) *: i bc in
+  let has_n = r0 >: i 0
+  and has_s = r0 <: i (pr - 1)
+  and has_w = c0 >: i 0
+  and has_e = c0 <: i (pc - 1) in
+  let iv = var "i" and jv = var "j" in
+  let a idx = elem "A" idx in
+  (* halo accessors: HN[mypid, j] is the value of A[rlo-1, j], etc. *)
+  let hn j = elem "HN" [ mypid; j ]
+  and hs j = elem "HS" [ mypid; j ]
+  and hw i_ = elem "HW" [ mypid; i_ ]
+  and he i_ = elem "HE" [ mypid; i_ ] in
+  let exchange =
+    [
+      (* boundary strips, directed at the neighbour *)
+      has_n @: [ send_to (sec "A" [ at rlo; slice clo chi ]) [ mypid -: i pc ] ];
+      has_s @: [ send_to (sec "A" [ at rhi; slice clo chi ]) [ mypid +: i pc ] ];
+      has_w @: [ send_to (sec "A" [ slice rlo rhi; at clo ]) [ mypid -: i 1 ] ];
+      has_e @: [ send_to (sec "A" [ slice rlo rhi; at chi ]) [ mypid +: i 1 ] ];
+      has_n
+      @: [
+           recv
+             ~into:(sec "HN" [ at mypid; slice clo chi ])
+             ~from:(sec "A" [ at (rlo -: i 1); slice clo chi ]);
+         ];
+      has_s
+      @: [
+           recv
+             ~into:(sec "HS" [ at mypid; slice clo chi ])
+             ~from:(sec "A" [ at (rhi +: i 1); slice clo chi ]);
+         ];
+      has_w
+      @: [
+           recv
+             ~into:(sec "HW" [ at mypid; slice rlo rhi ])
+             ~from:(sec "A" [ slice rlo rhi; at (clo -: i 1) ]);
+         ];
+      has_e
+      @: [
+           recv
+             ~into:(sec "HE" [ at mypid; slice rlo rhi ])
+             ~from:(sec "A" [ slice rlo rhi; at (chi +: i 1) ]);
+         ];
+    ]
+  in
+  (* interior: all five points local *)
+  let interior =
+    loop "i"
+      (emax (i 2) (rlo +: i 1))
+      (emin (i (n - 1)) (rhi -: i 1))
+      [
+        loop "j"
+          (emax (i 2) (clo +: i 1))
+          (emin (i (n - 1)) (chi -: i 1))
+          [
+            set "Anew" [ iv; jv ]
+              (stencil
+                 (a [ iv -: i 1; jv ])
+                 (a [ iv +: i 1; jv ])
+                 (a [ iv; jv -: i 1 ])
+                 (a [ iv; jv +: i 1 ])
+                 (a [ iv; jv ]));
+          ];
+      ]
+  in
+  (* block edges: one halo each (the corner cells are excluded from the
+     edge loops and handled separately with both their halos) *)
+  let north_edge =
+    has_n
+    @: [
+         await (sec "HN" [ at mypid; slice clo chi ])
+         @: [
+              loop "j"
+                (emax (i 2) (clo +: i 1))
+                (emin (i (n - 1)) (chi -: i 1))
+                [
+                  set "Anew" [ rlo; jv ]
+                    (stencil (hn jv)
+                       (a [ rlo +: i 1; jv ])
+                       (a [ rlo; jv -: i 1 ])
+                       (a [ rlo; jv +: i 1 ])
+                       (a [ rlo; jv ]));
+                ];
+            ];
+       ]
+  in
+  let south_edge =
+    has_s
+    @: [
+         await (sec "HS" [ at mypid; slice clo chi ])
+         @: [
+              loop "j"
+                (emax (i 2) (clo +: i 1))
+                (emin (i (n - 1)) (chi -: i 1))
+                [
+                  set "Anew" [ rhi; jv ]
+                    (stencil
+                       (a [ rhi -: i 1; jv ])
+                       (hs jv)
+                       (a [ rhi; jv -: i 1 ])
+                       (a [ rhi; jv +: i 1 ])
+                       (a [ rhi; jv ]));
+                ];
+            ];
+       ]
+  in
+  let west_edge =
+    has_w
+    @: [
+         await (sec "HW" [ at mypid; slice rlo rhi ])
+         @: [
+              loop "i"
+                (emax (i 2) (rlo +: i 1))
+                (emin (i (n - 1)) (rhi -: i 1))
+                [
+                  set "Anew" [ iv; clo ]
+                    (stencil
+                       (a [ iv -: i 1; clo ])
+                       (a [ iv +: i 1; clo ])
+                       (hw iv)
+                       (a [ iv; clo +: i 1 ])
+                       (a [ iv; clo ]));
+                ];
+            ];
+       ]
+  in
+  let east_edge =
+    has_e
+    @: [
+         await (sec "HE" [ at mypid; slice rlo rhi ])
+         @: [
+              loop "i"
+                (emax (i 2) (rlo +: i 1))
+                (emin (i (n - 1)) (rhi -: i 1))
+                [
+                  set "Anew" [ iv; chi ]
+                    (stencil
+                       (a [ iv -: i 1; chi ])
+                       (a [ iv +: i 1; chi ])
+                       (a [ iv; chi -: i 1 ])
+                       (he iv)
+                       (a [ iv; chi ]));
+                ];
+            ];
+       ]
+  in
+  (* corners: two halos; when the missing neighbour would be the global
+     boundary the corner index is 1 or n and is excluded anyway *)
+  let corner ~cond ~row ~col ~up ~down ~left ~right awaits =
+    cond
+    @: [
+         List.fold_left
+           (fun g aw -> g &&: aw)
+           (List.hd awaits) (List.tl awaits)
+         @: [ set "Anew" [ row; col ] (stencil up down left right (a [ row; col ])) ];
+       ]
+  in
+  let corners =
+    [
+      corner
+        ~cond:(has_n &&: has_w)
+        ~row:rlo ~col:clo ~up:(hn clo)
+        ~down:(a [ rlo +: i 1; clo ])
+        ~left:(hw rlo)
+        ~right:(a [ rlo; clo +: i 1 ])
+        [
+          await (sec "HN" [ at mypid; at clo ]);
+          await (sec "HW" [ at mypid; at rlo ]);
+        ];
+      corner
+        ~cond:(has_n &&: has_e)
+        ~row:rlo ~col:chi ~up:(hn chi)
+        ~down:(a [ rlo +: i 1; chi ])
+        ~left:(a [ rlo; chi -: i 1 ])
+        ~right:(he rlo)
+        [
+          await (sec "HN" [ at mypid; at chi ]);
+          await (sec "HE" [ at mypid; at rlo ]);
+        ];
+      corner
+        ~cond:(has_s &&: has_w)
+        ~row:rhi ~col:clo
+        ~up:(a [ rhi -: i 1; clo ])
+        ~down:(hs clo) ~left:(hw rhi)
+        ~right:(a [ rhi; clo +: i 1 ])
+        [
+          await (sec "HS" [ at mypid; at clo ]);
+          await (sec "HW" [ at mypid; at rhi ]);
+        ];
+      corner
+        ~cond:(has_s &&: has_e)
+        ~row:rhi ~col:chi
+        ~up:(a [ rhi -: i 1; chi ])
+        ~down:(hs chi)
+        ~left:(a [ rhi; chi -: i 1 ])
+        ~right:(he rhi)
+        [
+          await (sec "HS" [ at mypid; at chi ]);
+          await (sec "HE" [ at mypid; at rhi ]);
+        ];
+    ]
+  in
+  let copy_back =
+    loop "i"
+      (emax (i 2) rlo)
+      (emin (i (n - 1)) rhi)
+      [
+        loop "j"
+          (emax (i 2) clo)
+          (emin (i (n - 1)) chi)
+          [ set "A" [ iv; jv ] (elem "Anew" [ iv; jv ]) ];
+      ]
+  in
+  program ~name:"jacobi2d-halo" ~decls
+    [
+      loop "t" (i 1) (i sweeps)
+        (exchange
+        @ [ interior; north_edge; south_edge; west_edge; east_edge ]
+        @ corners @ [ copy_back ]);
+    ]
+
+let build ~n ~pr ~pc ~sweeps ~stage () =
+  if n mod pr <> 0 || n mod pc <> 0 then
+    invalid_arg "Jacobi2d: grid extents must divide n";
+  if n / pr < 2 || n / pc < 2 then
+    invalid_arg "Jacobi2d: block extents must be >= 2";
+  match stage with
+  | Sequential -> sequential ~n ~pr ~pc ~sweeps
+  | Halo -> halo ~n ~pr ~pc ~sweeps
+
+let init name idx =
+  match (name, idx) with
+  | "A", [ i; j ] ->
+      (10.0 *. Float.abs (sin (0.3 *. float_of_int i)))
+      +. Float.abs (cos (0.7 *. float_of_int j))
+  | _ -> 0.0

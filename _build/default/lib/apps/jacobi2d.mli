@@ -1,0 +1,33 @@
+(** 2-D five-point Jacobi relaxation on a 2-D processor grid.
+
+    The n×n array is distributed (BLOCK, BLOCK) over a [pr × pc] grid;
+    each sweep exchanges four directed boundary strips per processor
+    (north/south rows, west/east columns) into halo arrays and updates
+
+    {v
+    Anew[i,j] = 0.5 A[i,j] + 0.125 (A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1])
+    v}
+
+    for interior points, holding the global boundary fixed.  The
+    generated IL+XDP handles the nine cell classes of a block (interior,
+    four edges, four corners) with generalized compute rules over the
+    grid coordinates — no statement is special-cased per processor, the
+    same SPMD text runs everywhere.
+
+    The decomposition shape matters: a [1 × P] strip decomposition sends
+    2 long strips per processor, a [√P × √P] tile decomposition sends 4
+    shorter ones with less total halo volume — the experiment surface
+    for surface-to-volume effects on the simulated machine. *)
+
+open Xdp.Ir
+
+type stage = Sequential | Halo
+
+val stage_name : stage -> string
+
+(** [build ~n ~pr ~pc ~sweeps ~stage ()].  Requires [pr | n], [pc | n]
+    and block extents ≥ 2. *)
+val build :
+  n:int -> pr:int -> pc:int -> sweeps:int -> stage:stage -> unit -> program
+
+val init : string -> int list -> float

@@ -1,0 +1,70 @@
+open Xdp.Build
+
+type variant = Blocking | Polling
+
+let variant_name = function Blocking -> "blocking" | Polling -> "polling"
+
+let decls nprocs =
+  let grid = Xdp_dist.Grid.linear nprocs in
+  List.map
+    (fun name ->
+      decl ~name ~shape:[ nprocs ] ~dist:[ Xdp_dist.Dist.Block ] ~grid
+        ~seg_shape:[ 1 ] ())
+    [ "V"; "W"; "T"; "ACC" ]
+
+let build ~nprocs ~bg_units ~variant () =
+  if nprocs < 2 then invalid_arg "Overlap: needs at least 2 processors";
+  let producer =
+    iown (sec "V" [ at (i 1) ])
+    @: [
+         (* the long computation whose result P2 waits for *)
+         apply "spin" [ sec "V" [ at (i 1) ] ];
+         send_to (sec "V" [ at (i 1) ]) [ i 2 ];
+       ]
+  in
+  let consume =
+    set "ACC" [ mypid ] (elem "ACC" [ mypid ] +: elem "T" [ mypid ])
+  in
+  let bg_unit =
+    [
+      apply "spin" [ sec "W" [ at mypid ] ];
+      set "ACC" [ mypid ] (elem "ACC" [ mypid ] +: elem "W" [ mypid ]);
+    ]
+  in
+  let consumer =
+    match variant with
+    | Blocking ->
+        [
+          recv ~into:(sec "T" [ at mypid ]) ~from:(sec "V" [ at (i 1) ]);
+          await (sec "T" [ at mypid ]) @: [ consume ];
+          loop "b" (i 1) (i bg_units) bg_unit;
+        ]
+    | Polling ->
+        [
+          recv ~into:(sec "T" [ at mypid ]) ~from:(sec "V" [ at (i 1) ]);
+          setv "got" (i 0);
+          (* each round: consume the value the moment it lands,
+             otherwise do one unit of background work *)
+          loop "b" (i 1) (i bg_units)
+            (if_
+               ((var "got" =: i 0)
+               &&: accessible (sec "T" [ at mypid ]))
+               [ consume; setv "got" (i 1) ]
+               []
+            :: bg_unit);
+          (* if it never became accessible during the background work,
+             block for it now *)
+          (var "got" =: i 0) @: [ await (sec "T" [ at mypid ]) @: [ consume ] ];
+        ]
+  in
+  program ~name:("overlap-" ^ variant_name variant) ~decls:(decls nprocs)
+    (producer :: [ (mypid =: i 2) @: consumer ])
+
+let init ~producer_cost ~bg_cost name idx =
+  match (name, idx) with
+  | "V", [ 1 ] -> producer_cost
+  | "W", _ -> bg_cost
+  | _ -> 0.0
+
+let expected_acc ~producer_cost ~bg_cost ~bg_units =
+  producer_cost +. (float_of_int bg_units *. bg_cost)

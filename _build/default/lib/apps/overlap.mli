@@ -1,0 +1,34 @@
+(** Background computation while awaiting data (paper §2.3):
+    "[accessible()] can be used to allow a processor to perform a
+    background computation while awaiting data from another
+    processor."
+
+    P1 performs a long computation and then sends its result to P2.
+    P2 must both consume that value and complete [bg_units] units of
+    independent background work.  Two variants:
+
+    - [Blocking]: P2 posts the receive, blocks in [await] until the
+      value arrives, consumes it, then does the background work;
+    - [Polling]: P2 interleaves: each round it checks [accessible()];
+      if the value is there it consumes it, otherwise it performs one
+      background unit — so the wait is filled with useful work.
+
+    Both perform identical total work; the polling variant should
+    finish earlier by up to min(wait, background time). *)
+
+open Xdp.Ir
+
+type variant = Blocking | Polling
+
+val variant_name : variant -> string
+
+(** [build ~nprocs ~bg_units ~variant ()]. Requires [nprocs >= 2]. *)
+val build : nprocs:int -> bg_units:int -> variant:variant -> unit -> program
+
+(** [init ~producer_cost ~bg_cost] — V[1] carries the producer's
+    simulated flops; W[p] carries one background unit's flops. *)
+val init : producer_cost:float -> bg_cost:float -> string -> int list -> float
+
+(** Expected final ACC[2] value ([consumed value + bg_units * bg_cost]). *)
+val expected_acc :
+  producer_cost:float -> bg_cost:float -> bg_units:int -> float

@@ -1,0 +1,104 @@
+open Xdp.Ir
+open Xdp.Build
+
+type stage = Sequential | Naive | Partial
+
+let stage_name = function
+  | Sequential -> "sequential"
+  | Naive -> "naive"
+  | Partial -> "partial-sums"
+
+let grid nprocs = Xdp_dist.Grid.linear nprocs
+
+(* all elements on P1: one CYCLIC(n) block *)
+let on_p1 name extent nprocs =
+  {
+    arr_name = name;
+    layout =
+      Xdp_dist.Layout.make ~shape:[ extent ]
+        ~dist:[ Xdp_dist.Dist.Block_cyclic extent ]
+        ~grid:(grid nprocs);
+    seg_shape = [ 1 ];
+    universal = false;
+  }
+
+let per_proc name nprocs =
+  decl ~name ~shape:[ nprocs ] ~dist:[ Xdp_dist.Dist.Block ]
+    ~grid:(grid nprocs) ~seg_shape:[ 1 ] ()
+
+let base_decls ~n ~nprocs =
+  [
+    decl ~name:"A" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ]
+      ~grid:(grid nprocs) ();
+    per_proc "OUT" nprocs;
+  ]
+
+let sequential ~n ~nprocs =
+  let iv = var "i" in
+  program ~name:"reduce" ~decls:(base_decls ~n ~nprocs)
+    [
+      setv "s" (f 0.0);
+      loop "i" (i 1) (i n) [ setv "s" (var "s" +: elem "A" [ iv ]) ];
+      set "OUT" [ mypid ] (var "s");
+    ]
+
+let partial ~n ~nprocs =
+  let decls =
+    base_decls ~n ~nprocs
+    @ [
+        per_proc "PART" nprocs;
+        on_p1 "G" nprocs nprocs;
+        on_p1 "TOT" 1 nprocs;
+        per_proc "T2" nprocs;
+      ]
+  in
+  let iv = var "i" and qv = var "q" in
+  let a_all = sec "A" [ all ] in
+  let body =
+    [
+      (* local partial sum over exactly the owned block, via the
+         paper's mylb/myub intrinsics *)
+      setv "part" (f 0.0);
+      loop "i" (mylb a_all 1) (myub a_all 1)
+        [ setv "part" (var "part" +: elem "A" [ iv ]) ];
+      set "PART" [ mypid ] (var "part");
+      (* everyone but P1 contributes one directed message *)
+      (mypid >: i 1) @: [ send_to (sec "PART" [ at mypid ]) [ i 1 ] ];
+      (* P1 gathers, combines, and broadcasts the total *)
+      (mypid =: i 1)
+      @: [
+           set "G" [ i 1 ] (elem "PART" [ i 1 ]);
+           loop "q" (i 2) (i nprocs)
+             [
+               recv ~into:(sec "G" [ at qv ]) ~from:(sec "PART" [ at qv ]);
+             ];
+           await (sec "G" [ slice (i 2) (i nprocs) ])
+           @: [
+                setv "acc" (f 0.0);
+                loop "q" (i 1) (i nprocs)
+                  [ setv "acc" (var "acc" +: elem "G" [ qv ]) ];
+                set "TOT" [ i 1 ] (var "acc");
+                send_to (sec "TOT" [ at (i 1) ])
+                  (List.init nprocs (fun p -> i (p + 1)));
+              ];
+         ];
+      recv ~into:(sec "T2" [ at mypid ]) ~from:(sec "TOT" [ at (i 1) ]);
+      await (sec "T2" [ at mypid ])
+      @: [ set "OUT" [ mypid ] (elem "T2" [ mypid ]) ];
+    ]
+  in
+  program ~name:"reduce-partial" ~decls body
+
+let build ~n ~nprocs ~stage () =
+  match stage with
+  | Sequential -> sequential ~n ~nprocs
+  | Naive -> Xdp.Lower.run ~nprocs (sequential ~n ~nprocs)
+  | Partial ->
+      if nprocs < 2 then sequential ~n ~nprocs else partial ~n ~nprocs
+
+let init name idx =
+  match (name, idx) with
+  | "A", [ i ] -> float_of_int i +. 0.5
+  | _ -> 0.0
+
+let expected_sum ~n = (float_of_int (n * (n + 1)) /. 2.0) +. (0.5 *. float_of_int n)

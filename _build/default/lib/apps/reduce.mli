@@ -1,0 +1,30 @@
+(** Global reduction: [s = sum(A)], every processor ending with the
+    result in its own (universal) copy of [s].
+
+    Two data-movement strategies:
+
+    - [Naive]: the owner-computes lowering of the sequential
+      accumulation loop — each iteration broadcasts one element to
+      every processor ([n * P] messages), the worst case of implicit
+      placement;
+    - [Partial]: hand-written IL+XDP using the paper's [mylb]/[myub]
+      intrinsics — each processor reduces its own block locally, sends
+      one partial to P1 (directed), P1 combines and broadcasts the
+      total back ([2P - 1] messages).
+
+    Both leave the result replicated in [OUT[mypid]] on every
+    processor, verified against the closed-form sum. *)
+
+open Xdp.Ir
+
+type stage = Sequential | Naive | Partial
+
+val stage_name : stage -> string
+
+(** [build ~n ~nprocs ~stage ()]. *)
+val build : n:int -> nprocs:int -> stage:stage -> unit -> program
+
+val init : string -> int list -> float
+
+(** The expected reduction value under {!init}. *)
+val expected_sum : n:int -> float

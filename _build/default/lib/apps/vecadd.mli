@@ -1,0 +1,38 @@
+(** The paper's §2.2 running example: [do i = 1, n  A[i] = A[i] + B[i]].
+
+    Provides the sequential source program and each stage of the
+    paper's optimization story, for aligned and misaligned layouts of
+    [B].  When [A] and [B] are aligned, the full pipeline eliminates
+    all communication and all compute rules (the paper's "much more
+    efficient SPMD program"); when [B] is misaligned (e.g. CYCLIC
+    against [A]'s BLOCK), communication survives and only localization
+    applies. *)
+
+open Xdp.Ir
+
+type stage =
+  | Sequential      (** the original program *)
+  | Naive           (** owner-computes lowering, §2.2 first listing *)
+  | Elim            (** + local-communication elimination *)
+  | Localized       (** + compute-rule elimination (bounds adjustment) *)
+  | Bound           (** + static send binding (matters when misaligned) *)
+
+val stage_name : stage -> string
+val all_stages : stage list
+
+(** [build ~n ~nprocs ~stage ()] — the program at a pipeline stage.
+    [dist_b] defaults to [Block] (aligned); pass [Cyclic] for the
+    misaligned variant. *)
+val build :
+  n:int ->
+  nprocs:int ->
+  ?dist_b:Xdp_dist.Dist.t ->
+  stage:stage ->
+  unit ->
+  program
+
+(** Deterministic initial values used by tests and benches. *)
+val init : string -> int list -> float
+
+(** Expected result of the computation on the initial values. *)
+val expected : n:int -> Xdp_util.Tensor.t

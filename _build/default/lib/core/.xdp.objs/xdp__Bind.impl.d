@@ -1,0 +1,1 @@
+lib/core/bind.ml: Ir List Option Owner_expr

@@ -1,0 +1,1 @@
+lib/core/bind.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/build.ml: Ir Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/compile.ml: Ir List Lower Match_check Passes Shift_halo Wf

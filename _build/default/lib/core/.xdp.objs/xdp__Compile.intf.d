@@ -1,0 +1,1 @@
+lib/core/compile.mli: Ir Match_check

@@ -1,0 +1,1 @@
+lib/core/elim_comm.ml: Ir List Option String Xdp_dist

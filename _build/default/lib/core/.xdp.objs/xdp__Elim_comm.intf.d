@@ -1,0 +1,1 @@
+lib/core/elim_comm.mli: Ir

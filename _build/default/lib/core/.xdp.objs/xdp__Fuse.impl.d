@@ -1,0 +1,1 @@
+lib/core/fuse.ml: Fun Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/hoist_guard.ml: Ir List

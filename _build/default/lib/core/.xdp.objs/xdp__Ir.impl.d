@@ -1,0 +1,1 @@
+lib/core/ir.ml: List Printf Xdp_dist

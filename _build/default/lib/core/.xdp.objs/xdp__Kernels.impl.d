@@ -1,0 +1,1 @@
+lib/core/kernels.ml: Array Float List Map String

@@ -1,0 +1,1 @@
+lib/core/localize.ml: Build Ir List Simplify Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/lower.ml: Build Ir List Owner_expr Printf Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/lower.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/match_check.ml: Buffer Hashtbl Ir List Option Pp Printf Simplify String Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/owner_expr.ml: Build Ir List Option Simplify Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/owner_expr.mli: Ir Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/parse.ml: Array Ir List Printf String Xdp_dist

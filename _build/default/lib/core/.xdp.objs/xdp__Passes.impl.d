@@ -1,0 +1,1 @@
+lib/core/passes.ml: Bind Elim_comm Fuse Hoist_guard Ir List Localize Simplify Sink_await

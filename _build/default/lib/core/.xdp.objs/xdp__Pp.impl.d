@@ -1,0 +1,1 @@
+lib/core/pp.ml: Format Ir List Printf String Xdp_dist

@@ -1,0 +1,1 @@
+lib/core/redistribute.ml: Box Build Fun Ir List Printf Triplet Xdp_dist Xdp_util

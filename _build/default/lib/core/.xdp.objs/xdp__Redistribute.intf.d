@@ -1,0 +1,1 @@
+lib/core/redistribute.mli: Ir Xdp_dist

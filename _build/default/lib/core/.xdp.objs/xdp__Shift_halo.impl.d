@@ -1,0 +1,1 @@
+lib/core/shift_halo.ml: Build Hashtbl Ir List Option Simplify Xdp_dist

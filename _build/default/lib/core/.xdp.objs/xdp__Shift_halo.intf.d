@@ -1,0 +1,1 @@
+lib/core/shift_halo.mli: Ir

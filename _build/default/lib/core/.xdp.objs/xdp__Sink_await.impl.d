@@ -1,0 +1,1 @@
+lib/core/sink_await.ml: Ir List

@@ -1,0 +1,1 @@
+lib/core/sink_await.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/wf.ml: Format Hashtbl Ir List Pp Printf Simplify String Xdp_dist

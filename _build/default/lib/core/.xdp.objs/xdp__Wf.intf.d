@@ -1,0 +1,1 @@
+lib/core/wf.mli: Format Ir

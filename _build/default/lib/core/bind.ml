@@ -1,0 +1,69 @@
+open Ir
+
+type report = { bound : int; unbound : int }
+
+(* Collect (from-section, owning-guard-section) pairs for every value
+   receive lexically inside an iown guard. *)
+let receive_contexts body =
+  let out = ref [] in
+  let rec stmt enclosing = function
+    | Guard (Iown s, inner) -> List.iter (stmt (Some s)) inner
+    | Guard (_, inner) -> List.iter (stmt enclosing) inner
+    | For fl -> List.iter (stmt enclosing) fl.body
+    | If (_, a, b) ->
+        List.iter (stmt enclosing) a;
+        List.iter (stmt enclosing) b
+    | Recv_value { from; _ } -> (
+        match enclosing with
+        | Some g -> out := (from, g) :: !out
+        | None -> ())
+    | _ -> ()
+  in
+  List.iter (stmt None) body;
+  List.rev !out
+
+let run_with_report p =
+  let contexts = receive_contexts p.body in
+  let layout_of arr =
+    List.find_opt (fun d -> d.arr_name = arr) p.decls
+    |> Option.map (fun d -> d.layout)
+  in
+  let bound = ref 0 and unbound = ref 0 in
+  let try_bind s =
+    let matches =
+      List.filter (fun (from, _) -> equal_section from s) contexts
+    in
+    match matches with
+    | [ (_, guard_sec) ] -> (
+        match layout_of guard_sec.arr with
+        | Some layout -> (
+            match Owner_expr.of_section layout guard_sec with
+            | Some pid_expr ->
+                incr bound;
+                Some (Directed [ pid_expr ])
+            | None ->
+                incr unbound;
+                None)
+        | None ->
+            incr unbound;
+            None)
+    | _ ->
+        incr unbound;
+        None
+  in
+  let body =
+    map_stmts
+      (fun stmts ->
+        List.map
+          (function
+            | Send_value (s, Unspecified) as orig -> (
+                match try_bind s with
+                | Some dest -> Send_value (s, dest)
+                | None -> orig)
+            | st -> st)
+          stmts)
+      p.body
+  in
+  ({ p with body }, { bound = !bound; unbound = !unbound })
+
+let run p = fst (run_with_report p)

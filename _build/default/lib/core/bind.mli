@@ -1,0 +1,22 @@
+(** Delayed communication binding (paper §3.2).
+
+    XDP leaves transfer statements unbound to machine primitives until
+    code generation.  This pass performs the static part of binding:
+    it annotates value sends with the id of the receiving processor
+    where the compiler can prove it — the matching receive (same
+    section name) is guarded by [iown] of a section whose owner is
+    statically expressible (see {!Owner_expr}) — turning [E ->] into
+    [E -> {owner}].
+
+    A directed send needs no name tag on the wire (paper, footnote 2:
+    "it will be unnecessary to actually send the name if the
+    association between sender and receiver can be made at compile
+    time"), which the simulator models by dropping the per-message
+    header for directed sends. *)
+
+open Ir
+
+type report = { bound : int; unbound : int }
+
+val run : program -> program
+val run_with_report : program -> program * report

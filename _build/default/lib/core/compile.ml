@@ -1,0 +1,42 @@
+open Ir
+
+type result = { compiled : program; balance : Match_check.verdict }
+
+(* The driver's input must be plain sequential IL: the permissive
+   lowering below exists only so Shift_halo's own output passes
+   through. *)
+let rec has_xdp stmts =
+  List.exists
+    (function
+      | Guard _ | Send_value _ | Send_owner _ | Send_owner_value _
+      | Recv_value _ | Recv_owner _ | Recv_owner_value _ ->
+          true
+      | For { body; _ } -> has_xdp body
+      | If (_, a, b) -> has_xdp a || has_xdp b
+      | Assign _ | Apply _ -> false)
+    stmts
+
+let optimize ?observe ~nprocs p =
+  if has_xdp p.body then
+    invalid_arg "Compile.optimize: input already contains XDP constructs";
+  let obs name q =
+    match observe with Some f -> f name q | None -> ()
+  in
+  let q = Shift_halo.run ~nprocs p in
+  obs "shift-halo" q;
+  let q = Lower.run ~allow_xdp:true ~nprocs q in
+  obs "lower" q;
+  let q =
+    Passes.run_pipeline ?observe
+      [
+        Passes.elim_comm;
+        Passes.localize;
+        Passes.hoist_guard;
+        Passes.fuse;
+        Passes.bind;
+        Passes.simplify;
+      ]
+      q
+  in
+  Wf.check_exn q;
+  { compiled = q; balance = Match_check.check q }

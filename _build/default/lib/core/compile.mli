@@ -1,0 +1,27 @@
+(** One-call compilation driver: sequential IL in, optimized IL+XDP
+    out.
+
+    Bundles the full pipeline in the order the paper's optimization
+    story suggests: shift-communication vectorization ({!Shift_halo}),
+    owner-computes lowering of whatever remains ({!Lower}, receivers
+    bound), local-communication elimination ({!Elim_comm}),
+    compute-rule elimination by bounds localization ({!Localize}),
+    loop-invariant rule hoisting ({!Hoist_guard}), loop fusion
+    ({!Fuse}), send binding ({!Bind}) and simplification — then checks
+    well-formedness and the send/receive balance.
+
+    Use the individual passes (see {!Passes}) when you want to observe
+    or reorder stages; this is the downstream-user entry point. *)
+
+open Ir
+
+type result = {
+  compiled : program;
+  balance : Match_check.verdict;
+      (** the §2.2 obligation, checked statically *)
+}
+
+(** [optimize ~nprocs p] — compile sequential IL (Assign/For/If/Apply
+    only). @raise Invalid_argument if [p] already contains XDP
+    constructs or fails well-formedness. *)
+val optimize : ?observe:(string -> program -> unit) -> nprocs:int -> program -> result

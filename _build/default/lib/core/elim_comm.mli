@@ -1,0 +1,25 @@
+(** Local-communication elimination (paper §2.2: "if the same
+    processor that exclusively owns A[i] also owns B[i], then the data
+    transfer statements can be eliminated").
+
+    Recognizes the send/receive triples produced by {!Lower}:
+
+    {v
+    iown(B[g(i)]) : { B[g(i)] -> }
+    iown(A[f(i)]) : { T[mypid] <- B[g(i)]
+                      await(T[mypid]) : { A[f(i)] = ... T[mypid] ... } }
+    v}
+
+    and, when the compiler can prove that the owner of [B[g(i)]] is
+    the owner of [A[f(i)]] on every iteration — the arrays have equal
+    layouts and the subscripts of every distributed dimension are
+    syntactically identical — deletes the transfer and rewrites the
+    body to read [B[g(i)]] directly:
+
+    {v
+    iown(A[f(i)]) : { A[f(i)] = ... B[g(i)] ... }
+    v} *)
+
+open Ir
+
+val run : program -> program

@@ -1,0 +1,226 @@
+open Ir
+
+type refusal = { reason : string }
+
+type access = {
+  acc_arr : string;
+  acc_sel : dim_sel list;
+  acc_write : bool;
+  acc_owner_op : bool; (* ownership transfer or query *)
+}
+
+let accesses_of_body var body =
+  let out = ref [] in
+  let add acc_arr acc_sel acc_write acc_owner_op =
+    out := { acc_arr; acc_sel; acc_write; acc_owner_op } :: !out
+  in
+  let sel_of_idxs idxs = List.map (fun e -> At e) idxs in
+  let rec expr = function
+    | Int _ | Float _ | Bool _ | Var _ | Mypid | Nprocs -> ()
+    | Elem (a, idxs) ->
+        add a (sel_of_idxs idxs) false false;
+        List.iter expr idxs
+    | Bin (_, a, b) ->
+        expr a;
+        expr b
+    | Un (_, e) -> expr e
+    | Mylb (s, _) | Myub (s, _) | Iown s | Accessible s | Await s ->
+        add s.arr s.sel false true
+  in
+  let rec stmt = function
+    | Assign (Lvar _, e) -> expr e
+    | Assign (Lelem (a, idxs), e) ->
+        add a (sel_of_idxs idxs) true false;
+        List.iter expr idxs;
+        expr e
+    | Guard (g, body) ->
+        expr g;
+        List.iter stmt body
+    | For fl ->
+        expr fl.lo;
+        expr fl.hi;
+        expr fl.step;
+        List.iter stmt fl.body
+    | If (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Send_value (s, d) -> (
+        add s.arr s.sel false false;
+        match d with
+        | Unspecified -> ()
+        | Directed es -> List.iter expr es)
+    | Send_owner s | Send_owner_value s | Recv_owner s | Recv_owner_value s
+      ->
+        add s.arr s.sel true true
+    | Recv_value { into; from } ->
+        add into.arr into.sel true false;
+        add from.arr from.sel false false
+    | Apply { args; _ } ->
+        List.iter (fun s -> add s.arr s.sel true false) args
+  in
+  List.iter stmt body;
+  ignore var;
+  List.rev !out
+
+(* The selector positions where the loop variable appears as an
+   identity subscript, and whether all other positions are free of the
+   variable. *)
+let slice_signature var sel =
+  let uses_var e = List.mem var (free_vars_expr e) in
+  let ok = ref true in
+  let dims =
+    List.mapi
+      (fun d0 s ->
+        match s with
+        | At (Var x) when x = var -> Some d0
+        | At e when uses_var e ->
+            ok := false;
+            None
+        | Slice (a, b, c) when uses_var a || uses_var b || uses_var c ->
+            ok := false;
+            None
+        | _ -> None)
+      sel
+  in
+  if !ok then Some (List.filter_map Fun.id dims) else None
+
+(* Selector with the identity dims replaced by a placeholder, for
+   comparing the non-varying parts. *)
+let masked var sel =
+  List.map
+    (function At (Var x) when x = var -> At (Var "__loopvar") | s -> s)
+    sel
+
+let check_array_pair var accs1 accs2 arr =
+  let mine l = List.filter (fun a -> a.acc_arr = arr) l in
+  let a1 = mine accs1 and a2 = mine accs2 in
+  if a1 = [] || a2 = [] then Ok ()
+  else
+    let all = a1 @ a2 in
+    (* Every access must carry the loop variable as identity subscript
+       in the same dimension set, with equal masked selectors. *)
+    match slice_signature var (List.hd all).acc_sel with
+    | None ->
+        Error
+          {
+            reason =
+              Printf.sprintf
+                "%s: loop variable appears in a non-identity subscript" arr;
+          }
+    | Some dims0 ->
+        if dims0 = [] then
+          Error
+            {
+              reason =
+                Printf.sprintf
+                  "%s accessed by both loops without the loop variable \
+                   (cross-iteration dependence possible)"
+                  arr;
+            }
+        else
+          let m0 = masked var (List.hd all).acc_sel in
+          let rec check = function
+            | [] -> Ok ()
+            | a :: rest -> (
+                match slice_signature var a.acc_sel with
+                | Some dims when dims = dims0 && masked var a.acc_sel = m0 ->
+                    check rest
+                | _ ->
+                    Error
+                      {
+                        reason =
+                          Printf.sprintf
+                            "%s: accesses do not all address the same \
+                             per-iteration slice"
+                            arr;
+                      })
+          in
+          check all
+
+(* XDP rule: if one body transfers ownership of [arr], the other body
+   must not perform ownership queries on it. *)
+let check_ownership_rule accs1 accs2 =
+  let owner_sends l =
+    List.filter_map
+      (fun a -> if a.acc_owner_op && a.acc_write then Some a.acc_arr else None)
+      l
+  in
+  let owner_queries l =
+    List.filter_map
+      (fun a ->
+        if a.acc_owner_op && not a.acc_write then Some a.acc_arr else None)
+      l
+  in
+  let bad =
+    List.filter
+      (fun arr -> List.mem arr (owner_queries accs2))
+      (owner_sends accs1)
+    @ List.filter
+        (fun arr -> List.mem arr (owner_queries accs1))
+        (owner_sends accs2)
+  in
+  match bad with
+  | [] -> Ok ()
+  | arr :: _ ->
+      Error
+        {
+          reason =
+            Printf.sprintf
+              "%s: ownership query may observe an in-flight ownership \
+               transfer"
+              arr;
+        }
+
+let fuse_pair l1 l2 =
+  if l1.lo <> l2.lo || l1.hi <> l2.hi || l1.step <> l2.step then
+    Error { reason = "loop headers differ" }
+  else
+    let body2 =
+      if l2.var = l1.var then l2.body
+      else List.map (subst_stmt l2.var (Var l1.var)) l2.body
+    in
+    let accs1 = accesses_of_body l1.var l1.body in
+    let accs2 = accesses_of_body l1.var body2 in
+    let arrays =
+      List.sort_uniq compare (List.map (fun a -> a.acc_arr) (accs1 @ accs2))
+    in
+    let rec check_all = function
+      | [] -> Ok ()
+      | arr :: rest -> (
+          match check_array_pair l1.var accs1 accs2 arr with
+          | Ok () -> check_all rest
+          | Error e -> Error e)
+    in
+    match check_all arrays with
+    | Error e -> Error e
+    | Ok () -> (
+        match check_ownership_rule accs1 accs2 with
+        | Error e -> Error e
+        | Ok () ->
+            Ok
+              {
+                l1 with
+                body = l1.body @ body2;
+                local_range =
+                  (if l1.local_range = l2.local_range then l1.local_range
+                   else None);
+              })
+
+let run_verbose p =
+  let refusals = ref [] in
+  let rec fuse_list stmts =
+    match stmts with
+    | For l1 :: For l2 :: rest -> (
+        match fuse_pair l1 l2 with
+        | Ok fused -> fuse_list (For fused :: rest)
+        | Error e ->
+            refusals := e :: !refusals;
+            For l1 :: fuse_list (For l2 :: rest))
+    | s :: rest -> s :: fuse_list rest
+    | [] -> []
+  in
+  let body = map_stmts fuse_list p.body in
+  ({ p with body }, List.rev !refusals)
+
+let run p = fst (run_verbose p)

@@ -1,0 +1,32 @@
+(** Loop fusion with XDP legality checking (paper §4: fusing the
+    second FFT loop with the ownership-send loop to pipeline the
+    redistribution).
+
+    Two adjacent loops with identical headers are fused when, for
+    every array touched by both bodies, all accesses carry the loop
+    variable as an identity subscript in the same dimension and agree
+    syntactically in the other dimensions — so iteration [i] of both
+    loops touches exactly the same slice, and fusing preserves the
+    per-slice order (first loop's statements before the second's).
+
+    In addition, the XDP-specific rule of §4 is enforced: between an
+    ownership send ([-=>] / [=>]) of a section and its matching
+    receive, no ownership queries ([iown] / [await] / [accessible])
+    may be performed on the transferred data and the data may not be
+    accessed — so if either body sends ownership of an array, the
+    other body must not query or access that array except through the
+    same identity slice in the iteration that owns it. *)
+
+open Ir
+
+type refusal = { reason : string }
+
+(** [fuse_pair l1 l2] — fuse two loops if legal. *)
+val fuse_pair : for_loop -> for_loop -> (for_loop, refusal) result
+
+(** Fuse every adjacent eligible pair in the program (innermost
+    first, repeatedly). *)
+val run : program -> program
+
+(** Like {!run} but returns the refusal reasons encountered. *)
+val run_verbose : program -> program * refusal list

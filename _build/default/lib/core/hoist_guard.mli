@@ -1,0 +1,29 @@
+(** Loop-invariant compute-rule hoisting.
+
+    The paper makes compute rules "syntactically distinct from the
+    other IL+XDP statements so they can be treated separately, allowing
+    the compiler to optimize them more easily" (§2.4).  This pass is
+    one such treatment: a rule evaluated identically on every iteration
+    is evaluated once outside the loop —
+
+    {v
+    do i = 1, n { g : { body } }   ==>   g : { do i = 1, n { body } }
+    v}
+
+    Sound when (1) [g] does not mention the induction variable, (2) the
+    loop body writes none of the scalars or arrays [g] reads, and (3)
+    the body performs no ownership transfers or receives on arrays [g]
+    queries — ownership operations could change the rule's value
+    between iterations (the run-time symbol table is mutable state).
+    [await] rules are also required to be absent (hoisting one would
+    move a synchronization point) and so is [accessible] (its value can
+    flip asynchronously when a pre-loop receive completes mid-loop).
+    [iown] is stable under these conditions: only the executing
+    processor's own transfer statements change what it owns.  Loops
+    whose body might execute zero times are still safe: the hoisted
+    guard wraps the whole loop, and an unexecuted loop evaluates no
+    rule. *)
+
+open Ir
+
+val run : program -> program

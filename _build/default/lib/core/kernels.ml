@@ -1,0 +1,107 @@
+type t = {
+  kname : string;
+  arity : int;
+  apply : float array list -> unit;
+  flops : float array list -> float;
+}
+
+module M = Map.Make (String)
+
+type registry = t M.t
+
+let empty = M.empty
+let add r k = M.add k.kname k r
+let find r name = M.find_opt name r
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* Normalized discrete Hartley transform: y[k] = (1/sqrt n) * sum_j
+   x[j] * (cos(2 pi j k / n) + sin(2 pi j k / n)).  Involutive, which
+   makes multi-stage FFT pipelines self-checking. *)
+let dht x =
+  let n = Array.length x in
+  if not (is_pow2 n) then invalid_arg "Kernels.dht: length not a power of 2";
+  let y = Array.make n 0.0 in
+  let w = 2.0 *. Float.pi /. float_of_int n in
+  for k = 0 to n - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      let a = w *. float_of_int (j * k) in
+      acc := !acc +. (x.(j) *. (cos a +. sin a))
+    done;
+    y.(k) <- !acc /. sqrt (float_of_int n)
+  done;
+  Array.blit y 0 x 0 n
+
+let log2f n = if n <= 1 then 1.0 else log (float_of_int n) /. log 2.0
+
+let fft1d =
+  {
+    kname = "fft1D";
+    arity = 1;
+    apply = (function [ buf ] -> dht buf | _ -> invalid_arg "fft1D: arity");
+    flops =
+      (function
+      | [ b ] ->
+          let n = Array.length b in
+          5.0 *. float_of_int n *. log2f n
+      | _ -> invalid_arg "fft1D: arity");
+  }
+
+let scale2 =
+  {
+    kname = "scale2";
+    arity = 1;
+    apply =
+      (function
+      | [ buf ] -> Array.iteri (fun i x -> buf.(i) <- 2.0 *. x) buf
+      | _ -> invalid_arg "scale2: arity");
+    flops = (function [ b ] -> float_of_int (Array.length b) | _ -> 0.0);
+  }
+
+let negate =
+  {
+    kname = "negate";
+    arity = 1;
+    apply =
+      (function
+      | [ buf ] -> Array.iteri (fun i x -> buf.(i) <- -.x) buf
+      | _ -> invalid_arg "negate: arity");
+    flops = (function [ b ] -> float_of_int (Array.length b) | _ -> 0.0);
+  }
+
+let smooth3 =
+  {
+    kname = "smooth3";
+    arity = 1;
+    apply =
+      (function
+      | [ buf ] ->
+          let n = Array.length buf in
+          let src = Array.copy buf in
+          for i = 0 to n - 1 do
+            let l = src.((i + n - 1) mod n)
+            and r = src.((i + 1) mod n) in
+            buf.(i) <- (l +. src.(i) +. r) /. 3.0
+          done
+      | _ -> invalid_arg "smooth3: arity");
+    flops =
+      (function [ b ] -> 3.0 *. float_of_int (Array.length b) | _ -> 0.0);
+  }
+
+(* A synthetic task: the charged work equals the (clamped nonnegative)
+   sum of the buffer's values; the data is left untouched.  Used to
+   model skewed task costs in the load-balancing experiments. *)
+let spin =
+  {
+    kname = "spin";
+    arity = 1;
+    apply = (function [ _ ] -> () | _ -> invalid_arg "spin: arity");
+    flops =
+      (function
+      | [ b ] -> Float.max 0.0 (Array.fold_left ( +. ) 0.0 b)
+      | _ -> invalid_arg "spin: arity");
+  }
+
+let default =
+  List.fold_left add empty [ fft1d; scale2; negate; smooth3; spin ]

@@ -1,0 +1,38 @@
+(** Opaque compute kernels callable from IL ([Apply] statements).
+
+    The paper treats [fft1D()] as an opaque routine applied to array
+    lines; kernels are the general mechanism.  A kernel mutates the
+    packed (row-major box order) buffers of its section arguments in
+    place, and advertises a flop count used by the simulator's cost
+    model (which may deliberately differ from the reference
+    implementation's complexity: our [fft1D] is an O(n²) Hartley
+    transform but is charged the paper-appropriate 5·n·log₂n flops). *)
+
+type t = {
+  kname : string;
+  arity : int;
+  apply : float array list -> unit;
+  flops : float array list -> float;
+      (** charged cost, computed from the argument buffers {e before}
+          [apply] runs — usually only their lengths, but kernels like
+          [spin] model data-dependent work (task costs in the
+          load-balancing experiment) *)
+}
+
+type registry
+
+val empty : registry
+val add : registry -> t -> registry
+val find : registry -> string -> t option
+
+(** [fft1D], [scale2] (doubles each element), [negate], [smooth3]
+    (3-point moving average, cyclic), and [spin] (identity transform
+    whose charged flops equal the sum of its first buffer's values —
+    a synthetic task whose cost is its data). *)
+val default : registry
+
+(** The in-place normalized discrete Hartley transform used by
+    [fft1D]: self-inverse (applying it twice restores the input), so
+    end-to-end FFT pipelines are verifiable. @raise Invalid_argument
+    if the length is not a power of two. *)
+val dht : float array -> unit

@@ -1,0 +1,41 @@
+(** Compute-rule elimination by loop-bounds adjustment (paper §2.4,
+    §4: "adjusting the outer loop bounds so that each processor only
+    does those iterations for which it owns the data").
+
+    Recognizes loops of the shape
+
+    {v do i = lo, hi { iown(A[..., i, ...]) : { body } } enddo v}
+
+    where [i] appears as an identity subscript in exactly one
+    distributed dimension of [A] and every other dimension of [A] is
+    collapsed ([*]), the processor grid is linear, and rewrites the
+    bounds so the guard becomes vacuous and is removed:
+
+    - [BLOCK]: [do i = max(lo, (mypid-1)*b+1), min(hi, mypid*b)]
+      (the [max]/[min] fold away when the original bounds span the
+      whole extent);
+    - [CYCLIC] (with [lo = 1]): [do i = mypid, hi, nprocs].
+
+    Rewritten loops are tagged with [local_range] so later passes know
+    the range is owned by the executing processor.  A follow-up
+    {e collapse} rewrite replaces single-iteration loops by their body
+    with the induction variable substituted (yielding the paper's
+    [mypid]-indexed §4 listings).
+
+    Loops that do not match are left untouched — the guard remains,
+    which is always correct. *)
+
+open Ir
+
+val run : program -> program
+
+(** Statement-level form, against explicit declarations — used when a
+    code region executes under a layout that differs from the declared
+    one (e.g. after a generated redistribution, as in §4's Loop 4,
+    whose [await] guard is localized against the {e new} layout; for
+    [await] guards the bounds are adjusted but the guard is kept for
+    its synchronization). *)
+val run_stmts : decls:array_decl list -> stmt list -> stmt list
+
+(** Only the single-iteration-loop collapse rewrite. *)
+val collapse : program -> program

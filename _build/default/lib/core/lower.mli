@@ -1,0 +1,40 @@
+(** Owner-computes lowering: sequential IL → IL+XDP SPMD.
+
+    Implements the straightforward translation of §2.2: every
+    assignment to a distributed array element is guarded with
+    [iown(lhs)]; each remote value reference in its right-hand side
+    becomes an [iown(ref) : { ref -> }] send by the reference's owner
+    plus a receive into a per-processor temporary ([T[mypid] <- ref])
+    awaited before the assignment executes.  Scalar (universally
+    owned) assignments reading array elements broadcast the element to
+    all processors.
+
+    The output is deliberately naive — one message per element per
+    iteration, self-messages included — because it is the baseline the
+    optimization passes (and experiment T1) improve on.
+
+    Input programs may contain only [Assign], [For], [If] and [Apply]
+    statements ({b no} XDP transfers or guards) — unless
+    [~allow_xdp:true], in which case XDP statements and guarded regions
+    pass through untouched (used to compose with {!Shift_halo}, whose
+    output is already SPMD).
+    @raise Invalid_argument otherwise. *)
+
+open Ir
+
+(** [run ~nprocs p] — lower [p] for a machine of [nprocs] processors.
+    Fresh temporary arrays [__T1], [__T2], … of shape [nprocs],
+    distributed [BLOCK] over a linear grid, are appended to the
+    declarations.
+
+    By default ([direct = true]) each send is annotated with the
+    receiving processor (the owner of the assignment target) when that
+    owner is statically expressible.  This is required for correctness
+    whenever the {e same} section is referenced by several iterations
+    (e.g. a stencil): undirected sends of one name can then cross-match
+    between receivers and deadlock — the hazard behind the paper's
+    remark that annotating sends with the receiver is "essential for
+    code generation" (§3.2).  Pass [~direct:false] to get the paper's
+    §2.2 listing verbatim; it is safe when every referenced section is
+    referenced by at most one receiver at a time. *)
+val run : ?direct:bool -> ?allow_xdp:bool -> nprocs:int -> program -> program

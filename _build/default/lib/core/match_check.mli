@@ -1,0 +1,43 @@
+(** Static send/receive balance checking.
+
+    The paper places the burden on the compiler: "It is the
+    responsibility of the compiler to only generate programs in which
+    all sends have matching receives" (§2.2).  This analysis provides
+    the compiler's bookkeeping for that obligation: it counts, per
+    (array, transfer kind), how many send and receive {e initiations}
+    the whole machine will execute, symbolically multiplying loop trip
+    counts and modelling guards:
+
+    - an [iown(...)]/[mypid == e] guard selects exactly one processor
+      machine-wide, so its body counts once per enclosing iteration;
+    - an unguarded transfer executes on {e every} processor and counts
+      [nprocs] times;
+    - a directed send to [k] destinations counts [k] messages;
+    - data-dependent guards (scalar conditions, [if]) make the count
+      unknowable statically.
+
+    The verdict is {e necessary, not sufficient}: balanced counts do
+    not prove every name pairs up (that is the runtime's unmatched
+    statistic), but unbalanced counts prove a bug, and [Unknown]
+    pinpoints the statements a compiler would need to reason harder
+    about (e.g. the §2.7 farm's data-dependent receive loop). *)
+
+open Ir
+
+type verdict =
+  | Balanced
+  | Unbalanced of string  (** provably mismatched; message explains *)
+  | Unknown of string     (** data-dependent counts; message explains *)
+
+val check : program -> verdict
+
+(** The counting table behind the verdict, for reports:
+    (array, kind, sends, receives) with symbolic counts printed. *)
+val report : program -> string
+
+(** Predicted machine-wide matched-message total, when every count is
+    statically constant ([None] if any count is symbolic or
+    data-dependent).  For balanced programs this must equal the
+    simulator's measured [messages] statistic — cross-checked in
+    [test_match_check.ml] across every bundled application. *)
+val static_message_count : program -> int option

@@ -1,0 +1,68 @@
+open Ir
+open Build
+
+let coord_expr dist ~extent ~procs sub =
+  match (dist : Xdp_dist.Dist.t) with
+  | Star -> None
+  | Block ->
+      let b = Xdp_dist.Dist.block_size ~extent ~procs in
+      Some ((sub -: i 1) /: i b)
+  | Cyclic -> Some ((sub -: i 1) %: i procs)
+  | Block_cyclic m -> Some (((sub -: i 1) /: i m) %: i procs)
+
+let owner_pid_expr layout subscripts =
+  let grid = Xdp_dist.Layout.grid layout in
+  let dists = Xdp_dist.Layout.dist layout in
+  let shape = Xdp_dist.Layout.shape layout in
+  if List.length subscripts <> List.length dists then
+    invalid_arg "Owner_expr: subscript rank mismatch";
+  (* Collect one coordinate expression per grid axis, in axis order
+     (the k-th distributed dimension maps to axis k). *)
+  let rec coords d0 acc =
+    if d0 >= List.length dists then Some (List.rev acc)
+    else
+      let dist = List.nth dists d0 in
+      if not (Xdp_dist.Dist.distributed dist) then coords (d0 + 1) acc
+      else
+        match List.nth subscripts d0 with
+        | None -> None
+        | Some sub ->
+            let axis = List.length acc in
+            let procs = Xdp_dist.Grid.axis_extent grid axis in
+            let extent = List.nth shape d0 in
+            (match coord_expr dist ~extent ~procs sub with
+            | Some c -> coords (d0 + 1) ((c, procs) :: acc)
+            | None -> None)
+  in
+  match coords 0 [] with
+  | None -> None
+  | Some axis_coords ->
+      (* Row-major pid: fold coords over axis extents, then 1-base. *)
+      let pid0 =
+        List.fold_left
+          (fun acc (c, procs) ->
+            match acc with
+            | None -> Some c
+            | Some acc -> Some ((acc *: i procs) +: c))
+          None axis_coords
+      in
+      let pid0 = Option.value pid0 ~default:(i 0) in
+      Some (Simplify.expr (pid0 +: i 1))
+
+let of_section layout s =
+  let dists = Xdp_dist.Layout.dist layout in
+  if List.length s.sel <> List.length dists then None
+  else
+    let subs =
+      List.map2
+        (fun sel dist ->
+          match (sel, (dist : Xdp_dist.Dist.t)) with
+          | _, Star -> `Ok None
+          | At e, _ -> `Ok (Some e)
+          | (All | Slice _), _ -> `Spans)
+        s.sel dists
+    in
+    if List.exists (( = ) `Spans) subs then None
+    else
+      owner_pid_expr layout
+        (List.map (function `Ok x -> x | `Spans -> None) subs)

@@ -1,0 +1,25 @@
+(** Static owner formulas.
+
+    Builds, for an element section of a distributed array, the IL
+    expression computing the 1-based pid of the element's owner as a
+    function of the subscript expressions — the piece of compile-time
+    knowledge the {!Bind} pass uses to annotate a send with its
+    receiving processor (paper §3.2: "it may be useful for
+    optimizations (and essential for code generation) to annotate an
+    XDP send statement with the id of the receiving processor"). *)
+
+open Ir
+
+(** [owner_pid_expr layout subscripts] — expression evaluating to the
+    1-based pid owning element [subscripts] (one expression per
+    dimension) under [layout].  [None] when a distributed dimension's
+    subscript is missing (e.g. the selector was a slice spanning
+    several owners). *)
+val owner_pid_expr :
+  Xdp_dist.Layout.t -> expr option list -> expr option
+
+(** [of_section layout s] — owner expression for section [s] when all
+    of its {e distributed} dimensions are single points ([At]); [None]
+    otherwise ([All]/[Slice] in a distributed dimension generally
+    spans processors). *)
+val of_section : Xdp_dist.Layout.t -> section -> expr option

@@ -1,0 +1,582 @@
+exception Parse_error of { line : int; msg : string }
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string     (* keywords *)
+  | SYM of string    (* operators and punctuation *)
+  | EOF
+
+let keywords =
+  [ "do"; "enddo"; "if"; "then"; "else"; "endif"; "and"; "or"; "not"; "mod";
+    "min"; "max"; "true"; "false"; "mypid"; "nprocs"; "iown"; "accessible";
+    "await"; "mylb"; "myub"; "array"; "dist"; "grid"; "seg";
+    "universal" ]
+
+(* Longest-match symbol table (order matters). *)
+let symbols =
+  [ "-=>"; "->"; "<=-"; "<="; "<-"; "=="; "!="; ">="; "=>"; "<"; ">"; "=";
+    "+"; "-"; "*"; "/"; "("; ")"; "["; "]"; "{"; "}"; ","; ":" ]
+
+type lexed = { tok : token; line : int }
+
+let lex src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let error msg = raise (Parse_error { line = !line; msg }) in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      (* comment to end of line *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if (c >= '0' && c <= '9')
+            || (c = '.' && match peek 1 with
+                | Some d -> d >= '0' && d <= '9'
+                | None -> false)
+    then begin
+      let start = !i in
+      let seen_dot = ref false and seen_exp = ref false in
+      let continues () =
+        if !i >= n then false
+        else
+          match src.[!i] with
+          | '0' .. '9' -> true
+          | '.' when not !seen_dot && not !seen_exp ->
+              seen_dot := true;
+              true
+          | 'e' | 'E' when not !seen_exp ->
+              seen_exp := true;
+              (* optional sign *)
+              (match peek 1 with
+              | Some ('+' | '-') -> i := !i + 1
+              | _ -> ());
+              true
+          | _ -> false
+      in
+      while continues () do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      if !seen_dot || !seen_exp then
+        match float_of_string_opt s with
+        | Some f -> out := { tok = FLOAT f; line = !line } :: !out
+        | None -> error ("bad float literal " ^ s)
+      else
+        match int_of_string_opt s with
+        | Some v -> out := { tok = INT v; line = !line } :: !out
+        | None -> error ("bad int literal " ^ s)
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        match src.[!i] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+        | _ -> false
+      do
+        incr i
+      done;
+      let s = String.sub src start (!i - start) in
+      let tok = if List.mem s keywords then KW s else IDENT s in
+      out := { tok; line = !line } :: !out
+    end
+    else
+      match
+        List.find_opt
+          (fun sym ->
+            let m = String.length sym in
+            !i + m <= n && String.sub src !i m = sym)
+          symbols
+      with
+      | Some sym ->
+          out := { tok = SYM sym; line = !line } :: !out;
+          i := !i + String.length sym
+      | None -> error (Printf.sprintf "unexpected character %C" c)
+  done;
+  Array.of_list (List.rev ({ tok = EOF; line = !line } :: !out))
+
+(* --- recursive-descent parser over the token array, with explicit
+   position state so alternatives can backtrack. --- *)
+
+type state = { toks : lexed array; mutable pos : int }
+
+let cur st = st.toks.(st.pos).tok
+let cur_line st = st.toks.(st.pos).line
+
+let error st msg = raise (Parse_error { line = cur_line st; msg })
+
+let advance st = st.pos <- st.pos + 1
+
+let eat_sym st s =
+  match cur st with
+  | SYM x when x = s -> advance st
+  | t ->
+      error st
+        (Printf.sprintf "expected %s, got %s" s
+           (match t with
+           | SYM x -> x
+           | KW x | IDENT x -> x
+           | INT v -> string_of_int v
+           | FLOAT f -> string_of_float f
+           | EOF -> "<eof>"))
+
+let eat_kw st s =
+  match cur st with
+  | KW x when x = s -> advance st
+  | _ -> error st (Printf.sprintf "expected keyword %s" s)
+
+let try_sym st s =
+  match cur st with
+  | SYM x when x = s ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match cur st with
+  | IDENT x ->
+      advance st;
+      x
+  | _ -> error st "expected identifier"
+
+let int_lit st =
+  match cur st with
+  | INT v ->
+      advance st;
+      v
+  | _ -> error st "expected integer literal"
+
+open Ir
+
+let rec p_expr st = p_or st
+
+and p_or st =
+  let a = ref (p_and st) in
+  while (match cur st with KW "or" -> true | _ -> false) do
+    advance st;
+    a := Bin (Or, !a, p_and st)
+  done;
+  !a
+
+and p_and st =
+  let a = ref (p_cmp st) in
+  while (match cur st with KW "and" -> true | _ -> false) do
+    advance st;
+    a := Bin (And, !a, p_cmp st)
+  done;
+  !a
+
+and p_cmp st =
+  let a = p_add st in
+  let op =
+    match cur st with
+    | SYM "==" -> Some Eq
+    | SYM "!=" -> Some Ne
+    | SYM "<" -> Some Lt
+    | SYM "<=" -> Some Le
+    | SYM ">" -> Some Gt
+    | SYM ">=" -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> a
+  | Some op ->
+      advance st;
+      Bin (op, a, p_add st)
+
+and p_add st =
+  let a = ref (p_mul st) in
+  let rec go () =
+    match cur st with
+    | SYM "+" ->
+        advance st;
+        a := Bin (Add, !a, p_mul st);
+        go ()
+    | SYM "-" ->
+        advance st;
+        a := Bin (Sub, !a, p_mul st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !a
+
+and p_mul st =
+  let a = ref (p_unary st) in
+  let rec go () =
+    match cur st with
+    | SYM "*" ->
+        advance st;
+        a := Bin (Mul, !a, p_unary st);
+        go ()
+    | SYM "/" ->
+        advance st;
+        a := Bin (Div, !a, p_unary st);
+        go ()
+    | KW "mod" ->
+        advance st;
+        a := Bin (Mod, !a, p_unary st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !a
+
+and p_unary st =
+  match cur st with
+  | SYM "-" -> (
+      advance st;
+      (* fold negative literals so printed constants round-trip *)
+      match cur st with
+      | INT v ->
+          advance st;
+          Int (-v)
+      | FLOAT f ->
+          advance st;
+          Float (-.f)
+      | _ -> Un (Neg, p_unary st))
+  | KW "not" ->
+      advance st;
+      Un (Not, p_unary st)
+  | _ -> p_primary st
+
+and p_primary st =
+  match cur st with
+  | INT v ->
+      advance st;
+      Int v
+  | FLOAT f ->
+      advance st;
+      Float f
+  | KW "true" ->
+      advance st;
+      Bool true
+  | KW "false" ->
+      advance st;
+      Bool false
+  | KW "mypid" ->
+      advance st;
+      Mypid
+  | KW "nprocs" ->
+      advance st;
+      Nprocs
+  | KW ("min" | "max") ->
+      let op = match cur st with KW "min" -> Min | _ -> Max in
+      advance st;
+      eat_sym st "(";
+      let a = p_expr st in
+      eat_sym st ",";
+      let b = p_expr st in
+      eat_sym st ")";
+      Bin (op, a, b)
+  | KW ("iown" | "accessible" | "await") ->
+      let k = match cur st with KW k -> k | _ -> assert false in
+      advance st;
+      eat_sym st "(";
+      let s = p_section st in
+      eat_sym st ")";
+      (match k with
+      | "iown" -> Iown s
+      | "accessible" -> Accessible s
+      | _ -> Await s)
+  | KW ("mylb" | "myub") ->
+      let k = match cur st with KW k -> k | _ -> assert false in
+      advance st;
+      eat_sym st "(";
+      let s = p_section st in
+      eat_sym st ",";
+      let d = int_lit st in
+      eat_sym st ")";
+      if k = "mylb" then Mylb (s, d) else Myub (s, d)
+  | SYM "(" ->
+      advance st;
+      let e = p_expr st in
+      eat_sym st ")";
+      e
+  | IDENT name -> (
+      advance st;
+      match cur st with
+      | SYM "[" ->
+          advance st;
+          let idxs = p_expr_list st in
+          eat_sym st "]";
+          Elem (name, idxs)
+      | _ -> Var name)
+  | _ -> error st "expected expression"
+
+and p_expr_list st =
+  let e = p_expr st in
+  if try_sym st "," then e :: p_expr_list st else [ e ]
+
+and p_section st =
+  let name = ident st in
+  eat_sym st "[";
+  let sel = p_sel_list st in
+  eat_sym st "]";
+  { arr = name; sel }
+
+and p_sel_list st =
+  let s = p_sel st in
+  if try_sym st "," then s :: p_sel_list st else [ s ]
+
+and p_sel st =
+  if try_sym st "*" then All
+  else
+    let lo = p_expr st in
+    if try_sym st ":" then
+      let hi = p_expr st in
+      if try_sym st ":" then Slice (lo, hi, p_expr st)
+      else Slice (lo, hi, Int 1)
+    else At lo
+
+(* --- statements --- *)
+
+let section_as_lhs st s =
+  let idxs =
+    List.map
+      (function
+        | At e -> e
+        | All | Slice _ ->
+            error st "assignment target must use element subscripts")
+      s.sel
+  in
+  Lelem (s.arr, idxs)
+
+let block_ends st =
+  match cur st with
+  | KW ("enddo" | "else" | "endif") | SYM "}" | EOF -> true
+  | _ -> false
+
+let rec p_stmts st =
+  let acc = ref [] in
+  while not (block_ends st) do
+    acc := p_stmt st :: !acc
+  done;
+  List.rev !acc
+
+and p_stmt st =
+  match cur st with
+  | KW "do" ->
+      advance st;
+      let v = ident st in
+      eat_sym st "=";
+      let lo = p_expr st in
+      eat_sym st ",";
+      let hi = p_expr st in
+      let step = if try_sym st "," then p_expr st else Int 1 in
+      let body = p_stmts st in
+      eat_kw st "enddo";
+      For { var = v; lo; hi; step; body; local_range = None }
+  | KW "if" ->
+      advance st;
+      let c = p_expr st in
+      eat_kw st "then";
+      let a = p_stmts st in
+      let b =
+        match cur st with
+        | KW "else" ->
+            advance st;
+            p_stmts st
+        | _ -> []
+      in
+      eat_kw st "endif";
+      If (c, a, b)
+  | IDENT _ -> (
+      (* Could be: section transfer, assignment, kernel apply, or a
+         guard whose expression begins with an identifier.  Try the
+         section/assignment forms first, backtracking on failure. *)
+      let save = st.pos in
+      match p_ident_stmt st with
+      | Some s -> s
+      | None ->
+          st.pos <- save;
+          p_guard st)
+  | _ -> p_guard st
+
+and p_ident_stmt st =
+  let name = ident st in
+  match cur st with
+  | SYM "[" -> (
+      advance st;
+      match p_sel_list_opt st with
+      | None -> None
+      | Some sel -> (
+          if not (try_sym st "]") then None
+          else
+            let s = { arr = name; sel } in
+            match cur st with
+            | SYM "->" ->
+                advance st;
+                if try_sym st "{" then begin
+                  let pids = p_expr_list st in
+                  eat_sym st "}";
+                  Some (Send_value (s, Directed pids))
+                end
+                else Some (Send_value (s, Unspecified))
+            | SYM "=>" ->
+                advance st;
+                Some (Send_owner s)
+            | SYM "-=>" ->
+                advance st;
+                Some (Send_owner_value s)
+            | SYM "<-" ->
+                advance st;
+                let from = p_section st in
+                Some (Recv_value { into = s; from })
+            | SYM "<=-" ->
+                advance st;
+                Some (Recv_owner_value s)
+            | SYM "<=" ->
+                advance st;
+                Some (Recv_owner s)
+            | SYM "=" ->
+                advance st;
+                let lhs = section_as_lhs st s in
+                Some (Assign (lhs, p_expr st))
+            | _ -> None))
+  | SYM "=" ->
+      advance st;
+      Some (Assign (Lvar name, p_expr st))
+  | SYM "(" ->
+      (* kernel application *)
+      advance st;
+      let args = p_section_list st in
+      eat_sym st ")";
+      Some (Apply { fn = name; args })
+  | _ -> None
+
+and p_sel_list_opt st =
+  (* like p_sel_list but returns None instead of raising, for
+     backtracking *)
+  try Some (p_sel_list st) with Parse_error _ -> None
+
+and p_section_list st =
+  let s = p_section st in
+  if try_sym st "," then s :: p_section_list st else [ s ]
+
+and p_guard st =
+  let g = p_expr st in
+  eat_sym st ":";
+  eat_sym st "{";
+  let body = p_stmts st in
+  eat_sym st "}";
+  Guard (g, body)
+
+(* --- declarations --- *)
+
+let p_int_tuple st =
+  eat_sym st "(";
+  let rec go acc =
+    let v = int_lit st in
+    if try_sym st "," then go (v :: acc) else List.rev (v :: acc)
+  in
+  let l = go [] in
+  eat_sym st ")";
+  l
+
+let p_dist_tuple st =
+  eat_sym st "(";
+  let one () =
+    if try_sym st "*" then Xdp_dist.Dist.Star
+    else
+      match cur st with
+      | IDENT ("BLOCK" | "block") ->
+          advance st;
+          Xdp_dist.Dist.Block
+      | IDENT ("CYCLIC" | "cyclic") ->
+          advance st;
+          if try_sym st "(" then begin
+            let m = int_lit st in
+            eat_sym st ")";
+            Xdp_dist.Dist.Block_cyclic m
+          end
+          else Xdp_dist.Dist.Cyclic
+      | _ -> error st "expected distribution (*, BLOCK, CYCLIC, CYCLIC(m))"
+  in
+  let rec go acc =
+    let d = one () in
+    if try_sym st "," then go (d :: acc) else List.rev (d :: acc)
+  in
+  let l = go [] in
+  eat_sym st ")";
+  l
+
+let p_decl st =
+  eat_kw st "array";
+  let universal =
+    match cur st with
+    | KW "universal" ->
+        advance st;
+        true
+    | _ -> false
+  in
+  let name = ident st in
+  eat_sym st "[";
+  let rec shape acc =
+    let v = int_lit st in
+    if try_sym st "," then shape (v :: acc) else List.rev (v :: acc)
+  in
+  let shape = shape [] in
+  eat_sym st "]";
+  eat_kw st "dist";
+  let dist = p_dist_tuple st in
+  eat_kw st "grid";
+  let grid_shape = p_int_tuple st in
+  let seg =
+    match cur st with
+    | KW "seg" ->
+        advance st;
+        Some (p_int_tuple st)
+    | _ -> None
+  in
+  let grid = Xdp_dist.Grid.make grid_shape in
+  let layout = Xdp_dist.Layout.make ~shape ~dist ~grid in
+  let seg_shape =
+    match seg with
+    | Some s -> s
+    | None -> Xdp_dist.Segment.default_shape layout
+  in
+  { arr_name = name; layout; seg_shape; universal }
+
+let make_state src = { toks = lex src; pos = 0 }
+
+let stmts src =
+  let st = make_state src in
+  let body = p_stmts st in
+  (match cur st with
+  | EOF -> ()
+  | _ -> error st "trailing input after statements");
+  body
+
+let program ~name src =
+  let st = make_state src in
+  let decls = ref [] in
+  while (match cur st with KW "array" -> true | _ -> false) do
+    decls := p_decl st :: !decls
+  done;
+  let body = p_stmts st in
+  (match cur st with
+  | EOF -> ()
+  | _ -> error st "trailing input after statements");
+  { prog_name = name; decls = List.rev !decls; body }
+
+let expr src =
+  let st = make_state src in
+  let e = p_expr st in
+  (match cur st with
+  | EOF -> ()
+  | _ -> error st "trailing input after expression");
+  e

@@ -1,0 +1,33 @@
+(** Parser for the IL+XDP concrete syntax.
+
+    Accepts the notation used in the paper's listings and emitted by
+    {!Pp} — [do]/[enddo] loops, compute rules [expr : { ... }], the
+    five transfer statements ([->], [-> {pids}], [=>], [-=>], [<-],
+    [<=], [<=-]), F90 sections with [*] and triplets, and the
+    intrinsics — so IL+XDP programs can be written as text and fed to
+    the passes and the simulator.  [Pp] and [Parse] round-trip:
+    [stmts (Pp.stmts_to_string b) = b] (property-tested).
+
+    Programs may declare arrays with lines of the form
+
+    {v
+    array A[4,8] dist ( *, BLOCK) grid (2,2) seg (2,1)
+    v}
+
+    before the first statement.
+
+    Note one lexical quirk inherited from the paper's operators: [<=-]
+    is lexed greedily, so write [a <= (-b)] when comparing against a
+    negated value. *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Parse a statement sequence (no declarations). *)
+val stmts : string -> Ir.stmt list
+
+(** Parse a full program: [array] declaration lines followed by
+    statements. *)
+val program : name:string -> string -> Ir.program
+
+(** Parse a single expression. *)
+val expr : string -> Ir.expr

@@ -1,0 +1,66 @@
+open Ir
+
+type t = {
+  pass_name : string;
+  description : string;
+  transform : program -> program;
+}
+
+let simplify =
+  {
+    pass_name = "simplify";
+    description = "constant folding and algebraic simplification";
+    transform = Simplify.program;
+  }
+
+let elim_comm =
+  {
+    pass_name = "elim-comm";
+    description = "eliminate transfers between co-located sections";
+    transform = Elim_comm.run;
+  }
+
+let localize =
+  {
+    pass_name = "localize";
+    description = "compute-rule elimination by loop-bounds adjustment";
+    transform = Localize.run;
+  }
+
+let fuse =
+  {
+    pass_name = "fuse";
+    description = "loop fusion with XDP ownership legality";
+    transform = Fuse.run;
+  }
+
+let sink_await =
+  {
+    pass_name = "sink-await";
+    description = "move awaits into loops for per-slice overlap";
+    transform = Sink_await.run;
+  }
+
+let bind =
+  {
+    pass_name = "bind";
+    description = "static binding of sends to receiving processors";
+    transform = Bind.run;
+  }
+
+let hoist_guard =
+  {
+    pass_name = "hoist-guard";
+    description = "hoist loop-invariant compute rules out of loops";
+    transform = Hoist_guard.run;
+  }
+
+let standard = [ elim_comm; localize; simplify ]
+
+let run_pipeline ?observe passes p =
+  List.fold_left
+    (fun p pass ->
+      let p' = pass.transform p in
+      (match observe with Some f -> f pass.pass_name p' | None -> ());
+      p')
+    p passes

@@ -1,0 +1,30 @@
+(** The pass manager: named transformations over IL+XDP programs.
+
+    The standard pipeline mirrors the paper's optimization story:
+    owner-computes lowering produces naive SPMD code; local
+    communication is eliminated; compute rules are removed by bounds
+    localization; loops are fused to pipeline ownership transfer;
+    awaits are sunk for finer-grained overlap; and sends are bound to
+    receivers.  Each pass is semantics-preserving (property-tested in
+    [test/test_passes.ml]). *)
+
+open Ir
+
+type t = { pass_name : string; description : string; transform : program -> program }
+
+val simplify : t
+val elim_comm : t
+val localize : t
+val fuse : t
+val sink_await : t
+val bind : t
+val hoist_guard : t
+
+(** [elim_comm; localize; simplify] — the §2.2 optimization set. *)
+val standard : t list
+
+(** [run_pipeline ?observe passes p] — apply passes in order;
+    [observe] (if given) is called with each pass name and its output
+    program (used by [bin/xdpc --dump-ir]). *)
+val run_pipeline :
+  ?observe:(string -> program -> unit) -> t list -> program -> program

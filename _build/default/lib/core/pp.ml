@@ -1,0 +1,143 @@
+open Ir
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "mod"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "and" | Or -> "or" | Min -> "min" | Max -> "max"
+
+(* Floats always carry a '.' or exponent so the parser can tell them
+   from integer literals. *)
+let float_str x =
+  let s = Printf.sprintf "%.12g" x in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n' || c = 'i') s then s
+  else s ^ ".0"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float x -> Format.fprintf ppf "%s" (float_str x)
+  | Bool true -> Format.fprintf ppf "true"
+  | Bool false -> Format.fprintf ppf "false"
+  | Var v -> Format.fprintf ppf "%s" v
+  | Elem (a, idxs) ->
+      Format.fprintf ppf "%s[%a]" a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_expr)
+        idxs
+  | Bin ((Min | Max) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Un (Neg, e) -> Format.fprintf ppf "(-%a)" pp_expr e
+  | Un (Not, e) -> Format.fprintf ppf "(not %a)" pp_expr e
+  | Mypid -> Format.fprintf ppf "mypid"
+  | Nprocs -> Format.fprintf ppf "nprocs"
+  | Mylb (s, d) -> Format.fprintf ppf "mylb(%a,%d)" pp_section s d
+  | Myub (s, d) -> Format.fprintf ppf "myub(%a,%d)" pp_section s d
+  | Iown s -> Format.fprintf ppf "iown(%a)" pp_section s
+  | Accessible s -> Format.fprintf ppf "accessible(%a)" pp_section s
+  | Await s -> Format.fprintf ppf "await(%a)" pp_section s
+
+and pp_sel ppf = function
+  | All -> Format.fprintf ppf "*"
+  | At e -> pp_expr ppf e
+  | Slice (lo, hi, Int 1) -> Format.fprintf ppf "%a:%a" pp_expr lo pp_expr hi
+  | Slice (lo, hi, st) ->
+      Format.fprintf ppf "%a:%a:%a" pp_expr lo pp_expr hi pp_expr st
+
+and pp_section ppf s =
+  Format.fprintf ppf "%s[%a]" s.arr
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       pp_sel)
+    s.sel
+
+let pp_lhs ppf = function
+  | Lvar v -> Format.fprintf ppf "%s" v
+  | Lelem (a, idxs) ->
+      Format.fprintf ppf "%s[%a]" a
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_expr)
+        idxs
+
+let rec pp_stmt ppf = function
+  | Assign (l, e) -> Format.fprintf ppf "%a = %a" pp_lhs l pp_expr e
+  | Guard (g, [ s ]) when simple s ->
+      Format.fprintf ppf "%a : { %a }" pp_expr g pp_stmt s
+  | Guard (g, []) -> Format.fprintf ppf "%a : { }" pp_expr g
+  | Guard (g, body) ->
+      Format.fprintf ppf "@[<v 2>%a : {@,%a@]@,}" pp_expr g pp_stmts body
+  | For { var; lo; hi; step; body; _ } ->
+      let pp_step ppf = function
+        | Int 1 -> ()
+        | s -> Format.fprintf ppf ", %a" pp_expr s
+      in
+      if body = [] then
+        Format.fprintf ppf "do %s = %a, %a%a@,enddo" var pp_expr lo pp_expr
+          hi pp_step step
+      else
+        Format.fprintf ppf "@[<v 2>do %s = %a, %a%a@,%a@]@,enddo" var
+          pp_expr lo pp_expr hi pp_step step pp_stmts body
+  | If (c, a, []) ->
+      Format.fprintf ppf "@[<v 2>if %a then@,%a@]@,endif" pp_expr c pp_stmts a
+  | If (c, a, b) ->
+      Format.fprintf ppf "@[<v 2>if %a then@,%a@]@,@[<v 2>else@,%a@]@,endif"
+        pp_expr c pp_stmts a pp_stmts b
+  | Send_value (s, Unspecified) -> Format.fprintf ppf "%a ->" pp_section s
+  | Send_value (s, Directed pids) ->
+      Format.fprintf ppf "%a -> {%a}" pp_section s
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           pp_expr)
+        pids
+  | Send_owner s -> Format.fprintf ppf "%a =>" pp_section s
+  | Send_owner_value s -> Format.fprintf ppf "%a -=>" pp_section s
+  | Recv_value { into; from } ->
+      Format.fprintf ppf "%a <- %a" pp_section into pp_section from
+  | Recv_owner s -> Format.fprintf ppf "%a <=" pp_section s
+  | Recv_owner_value s -> Format.fprintf ppf "%a <=-" pp_section s
+  | Apply { fn; args } ->
+      Format.fprintf ppf "%s(%a)" fn
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_section)
+        args
+
+and simple = function
+  | Assign _ | Send_value _ | Send_owner _ | Send_owner_value _
+  | Recv_value _ | Recv_owner _ | Recv_owner_value _ | Apply _ ->
+      true
+  | Guard _ | For _ | If _ -> false
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+    pp_stmt ppf stmts
+
+let pp_program ppf p =
+  Format.fprintf ppf "// program %s@." p.prog_name;
+  List.iter
+    (fun d ->
+      if d.universal then
+        Format.fprintf ppf "// %s[%s] universally owned@." d.arr_name
+          (String.concat ","
+             (List.map
+                (fun n -> "1:" ^ string_of_int n)
+                (Xdp_dist.Layout.shape d.layout)))
+      else
+        Format.fprintf ppf "// %s[%s] distributed %s, segments (%s)@."
+          d.arr_name
+          (String.concat ","
+             (List.map
+                (fun n -> "1:" ^ string_of_int n)
+                (Xdp_dist.Layout.shape d.layout)))
+          (Xdp_dist.Layout.to_string d.layout)
+          (String.concat "," (List.map string_of_int d.seg_shape)))
+    p.decls;
+  Format.fprintf ppf "@[<v 0>%a@]@." pp_stmts p.body
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let section_to_string s = Format.asprintf "%a" pp_section s
+let stmts_to_string s = Format.asprintf "@[<v 0>%a@]" pp_stmts s
+let program_to_string p = Format.asprintf "%a" pp_program p

@@ -1,0 +1,27 @@
+(** Pretty-printer emitting the paper's concrete IL+XDP syntax.
+
+    Renders programs in the notation of the paper's listings so the
+    golden tests can compare our pass output against the transformed
+    code printed in §2.2 and §4, e.g.:
+
+    {v
+    do i = 1, n
+      iown(B[i]) : { B[i] -> }
+      iown(A[i]) : {
+        T[mypid] <- B[i]
+        await(A[i]) : { A[i] = A[i] + T[mypid] }
+      }
+    enddo
+    v} *)
+
+open Ir
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_section : Format.formatter -> section -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_stmts : Format.formatter -> stmt list -> unit
+val pp_program : Format.formatter -> program -> unit
+val expr_to_string : expr -> string
+val section_to_string : section -> string
+val stmts_to_string : stmt list -> string
+val program_to_string : program -> string

@@ -1,0 +1,373 @@
+open Ir
+open Build
+
+(* A recognized shifted reference: array and constant offset. *)
+type sref = { r_arr : string; r_shift : int }
+
+let rec shifts_of_expr var e =
+  (* Some list of refs, or None if any reference is not arr[var+c]. *)
+  match e with
+  | Int _ | Float _ | Bool _ | Mypid | Nprocs -> Some []
+  | Var v -> if v = var then Some [] else Some []
+  | Elem (a, [ idx ]) -> (
+      match Simplify.expr idx with
+      | Var v when v = var -> Some [ { r_arr = a; r_shift = 0 } ]
+      | Bin (Add, Var v, Int c) when v = var ->
+          Some [ { r_arr = a; r_shift = c } ]
+      | Bin (Sub, Var v, Int c) when v = var ->
+          Some [ { r_arr = a; r_shift = -c } ]
+      | Bin (Add, Int c, Var v) when v = var ->
+          Some [ { r_arr = a; r_shift = c } ]
+      | _ -> None)
+  | Elem (_, _) -> None
+  | Bin (_, a, b) -> (
+      match (shifts_of_expr var a, shifts_of_expr var b) with
+      | Some x, Some y -> Some (x @ y)
+      | _ -> None)
+  | Un (_, a) -> shifts_of_expr var a
+  | Mylb _ | Myub _ | Iown _ | Accessible _ | Await _ -> None
+
+type layout_info = { n : int; b : int; nprocs : int }
+
+(* All referenced arrays (including the target) must share one 1-D
+   BLOCK layout over a linear grid dividing the extent. *)
+let common_layout decls ~nprocs names =
+  let layout_of name =
+    List.find_opt (fun d -> d.arr_name = name) decls
+    |> Option.map (fun d -> d.layout)
+  in
+  match names with
+  | [] -> None
+  | first :: rest -> (
+      match layout_of first with
+      | None -> None
+      | Some l0 ->
+          if
+            List.for_all
+              (fun nm ->
+                match layout_of nm with
+                | Some l -> Xdp_dist.Layout.equal l l0
+                | None -> false)
+              rest
+            && Xdp_dist.Layout.rank l0 = 1
+            && Xdp_dist.Layout.dist l0 = [ Xdp_dist.Dist.Block ]
+            && Xdp_dist.Grid.rank (Xdp_dist.Layout.grid l0) = 1
+            && Xdp_dist.Layout.nprocs l0 = nprocs
+          then
+            let n = List.hd (Xdp_dist.Layout.shape l0) in
+            if n mod nprocs = 0 then Some { n; b = n / nprocs; nprocs }
+            else None
+          else None)
+
+type plan = {
+  p_var : string;
+  p_glo : int;
+  p_ghi : int;
+  p_dst : string;
+  p_rhs : expr;
+  p_li : layout_info;
+  (* per-array halo widths *)
+  p_left : (string * int) list;  (* arr, sl = max -c over negative c *)
+  p_right : (string * int) list; (* arr, sr = max c over positive c *)
+  p_smax_l : int;
+  p_smax_r : int;
+}
+
+let recognize decls ~nprocs (fl : for_loop) =
+  match (fl.body, Simplify.known_int fl.lo, Simplify.known_int fl.hi) with
+  | [ Assign (Lelem (dst, [ Var v ]), rhs) ], Some glo, Some ghi
+    when v = fl.var && fl.step = Int 1 -> (
+      match shifts_of_expr fl.var rhs with
+      | None -> None
+      | Some refs ->
+          let has_nonzero = List.exists (fun r -> r.r_shift <> 0) refs in
+          let dep =
+            List.exists (fun r -> r.r_arr = dst && r.r_shift <> 0) refs
+          in
+          if (not has_nonzero) || dep then None
+          else
+            let names =
+              List.sort_uniq compare (dst :: List.map (fun r -> r.r_arr) refs)
+            in
+            (match common_layout decls ~nprocs names with
+            | None -> None
+            | Some li ->
+                let width arr sign =
+                  List.fold_left
+                    (fun acc r ->
+                      if r.r_arr = arr && r.r_shift * sign > 0 then
+                        max acc (abs r.r_shift)
+                      else acc)
+                    0 refs
+                in
+                let p_left =
+                  List.filter_map
+                    (fun arr ->
+                      let w = width arr (-1) in
+                      if w > 0 then Some (arr, w) else None)
+                    names
+                in
+                let p_right =
+                  List.filter_map
+                    (fun arr ->
+                      let w = width arr 1 in
+                      if w > 0 then Some (arr, w) else None)
+                    names
+                in
+                let smax_l =
+                  List.fold_left (fun a (_, w) -> max a w) 0 p_left
+                in
+                let smax_r =
+                  List.fold_left (fun a (_, w) -> max a w) 0 p_right
+                in
+                if li.b < smax_l + smax_r then None
+                else
+                  Some
+                    {
+                      p_var = fl.var;
+                      p_glo = glo;
+                      p_ghi = ghi;
+                      p_dst = dst;
+                      p_rhs = rhs;
+                      p_li = li;
+                      p_left;
+                      p_right;
+                      p_smax_l = smax_l;
+                      p_smax_r = smax_r;
+                    }))
+  | _ -> None
+
+let hl_name arr = "__HL_" ^ arr
+let hr_name arr = "__HR_" ^ arr
+
+(* Rewrite rhs for a cell at a known position class.  [locality] maps a
+   reference to `Local | `Left of halo_pos_expr | `Right of pos. *)
+let rewrite_rhs plan ~cell_expr ~locality =
+  let rec go e =
+    match e with
+    | Elem (a, [ idx ]) -> (
+        let shift =
+          match Simplify.expr idx with
+          | Var v when v = plan.p_var -> Some 0
+          | Bin (Add, Var v, Int c) when v = plan.p_var -> Some c
+          | Bin (Sub, Var v, Int c) when v = plan.p_var -> Some (-c)
+          | Bin (Add, Int c, Var v) when v = plan.p_var -> Some c
+          | _ -> None
+        in
+        match shift with
+        | None -> e
+        | Some c -> (
+            match locality a c with
+            | `Local -> Elem (a, [ Simplify.expr (cell_expr +: i c) ])
+            | `Left pos -> Elem (hl_name a, [ Mypid; pos ])
+            | `Right pos -> Elem (hr_name a, [ Mypid; pos ])))
+    | Bin (op, x, y) -> Bin (op, go x, go y)
+    | Un (op, x) -> Un (op, go x)
+    | e -> e
+  in
+  go plan.p_rhs
+
+let transform decls ~nprocs (fl : for_loop) =
+  match recognize decls ~nprocs fl with
+  | None -> None
+  | Some plan ->
+      let li = plan.p_li in
+      let b = li.b and n = li.n and p = li.nprocs in
+      let lb = ((mypid -: i 1) *: i b) +: i 1 and ub = mypid *: i b in
+      let not_first = mypid >: i 1 and not_last = mypid <: i p in
+      (* --- exchange: one strip per neighbour per array --- *)
+      let exchange =
+        List.concat_map
+          (fun (arr, sr) ->
+            (* right halo of each proc = next proc's bottom strip *)
+            [
+              not_first
+              @: [
+                   send_to
+                     (sec arr
+                        [ (if sr = 1 then at lb else slice lb (lb +: i (sr - 1))) ])
+                     [ mypid -: i 1 ];
+                 ];
+              not_last
+              @: [
+                   recv
+                     ~into:
+                       (sec (hr_name arr)
+                          [ at mypid; (if sr = 1 then at (i 1) else slice (i 1) (i sr)) ])
+                     ~from:
+                       (sec arr
+                          [ (if sr = 1 then at (ub +: i 1)
+                             else slice (ub +: i 1) (ub +: i sr)) ]);
+                 ];
+            ])
+          plan.p_right
+        @ List.concat_map
+            (fun (arr, sl) ->
+              [
+                not_last
+                @: [
+                     send_to
+                       (sec arr
+                          [ (if sl = 1 then at ub else slice (ub -: i (sl - 1)) ub) ])
+                       [ mypid +: i 1 ];
+                   ];
+                not_first
+                @: [
+                     recv
+                       ~into:
+                         (sec (hl_name arr)
+                            [ at mypid; (if sl = 1 then at (i 1) else slice (i 1) (i sl)) ])
+                       ~from:
+                         (sec arr
+                            [ (if sl = 1 then at (lb -: i 1)
+                               else slice (lb -: i sl) (lb -: i 1)) ]);
+                   ];
+              ])
+            plan.p_left
+      in
+      let in_range cell body =
+        [ if_ ((cell >=: i plan.p_glo) &&: (cell <=: i plan.p_ghi)) body [] ]
+      in
+      let awaits_for used =
+        List.fold_left
+          (fun acc (side, arr, w) ->
+            let s =
+              sec (if side = `L then hl_name arr else hr_name arr)
+                [ at mypid; (if w = 1 then at (i 1) else slice (i 1) (i w)) ]
+            in
+            let aw = await s in
+            match acc with None -> Some aw | Some g -> Some (g &&: aw))
+          None used
+      in
+      (* --- left boundary classes (depth d from lb) --- *)
+      let left_classes =
+        List.init plan.p_smax_l (fun d ->
+            let cell = Simplify.expr (lb +: i d) in
+            let locality a c =
+              if c < -d then
+                (* halo position: (i+c) - (lb - sl) + 1 = d + c + sl + 1 *)
+                let sl = List.assoc a plan.p_left in
+                `Left (i (d + c + sl + 1))
+              else `Local
+            in
+            let used =
+              List.filter_map
+                (fun (arr, sl) -> if sl > d then Some (`L, arr, sl) else None)
+                plan.p_left
+            in
+            let body =
+              in_range cell
+                [ set plan.p_dst [ cell ]
+                    (rewrite_rhs plan ~cell_expr:cell ~locality) ]
+            in
+            match awaits_for used with
+            | Some g -> not_first @: [ g @: body ]
+            | None -> not_first @: body)
+      in
+      (* --- right boundary classes (depth d from ub) --- *)
+      let right_classes =
+        List.init plan.p_smax_r (fun d ->
+            let cell = Simplify.expr (ub -: i d) in
+            let locality _a c =
+              if c > d then
+                (* halo position: (i+c) - ub = c - d *)
+                `Right (i (c - d))
+              else `Local
+            in
+            let used =
+              List.filter_map
+                (fun (arr, sr) -> if sr > d then Some (`R, arr, sr) else None)
+                plan.p_right
+            in
+            let body =
+              in_range cell
+                [ set plan.p_dst [ cell ]
+                    (rewrite_rhs plan ~cell_expr:cell ~locality) ]
+            in
+            match awaits_for used with
+            | Some g -> not_last @: [ g @: body ]
+            | None -> not_last @: body)
+      in
+      let local_body cell =
+        [ set plan.p_dst [ cell ] (rewrite_rhs plan ~cell_expr:cell ~locality:(fun _ _ -> `Local)) ]
+      in
+      (* --- first/last processors have no halo on their outer side:
+         their boundary-depth cells are all-local --- *)
+      let iv = var plan.p_var in
+      let p1_edge =
+        if plan.p_smax_l = 0 then []
+        else
+          [
+            (mypid =: i 1)
+            @: [
+                 loop plan.p_var (i plan.p_glo)
+                   (emin (i plan.p_ghi) (i plan.p_smax_l))
+                   (local_body iv);
+               ];
+          ]
+      in
+      let pP_edge =
+        if plan.p_smax_r = 0 then []
+        else
+          [
+            (mypid =: i p)
+            @: [
+                 loop plan.p_var
+                   (emax (i plan.p_glo) (i (n - plan.p_smax_r + 1)))
+                   (i plan.p_ghi)
+                   (local_body iv);
+               ];
+          ]
+      in
+      (* --- interior: all references local --- *)
+      let interior =
+        loop plan.p_var
+          (emax (i plan.p_glo) (lb +: i plan.p_smax_l))
+          (emin (i plan.p_ghi) (ub -: i plan.p_smax_r))
+          (local_body iv)
+      in
+      let halo_decls =
+        List.map
+          (fun (arr, w) ->
+            decl ~name:(hl_name arr) ~shape:[ p; w ]
+              ~dist:[ Xdp_dist.Dist.Block; Xdp_dist.Dist.Star ]
+              ~grid:(Xdp_dist.Grid.linear p) ~seg_shape:[ 1; w ] ())
+          plan.p_left
+        @ List.map
+            (fun (arr, w) ->
+              decl ~name:(hr_name arr) ~shape:[ p; w ]
+                ~dist:[ Xdp_dist.Dist.Block; Xdp_dist.Dist.Star ]
+                ~grid:(Xdp_dist.Grid.linear p) ~seg_shape:[ 1; w ] ())
+            plan.p_right
+      in
+      let stmts =
+        exchange @ p1_edge @ left_classes @ [ interior ] @ right_classes
+        @ pP_edge
+      in
+      Some (Guard (Bool true, stmts), halo_decls)
+
+let run ~nprocs (p : program) =
+  let new_decls = ref [] in
+  let seen_halo = Hashtbl.create 8 in
+  let body =
+    map_stmts
+      (fun stmts ->
+        List.map
+          (function
+            | For fl -> (
+                match transform p.decls ~nprocs fl with
+                | Some (st, decls) ->
+                    List.iter
+                      (fun d ->
+                        if not (Hashtbl.mem seen_halo d.arr_name) then begin
+                          Hashtbl.replace seen_halo d.arr_name ();
+                          new_decls := d :: !new_decls
+                        end)
+                      decls;
+                    st
+                | None -> For fl)
+            | s -> s)
+          stmts)
+      p.body
+  in
+  { p with decls = p.decls @ List.rev !new_decls; body }

@@ -1,0 +1,39 @@
+(** Automatic message vectorization for shift communication.
+
+    The §2.2 remark — "even if they cannot be eliminated, the compiler
+    may be able to move them out of the computation loop and combine or
+    vectorize the messages" — as a real pass.  It recognizes
+    elementwise loops over 1-D BLOCK-distributed arrays whose
+    right-hand sides read constant-shifted references,
+
+    {v
+    do i = glo, ghi   D[i] = f(B[i-2], B[i], C[i+1], ...)
+    v}
+
+    and replaces the per-element transfers the owner-computes lowering
+    would emit (O(n) messages per sweep) with one combined boundary
+    message per neighbour per referenced array (O(P) messages): each
+    processor sends its boundary strips to the adjacent owners, the
+    loop is split into mypid-localized interior and boundary-depth
+    statements, and out-of-block references read the received halo
+    rows.
+
+    Requirements for a loop to be transformed (otherwise it is left
+    untouched for the ordinary lowering): constant bounds; a single
+    assignment [D[i] = rhs] whose references are all [arr[i+c]] with
+    constant [c]; all arrays share one 1-D BLOCK layout over a linear
+    grid that divides the extent; no reference [D[i+c]] with [c ≠ 0]
+    (that is a loop-carried dependence — vectorizing it would be
+    wrong, and the checker refuses); and block size ≥ total halo
+    width.
+
+    The generated statements are wrapped in a vacuous [true : { ... }]
+    compute rule so a subsequent {!Lower} pass (with [~allow_xdp:true])
+    leaves them alone; {!Elim_comm} splices the wrapper away. *)
+
+open Ir
+
+(** [run ~nprocs p] — transform every matching loop; returns the
+    program with halo arrays ([__HL_*], [__HR_*]) appended to the
+    declarations. *)
+val run : nprocs:int -> program -> program

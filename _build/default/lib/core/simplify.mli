@@ -1,0 +1,20 @@
+(** Constant folding and light algebraic simplification of IL
+    expressions.
+
+    Used by the optimization passes, in particular by {!Localize} to
+    recognize single-iteration loops (e.g. after block-size-1 bounds
+    adjustment, [lo] and [hi] both fold to [mypid]) before collapsing
+    them, matching the paper's §4 transformation.  Simplification is
+    purely syntactic and sound on all processors: it never assumes a
+    particular [mypid]. *)
+
+open Ir
+
+val expr : expr -> expr
+val stmt : stmt -> stmt
+val stmts : stmt list -> stmt list
+val program : program -> program
+
+(** [known_int e] — [Some n] when [e] folds to the integer constant
+    [n]. *)
+val known_int : expr -> int option

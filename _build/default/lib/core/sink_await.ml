@@ -1,0 +1,101 @@
+open Ir
+
+(* Dimensions (0-based) where [inner] is [At (Var v)] while [outer] is
+   [All]; all other dimensions must agree syntactically. *)
+let narrowing_dims v outer inner =
+  if List.length outer <> List.length inner then None
+  else
+    let rec go d0 acc = function
+      | [] -> Some (List.rev acc)
+      | (All, At (Var x)) :: rest when x = v -> go (d0 + 1) (d0 :: acc) rest
+      | (a, b) :: rest when a = b -> go (d0 + 1) acc rest
+      | _ -> None
+    in
+    go 0 [] (List.combine outer inner)
+
+(* All section-shaped references to array [arr] in a statement list. *)
+let refs_to arr body =
+  let out = ref [] in
+  let add s = if s.arr = arr then out := s.sel :: !out in
+  let add_elem a idxs = if a = arr then out := List.map (fun e -> At e) idxs :: !out in
+  let rec expr = function
+    | Int _ | Float _ | Bool _ | Var _ | Mypid | Nprocs -> ()
+    | Elem (a, idxs) ->
+        add_elem a idxs;
+        List.iter expr idxs
+    | Bin (_, a, b) ->
+        expr a;
+        expr b
+    | Un (_, e) -> expr e
+    | Mylb (s, _) | Myub (s, _) | Iown s | Accessible s | Await s -> add s
+  in
+  let rec stmt = function
+    | Assign (Lvar _, e) -> expr e
+    | Assign (Lelem (a, idxs), e) ->
+        add_elem a idxs;
+        List.iter expr idxs;
+        expr e
+    | Guard (g, body) ->
+        expr g;
+        List.iter stmt body
+    | For fl ->
+        expr fl.lo;
+        expr fl.hi;
+        expr fl.step;
+        List.iter stmt fl.body
+    | If (c, a, b) ->
+        expr c;
+        List.iter stmt a;
+        List.iter stmt b
+    | Send_value (s, _) | Send_owner s | Send_owner_value s | Recv_owner s
+    | Recv_owner_value s ->
+        add s
+    | Recv_value { into; from } ->
+        add into;
+        add from
+    | Apply { args; _ } -> List.iter add args
+  in
+  List.iter stmt body;
+  List.rev !out
+
+let sink = function
+  | Guard (Await s, [ For fl ]) -> (
+      let refs = refs_to s.arr fl.body in
+      match refs with
+      | [] -> None
+      | first :: _ -> (
+          match narrowing_dims fl.var s.sel first with
+          | None | Some [] -> None
+          | Some dims ->
+              let consistent =
+                List.for_all
+                  (fun sel ->
+                    match narrowing_dims fl.var s.sel sel with
+                    | Some d -> d = dims
+                    | None -> false)
+                  refs
+              in
+              if not consistent then None
+              else
+                let narrowed =
+                  {
+                    s with
+                    sel =
+                      List.mapi
+                        (fun d0 sel ->
+                          if List.mem d0 dims then At (Var fl.var) else sel)
+                        s.sel;
+                  }
+                in
+                Some (For { fl with body = [ Guard (Await narrowed, fl.body) ] })
+          ))
+  | _ -> None
+
+let run p =
+  let body =
+    map_stmts
+      (fun stmts ->
+        List.map (fun st -> match sink st with Some s -> s | None -> st) stmts)
+      p.body
+  in
+  { p with body }

@@ -1,0 +1,21 @@
+(** Await sinking (paper §4's second transformation: "moving the
+    await statement {e into} Loop 4 … it can allow the FFT operations
+    to proceed while other data is still being transferred").
+
+    Rewrites
+
+    {v await(A[s]) : { do i = lo, hi { body(i) } enddo } v}
+
+    into
+
+    {v do i = lo, hi { await(A[s_i]) : { body(i) } } enddo v}
+
+    when every reference to [A] inside the body addresses the section
+    [s] narrowed to [At i] in dimensions where [s] had [*] — so each
+    iteration only needs its own slice to be accessible, at the price
+    of one guard evaluation per iteration (the trade-off experiment T2
+    measures). *)
+
+open Ir
+
+val run : program -> program

@@ -1,0 +1,22 @@
+(** Static well-formedness checks on IL+XDP programs.
+
+    XDP is deliberately unsafe at run time (§2.5); these are the
+    checks a compiler can make cheaply before emitting code:
+    declaration and rank consistency, [await] restricted to guard
+    position (it blocks, so it is a synchronization primitive, not an
+    ordinary expression), positive constant loop steps where foldable,
+    and structural sanity of segment shapes.  Dynamic rules — matching
+    sends/receives, whole-segment ownership transfers, deadlock
+    freedom — are enforced or detected by the runtime. *)
+
+open Ir
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** All violations found (empty list = well-formed). *)
+val check : program -> error list
+
+(** @raise Invalid_argument listing all violations, if any. *)
+val check_exn : program -> unit

@@ -1,0 +1,1 @@
+lib/dist/dist.ml: Format List String Triplet Xdp_util

@@ -1,0 +1,1 @@
+lib/dist/grid.ml: Array Format Fun List

@@ -1,0 +1,1 @@
+lib/dist/layout.ml: Array Box Buffer Char Dist Format Fun Grid List Printf Triplet Xdp_util

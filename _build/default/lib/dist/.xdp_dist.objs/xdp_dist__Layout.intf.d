@@ -1,0 +1,1 @@
+lib/dist/layout.mli: Box Dist Format Grid Triplet Xdp_util

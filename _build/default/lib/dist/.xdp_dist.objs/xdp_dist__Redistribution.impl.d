@@ -1,0 +1,1 @@
+lib/dist/redistribution.ml: Box Format Fun Layout List Xdp_util

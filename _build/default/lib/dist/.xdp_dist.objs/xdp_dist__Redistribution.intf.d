@@ -1,0 +1,1 @@
+lib/dist/redistribution.mli: Box Format Layout Xdp_util

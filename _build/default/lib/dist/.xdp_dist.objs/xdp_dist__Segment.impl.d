@@ -1,0 +1,1 @@
+lib/dist/segment.ml: Box Buffer Char Dist Format Layout List Printf Triplet Xdp_util

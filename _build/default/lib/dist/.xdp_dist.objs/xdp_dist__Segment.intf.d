@@ -1,0 +1,1 @@
+lib/dist/segment.mli: Box Format Layout Xdp_util

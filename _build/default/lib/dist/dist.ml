@@ -1,0 +1,63 @@
+open Xdp_util
+
+type t = Star | Block | Cyclic | Block_cyclic of int
+
+let distributed = function Star -> false | _ -> true
+let block_size ~extent ~procs = (extent + procs - 1) / procs
+
+let owner_coord t ~extent ~procs i =
+  if i < 1 || i > extent then invalid_arg "Dist.owner_coord: index range";
+  match t with
+  | Star -> invalid_arg "Dist.owner_coord: Star dimension has no owner axis"
+  | Block -> (i - 1) / block_size ~extent ~procs
+  | Cyclic -> (i - 1) mod procs
+  | Block_cyclic m ->
+      if m <= 0 then invalid_arg "Dist: CYCLIC(m) needs m > 0";
+      (i - 1) / m mod procs
+
+let owned_triplets t ~extent ~procs c =
+  match t with
+  | Star -> [ Triplet.range 1 extent ]
+  | Block ->
+      let b = block_size ~extent ~procs in
+      let lo = (c * b) + 1 and hi = min extent ((c + 1) * b) in
+      if lo > hi then [] else [ Triplet.range lo hi ]
+  | Cyclic ->
+      if c + 1 > extent then []
+      else [ Triplet.make ~lo:(c + 1) ~hi:extent ~stride:procs ]
+  | Block_cyclic m ->
+      if m <= 0 then invalid_arg "Dist: CYCLIC(m) needs m > 0";
+      let rec blocks lo acc =
+        if lo > extent then List.rev acc
+        else
+          let hi = min extent (lo + m - 1) in
+          blocks (lo + (m * procs)) (Triplet.range lo hi :: acc)
+      in
+      blocks ((c * m) + 1) []
+
+let pp ppf = function
+  | Star -> Format.fprintf ppf "*"
+  | Block -> Format.fprintf ppf "BLOCK"
+  | Cyclic -> Format.fprintf ppf "CYCLIC"
+  | Block_cyclic m -> Format.fprintf ppf "CYCLIC(%d)" m
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_string s =
+  match String.uppercase_ascii (String.trim s) with
+  | "*" -> Some Star
+  | "BLOCK" -> Some Block
+  | "CYCLIC" -> Some Cyclic
+  | s ->
+      let n = String.length s in
+      if n > 8 && String.sub s 0 7 = "CYCLIC(" && s.[n - 1] = ')' then
+        match int_of_string_opt (String.sub s 7 (n - 8)) with
+        | Some m when m > 0 -> Some (Block_cyclic m)
+        | _ -> None
+      else None
+
+let equal a b =
+  match (a, b) with
+  | Star, Star | Block, Block | Cyclic, Cyclic -> true
+  | Block_cyclic m, Block_cyclic n -> m = n
+  | _ -> false

@@ -1,0 +1,38 @@
+(** Per-dimension HPF-style distribution specifiers.
+
+    [Star] ("[*]" in the paper's notation) collapses a dimension: it is
+    not distributed, so every owning processor holds the full extent.
+    [Block], [Cyclic] and [Block_cyclic m] map a dimension onto one
+    processor-grid axis, exactly as in HPF v1 (the paper defers its
+    partitioning menu to HPF, §3). *)
+
+type t = Star | Block | Cyclic | Block_cyclic of int
+
+(** Is this dimension mapped to a grid axis? *)
+val distributed : t -> bool
+
+(** [owner_coord t ~extent ~procs i] — 0-based grid coordinate owning
+    global index [i] (1-based) in a dimension of [extent] distributed
+    over [procs] processors.  Meaningless (raises) for [Star]. *)
+val owner_coord : t -> extent:int -> procs:int -> int -> int
+
+(** [owned_triplets t ~extent ~procs c] — the global indices owned by
+    grid coordinate [c] along this dimension, as a minimal list of
+    disjoint ascending triplets:
+    - [Block]: one contiguous triplet;
+    - [Cyclic]: one strided triplet (stride [procs]);
+    - [Block_cyclic m]: one contiguous triplet per owned block;
+    - [Star]: the full extent. *)
+val owned_triplets :
+  t -> extent:int -> procs:int -> int -> Xdp_util.Triplet.t list
+
+(** Block size used by [Block]: [ceil(extent / procs)]. *)
+val block_size : extent:int -> procs:int -> int
+
+(** Parses/pretty-prints the HPF surface syntax: ["*"], ["BLOCK"],
+    ["CYCLIC"], ["CYCLIC(4)"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool

@@ -1,0 +1,46 @@
+type t = { shape : int array }
+
+let make = function
+  | [] -> invalid_arg "Grid.make: rank 0"
+  | shape ->
+      List.iter
+        (fun n -> if n <= 0 then invalid_arg "Grid.make: extent <= 0")
+        shape;
+      { shape = Array.of_list shape }
+
+let linear p = make [ p ]
+let shape t = Array.to_list t.shape
+let rank t = Array.length t.shape
+let nprocs t = Array.fold_left ( * ) 1 t.shape
+
+let coords t pid =
+  if pid < 0 || pid >= nprocs t then invalid_arg "Grid.coords: pid range";
+  let n = rank t in
+  let out = Array.make n 0 in
+  let rem = ref pid in
+  for a = n - 1 downto 0 do
+    out.(a) <- !rem mod t.shape.(a);
+    rem := !rem / t.shape.(a)
+  done;
+  Array.to_list out
+
+let pid t coords =
+  if List.length coords <> rank t then invalid_arg "Grid.pid: rank";
+  List.fold_left2
+    (fun acc c extent ->
+      if c < 0 || c >= extent then invalid_arg "Grid.pid: coord range";
+      (acc * extent) + c)
+    0 coords (shape t)
+
+let axis_extent t a =
+  if a < 0 || a >= rank t then invalid_arg "Grid.axis_extent: axis range";
+  t.shape.(a)
+
+let all_pids t = List.init (nprocs t) Fun.id
+
+let pp ppf t =
+  Format.fprintf ppf "%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "x")
+       Format.pp_print_int)
+    (shape t)

@@ -1,0 +1,35 @@
+(** Processor grids.
+
+    The paper's implementation assumes "a fixed, known processor grid"
+    (§3); ownership of distributed array dimensions is determined by
+    mapping each distributed dimension onto one grid axis.  Processor
+    ids are 0-based internally; the IL-level [mypid] intrinsic exposes
+    them 1-based, matching the paper's listings. *)
+
+type t
+
+(** [make shape] builds a grid with the given per-axis extents.
+    @raise Invalid_argument if any extent is [<= 0] or [shape] is []. *)
+val make : int list -> t
+
+(** [linear p] is the 1-axis grid of [p] processors. *)
+val linear : int -> t
+
+val shape : t -> int list
+val rank : t -> int
+
+(** Total number of processors. *)
+val nprocs : t -> int
+
+(** [coords t pid] — 0-based grid coordinates, row-major (last axis
+    fastest). @raise Invalid_argument if [pid] out of range. *)
+val coords : t -> int -> int list
+
+(** [pid t coords] — inverse of {!coords}. *)
+val pid : t -> int list -> int
+
+(** [axis_extent t a] — extent of 0-based axis [a]. *)
+val axis_extent : t -> int -> int
+
+val all_pids : t -> int list
+val pp : Format.formatter -> t -> unit

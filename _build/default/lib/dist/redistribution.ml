@@ -1,0 +1,46 @@
+open Xdp_util
+
+type move = { src : int; dst : int; box : Box.t }
+
+let plan ~src ~dst =
+  if Layout.shape src <> Layout.shape dst then
+    invalid_arg "Redistribution.plan: shape mismatch";
+  let moves = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d ->
+          if s <> d then
+            List.iter
+              (fun sbox ->
+                List.iter
+                  (fun dbox ->
+                    match Box.inter sbox dbox with
+                    | Some b when not (Box.is_empty b) ->
+                        moves := { src = s; dst = d; box = b } :: !moves
+                    | _ -> ())
+                  (Layout.owned_boxes dst d))
+              (Layout.owned_boxes src s))
+        (List.init (Layout.nprocs dst) Fun.id))
+    (List.init (Layout.nprocs src) Fun.id);
+  List.sort
+    (fun a b ->
+      match compare (a.src, a.dst) (b.src, b.dst) with
+      | 0 -> Box.compare a.box b.box
+      | c -> c)
+    !moves
+
+let volume moves =
+  List.fold_left (fun acc m -> acc + Box.count m.box) 0 moves
+
+let stationary ~src ~dst =
+  if Layout.shape src <> Layout.shape dst then
+    invalid_arg "Redistribution.stationary: shape mismatch";
+  Box.fold
+    (fun acc idx ->
+      if Layout.owner src idx = Layout.owner dst idx then acc + 1 else acc)
+    0 (Layout.full_box src)
+
+let pp_move ppf m =
+  Format.fprintf ppf "P%d -> P%d : %a (%d elems)" (m.src + 1) (m.dst + 1)
+    Box.pp m.box (Box.count m.box)

@@ -1,0 +1,26 @@
+(** Static redistribution planning between two layouts of one array.
+
+    Used by the compiler's redistribution generator (the §4 pattern
+    that turns a [( *, *, BLOCK)] array into [( *, BLOCK, * )]) and to
+    regenerate Figure 4's before/after maps.  A plan lists which
+    global sub-boxes must move between which processor pairs; elements
+    already on their new owner do not move. *)
+
+open Xdp_util
+
+type move = { src : int; dst : int; box : Box.t }
+
+(** [plan ~src ~dst] — the moves taking ownership from layout [src]
+    to layout [dst].  Both layouts must have the same shape (grids may
+    differ as long as total processor count matches the machine; the
+    caller checks that).  Moves are deterministic: sorted by
+    (src, dst, box). @raise Invalid_argument on shape mismatch. *)
+val plan : src:Layout.t -> dst:Layout.t -> move list
+
+(** Total elements moved by a plan. *)
+val volume : move list -> int
+
+(** Elements that stay put (same owner in both layouts). *)
+val stationary : src:Layout.t -> dst:Layout.t -> int
+
+val pp_move : Format.formatter -> move -> unit

@@ -1,0 +1,1 @@
+lib/runtime/evalexpr.ml: Box Hashtbl List Printf Triplet Value Xdp Xdp_sim Xdp_util

@@ -1,0 +1,1 @@
+lib/runtime/evalexpr.mli: Box Hashtbl Value Xdp Xdp_sim Xdp_util

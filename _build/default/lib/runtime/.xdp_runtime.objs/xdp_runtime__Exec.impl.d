@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Array Box Evalexpr Float Hashtbl List Printf String Tensor Value Xdp Xdp_dist Xdp_sim Xdp_symtab Xdp_util

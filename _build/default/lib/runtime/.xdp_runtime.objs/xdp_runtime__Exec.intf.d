@@ -1,0 +1,1 @@
+lib/runtime/exec.mli: Tensor Value Xdp Xdp_sim Xdp_symtab Xdp_util

@@ -1,0 +1,1 @@
+lib/runtime/seq.ml: Evalexpr Hashtbl List Tensor Value Xdp Xdp_dist Xdp_sim Xdp_util

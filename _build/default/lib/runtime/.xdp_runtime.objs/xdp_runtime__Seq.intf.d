@@ -1,0 +1,1 @@
+lib/runtime/seq.mli: Tensor Value Xdp Xdp_util

@@ -1,0 +1,1 @@
+lib/runtime/value.ml: Float Format Xdp

@@ -1,0 +1,120 @@
+open Xdp.Ir
+open Xdp_util
+
+exception Unowned_ref of string
+exception Blocked_on of string * Box.t
+
+type env = (string, Value.t) Hashtbl.t
+
+type hooks = {
+  mypid1 : int;
+  nprocs : int;
+  shape_of : string -> int list;
+  elem : string -> int list -> float;
+  iown : string -> Box.t -> bool;
+  accessible : string -> Box.t -> bool;
+  await : string -> Box.t -> bool;
+  mylb : string -> Box.t -> int -> int option;
+  myub : string -> Box.t -> int -> int option;
+  charge : float -> unit;
+  cm : Xdp_sim.Costmodel.t;
+}
+
+let lookup env v =
+  match Hashtbl.find_opt env v with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "unbound scalar variable %s" v)
+
+let rec eval h env e =
+  match e with
+  | Int n -> Value.VInt n
+  | Float x -> Value.VFloat x
+  | Bool b -> Value.VBool b
+  | Var v -> lookup env v
+  | Mypid -> Value.VInt h.mypid1
+  | Nprocs -> Value.VInt h.nprocs
+  | Elem (a, idxs) ->
+      let idx = List.map (eval_int h env) idxs in
+      h.charge h.cm.time_mem;
+      Value.VFloat (h.elem a idx)
+  | Bin (op, a, b) ->
+      (* [&&]/[||] short-circuit so that guards like
+         [iown(X) and accessible(X)] do not query past a failure. *)
+      h.charge h.cm.time_int_op;
+      (match op with
+      | And ->
+          if Value.to_bool (eval h env a) then eval h env b
+          else Value.VBool false
+      | Or ->
+          if Value.to_bool (eval h env a) then Value.VBool true
+          else eval h env b
+      | _ -> Value.binop op (eval h env a) (eval h env b))
+  | Un (op, a) ->
+      h.charge h.cm.time_int_op;
+      Value.unop op (eval h env a)
+  | Mylb (s, d) -> (
+      let box = resolve_section h env s in
+      match h.mylb s.arr box d with
+      | Some i -> Value.VInt i
+      | None -> Value.VInt max_int)
+  | Myub (s, d) -> (
+      let box = resolve_section h env s in
+      match h.myub s.arr box d with
+      | Some i -> Value.VInt i
+      | None -> Value.VInt min_int)
+  | Iown s ->
+      let box = resolve_section h env s in
+      Value.VBool (h.iown s.arr box)
+  | Accessible s ->
+      let box = resolve_section h env s in
+      Value.VBool (h.accessible s.arr box)
+  | Await s ->
+      let box = resolve_section h env s in
+      Value.VBool (h.await s.arr box)
+
+and eval_int h env e =
+  Value.to_int (eval h env e)
+
+and resolve_section h env s =
+  let shape = h.shape_of s.arr in
+  if List.length s.sel <> List.length shape then
+    invalid_arg
+      (Printf.sprintf "section %s: rank mismatch" (Xdp.Pp.section_to_string s));
+  let triplets =
+    List.map2
+      (fun sel extent ->
+        match sel with
+        | All -> Triplet.range 1 extent
+        | At e -> Triplet.point (eval_int h env e)
+        | Slice (lo, hi, st) ->
+            Triplet.make ~lo:(eval_int h env lo) ~hi:(eval_int h env hi)
+              ~stride:(eval_int h env st))
+      s.sel shape
+  in
+  Box.make triplets
+
+let eval_guard h env g =
+  h.charge h.cm.time_guard;
+  try Value.to_bool (eval h env g) with Unowned_ref _ -> false
+
+let sequential_hooks ~shape_of ~elem ~cm =
+  let full name box d =
+    ignore name;
+    Some (Triplet.first (Box.dim box d))
+  and full_ub name box d =
+    ignore name;
+    Some (Triplet.last (Box.dim box d))
+  in
+  {
+    mypid1 = 1;
+    nprocs = 1;
+    shape_of;
+    elem;
+    iown = (fun _ _ -> true);
+    accessible = (fun _ _ -> true);
+    await = (fun _ _ -> true);
+    mylb = full;
+    myub = full_ub;
+    charge = (fun _ -> ());
+    cm;
+  }

@@ -1,0 +1,61 @@
+(** The shared IL expression evaluator, parameterized over the data
+    and ownership oracle of its host interpreter.
+
+    Both the sequential reference interpreter ({!Seq}) and the SPMD
+    executor ({!Exec}) evaluate expressions with these rules; they
+    differ only in their {!hooks}:
+
+    - a reference to the {e value} of an unowned element raises
+      {!Unowned_ref}; {!eval_guard} catches it and makes the whole
+      compute rule false (paper §2.4), while ordinary evaluation
+      propagates it as a hard error (values may only be used when
+      owned, §2.1);
+    - [await] on a transitional section raises {!Blocked_on}, which
+      the SPMD executor turns into a blocked processor (sequentially
+      everything is accessible, so it never escapes);
+    - [mylb]/[myub] map "no element owned" to MAXINT/MININT as in
+      Figure 1. *)
+
+open Xdp.Ir
+open Xdp_util
+
+exception Unowned_ref of string
+exception Blocked_on of string * Box.t
+
+type env = (string, Value.t) Hashtbl.t
+
+type hooks = {
+  mypid1 : int;  (** 1-based pid of the evaluating processor *)
+  nprocs : int;
+  shape_of : string -> int list;
+  elem : string -> int list -> float;
+  iown : string -> Box.t -> bool;
+  accessible : string -> Box.t -> bool;
+  await : string -> Box.t -> bool;
+      (** false when unowned; raises [Blocked_on] when transitional *)
+  mylb : string -> Box.t -> int -> int option;
+  myub : string -> Box.t -> int -> int option;
+  charge : float -> unit;  (** accumulate simulated cycles *)
+  cm : Xdp_sim.Costmodel.t;
+}
+
+val eval : hooks -> env -> expr -> Value.t
+
+(** Evaluate a subscript expression to an integer index. *)
+val eval_int : hooks -> env -> expr -> int
+
+(** Resolve a section to its concrete index box under the current
+    environment (All selectors take the declared extent). *)
+val resolve_section : hooks -> env -> section -> Box.t
+
+(** Compute-rule evaluation: [Unowned_ref] inside the rule makes it
+    false; [Blocked_on] propagates (the caller blocks). *)
+val eval_guard : hooks -> env -> expr -> bool
+
+(** Hooks for a sequential machine that owns everything (used by
+    {!Seq} and available for testing). *)
+val sequential_hooks :
+  shape_of:(string -> int list) ->
+  elem:(string -> int list -> float) ->
+  cm:Xdp_sim.Costmodel.t ->
+  hooks

@@ -1,0 +1,565 @@
+open Xdp.Ir
+open Xdp_util
+module Symtab = Xdp_symtab.Symtab
+module State = Xdp_symtab.State
+module Board = Xdp_sim.Board
+module Costmodel = Xdp_sim.Costmodel
+module Trace = Xdp_sim.Trace
+
+exception Deadlock of string
+exception Xdp_misuse of string
+
+type frame =
+  | Stmts of stmt list
+  | Loop of {
+      var : string;
+      mutable cur : int;
+      hi : int;
+      step : int;
+      body : stmt list;
+    }
+
+type blocked = { on_name : string; on_box : Box.t; retry : stmt }
+
+type proc = {
+  pid : int; (* 0-based *)
+  env : Evalexpr.env;
+  st : Symtab.t;
+  mutable stack : frame list;
+  mutable clock : float;
+  mutable busy : float;
+  mutable status : [ `Ready | `Blocked of blocked | `Done ];
+  mutable guard_evals : int;
+  mutable guard_hits : int;
+  mutable stmts_executed : int;
+}
+
+type pending = { p_kind : Board.kind; p_into : string * Box.t }
+
+type result = {
+  arrays : (string * Tensor.t) list;
+  stats : Trace.stats;
+  trace : Trace.t;
+  symtabs : Symtab.t array;
+}
+
+let array r name =
+  match List.assoc_opt name r.arrays with
+  | Some t -> t
+  | None -> invalid_arg ("Exec.array: no array " ^ name)
+
+let section_name arr box = arr ^ Box.to_string box
+
+let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
+    ?(init = fun _ _ -> 0.0) ?(scalars = []) ?(trace = false)
+    ?(free_on_release = true) ?(max_steps = 20_000_000) ~nprocs
+    (p : program) =
+  if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
+  List.iter
+    (fun d ->
+      let np = Xdp_dist.Layout.nprocs d.layout in
+      if np <> nprocs then
+        invalid_arg
+          (Printf.sprintf
+             "Exec.run: array %s is laid out over %d processors but the \
+              machine has %d"
+             d.arr_name np nprocs))
+    p.decls;
+  Xdp.Wf.check_exn p;
+  let tr = Trace.create ~enabled:trace in
+  let board = Board.create cost in
+  let ownership_transfers = ref 0 in
+  let total_steps = ref 0 in
+  let pending : (int, int * pending) Hashtbl.t = Hashtbl.create 64 in
+  let token_counter = ref 0 in
+  let fresh_token () =
+    incr token_counter;
+    !token_counter
+  in
+  let procs =
+    Array.init nprocs (fun pid ->
+        let st = Symtab.create ~pid ~free_on_release () in
+        List.iter
+          (fun d ->
+            (if d.universal then
+               Symtab.declare_universal st ~name:d.arr_name
+                 ~shape:(Xdp_dist.Layout.shape d.layout)
+             else
+               Symtab.declare st ~name:d.arr_name ~layout:d.layout
+                 ~seg_shape:d.seg_shape);
+            List.iter
+              (fun (s : Symtab.seg) ->
+                match s.data with
+                | None -> ()
+                | Some data ->
+                    let i = ref 0 in
+                    Box.iter
+                      (fun idx ->
+                        data.(!i) <- init d.arr_name idx;
+                        incr i)
+                      s.seg_box)
+              (Symtab.segments st d.arr_name))
+          p.decls;
+        let env = Hashtbl.create 16 in
+        List.iter (fun (v, x) -> Hashtbl.replace env v x) scalars;
+        {
+          pid;
+          env;
+          st;
+          stack = [ Stmts p.body ];
+          clock = 0.0;
+          busy = 0.0;
+          status = `Ready;
+          guard_evals = 0;
+          guard_hits = 0;
+          stmts_executed = 0;
+        })
+  in
+  let shape_of name = Xdp_dist.Layout.shape (decl_of p name).layout in
+  let hooks_of pr =
+    let charge c =
+      pr.clock <- pr.clock +. c;
+      pr.busy <- pr.busy +. c
+    in
+    let charged_desc f name box =
+      let before = Symtab.descriptor_visits pr.st in
+      let r = f name box in
+      let visited = Symtab.descriptor_visits pr.st - before in
+      charge (float_of_int visited *. cost.time_desc);
+      r
+    in
+    {
+      Evalexpr.mypid1 = pr.pid + 1;
+      nprocs;
+      shape_of;
+      elem =
+        (fun name idx ->
+          if not (Symtab.iown pr.st name (Box.point idx)) then
+            raise (Evalexpr.Unowned_ref (section_name name (Box.point idx)))
+          else Symtab.get pr.st name idx);
+      iown = charged_desc (Symtab.iown pr.st);
+      accessible = charged_desc (Symtab.accessible pr.st);
+      await =
+        (fun name box ->
+          match charged_desc (Symtab.section_state pr.st) name box with
+          | State.Unowned -> false
+          | State.Accessible -> true
+          | State.Transitional -> raise (Evalexpr.Blocked_on (name, box)));
+      mylb = (fun name box d -> Symtab.mylb pr.st name box d);
+      myub = (fun name box d -> Symtab.myub pr.st name box d);
+      charge;
+      cm = cost;
+    }
+  in
+  let misuse pr fmt =
+    Printf.ksprintf
+      (fun s ->
+        raise
+          (Xdp_misuse
+             (Printf.sprintf "P%d at t=%.1f in %s: %s" (pr.pid + 1) pr.clock
+                p.prog_name s)))
+      fmt
+  in
+  let send_ownership pr (s : section) ~with_value =
+    let h = hooks_of pr in
+    let box = Evalexpr.resolve_section h pr.env s in
+    (match Symtab.section_state pr.st s.arr box with
+    | State.Unowned ->
+        misuse pr "ownership send of unowned section %s"
+          (section_name s.arr box)
+    | State.Transitional ->
+        (* Owner sends block until the section is accessible. *)
+        raise (Evalexpr.Blocked_on (s.arr, box))
+    | State.Accessible -> ());
+    let payload =
+      if with_value then Symtab.read_box pr.st s.arr box else [||]
+    in
+    let released = Symtab.release pr.st s.arr box in
+    let nsegs = List.length released in
+    incr ownership_transfers;
+    h.Evalexpr.charge
+      (cost.time_send_init
+      +. (float_of_int nsegs *. cost.time_owner_admin)
+      +. (float_of_int (Array.length payload) *. cost.time_mem));
+    let kind = if with_value then Board.Owner_value else Board.Owner in
+    let name = section_name s.arr box in
+    Trace.emit tr
+      (Trace.Send_init
+         {
+           time = pr.clock;
+           pid = pr.pid;
+           name;
+           kind = Board.kind_to_string kind;
+         });
+    Board.post_send board ~time:pr.clock ~src:pr.pid ~name ~kind ~payload
+      ~directed:None
+  in
+  let recv_ownership pr (s : section) ~with_value =
+    let h = hooks_of pr in
+    let box = Evalexpr.resolve_section h pr.env s in
+    (match Symtab.section_state pr.st s.arr box with
+    | State.Unowned -> ()
+    | State.Accessible | State.Transitional ->
+        misuse pr
+          "ownership receive of section %s some element of which is \
+           already owned"
+          (section_name s.arr box));
+    Symtab.expect_ownership pr.st s.arr box;
+    let token = fresh_token () in
+    let kind = if with_value then Board.Owner_value else Board.Owner in
+    Hashtbl.replace pending token
+      (pr.pid, { p_kind = kind; p_into = (s.arr, box) });
+    h.Evalexpr.charge (cost.time_recv_init +. cost.time_owner_admin);
+    let name = section_name s.arr box in
+    Trace.emit tr
+      (Trace.Recv_init
+         {
+           time = pr.clock;
+           pid = pr.pid;
+           name;
+           kind = Board.kind_to_string kind;
+         });
+    Board.post_recv board ~time:pr.clock ~dst:pr.pid ~name ~kind ~token
+  in
+  (* Execute one statement; raises Evalexpr.Blocked_on to request a
+     retry once the named section becomes accessible. *)
+  let exec_stmt pr s =
+    let h = hooks_of pr in
+    let charge = h.Evalexpr.charge in
+    match s with
+    | Assign (Lvar v, e) ->
+        let x =
+          try Evalexpr.eval h pr.env e
+          with Evalexpr.Unowned_ref n ->
+            misuse pr "read of unowned %s outside a compute rule" n
+        in
+        charge cost.time_mem;
+        Hashtbl.replace pr.env v x
+    | Assign (Lelem (a, idxs), e) ->
+        let idx = List.map (Evalexpr.eval_int h pr.env) idxs in
+        if not (Symtab.iown pr.st a (Box.point idx)) then
+          misuse pr "write to unowned element %s"
+            (section_name a (Box.point idx));
+        let x =
+          try Value.to_float (Evalexpr.eval h pr.env e)
+          with Evalexpr.Unowned_ref n ->
+            misuse pr "read of unowned %s outside a compute rule" n
+        in
+        charge cost.time_mem;
+        Symtab.set pr.st a idx x
+    | Guard (g, body) -> (
+        pr.guard_evals <- pr.guard_evals + 1;
+        match Evalexpr.eval_guard h pr.env g with
+        | true ->
+            pr.guard_hits <- pr.guard_hits + 1;
+            pr.stack <- Stmts body :: pr.stack
+        | false -> ())
+    | For { var; lo; hi; step; body; _ } ->
+        let lo = Evalexpr.eval_int h pr.env lo in
+        let hi = Evalexpr.eval_int h pr.env hi in
+        let step = Evalexpr.eval_int h pr.env step in
+        if step <= 0 then misuse pr "non-positive loop step";
+        charge cost.time_int_op;
+        if lo <= hi then
+          pr.stack <- Loop { var; cur = lo; hi; step; body } :: pr.stack
+    | If (c, a, b) ->
+        let v =
+          try Value.to_bool (Evalexpr.eval h pr.env c)
+          with Evalexpr.Unowned_ref n ->
+            misuse pr "read of unowned %s in if-condition" n
+        in
+        pr.stack <- Stmts (if v then a else b) :: pr.stack
+    | Send_value (s, dest) ->
+        let box = Evalexpr.resolve_section h pr.env s in
+        if not (Symtab.iown pr.st s.arr box) then
+          misuse pr "value send of unowned section %s"
+            (section_name s.arr box);
+        let payload = Symtab.read_box pr.st s.arr box in
+        let directed =
+          match dest with
+          | Unspecified -> None
+          | Directed es ->
+              Some
+                (List.map
+                   (fun e ->
+                     let pid1 = Evalexpr.eval_int h pr.env e in
+                     if pid1 < 1 || pid1 > nprocs then
+                       misuse pr "send directed to invalid processor %d"
+                         pid1;
+                     pid1 - 1)
+                   es)
+        in
+        charge
+          (cost.time_send_init
+          +. (float_of_int (Array.length payload) *. cost.time_mem));
+        let name = section_name s.arr box in
+        Trace.emit tr
+          (Trace.Send_init
+             { time = pr.clock; pid = pr.pid; name; kind = "value" });
+        Board.post_send board ~time:pr.clock ~src:pr.pid ~name
+          ~kind:Board.Value ~payload ~directed
+    | Send_owner s -> send_ownership pr s ~with_value:false
+    | Send_owner_value s -> send_ownership pr s ~with_value:true
+    | Recv_value { into; from } ->
+        let into_box = Evalexpr.resolve_section h pr.env into in
+        let from_box = Evalexpr.resolve_section h pr.env from in
+        if not (Symtab.iown pr.st into.arr into_box) then
+          misuse pr "receive into unowned section %s"
+            (section_name into.arr into_box);
+        if not (Symtab.accessible pr.st into.arr into_box) then
+          (* Blocks until the destination is accessible (Figure 1). *)
+          raise (Evalexpr.Blocked_on (into.arr, into_box));
+        if Box.count into_box <> Box.count from_box then
+          misuse pr "receive shape mismatch: %s <- %s"
+            (section_name into.arr into_box)
+            (section_name from.arr from_box);
+        Symtab.mark_recv_init pr.st into.arr into_box;
+        let token = fresh_token () in
+        Hashtbl.replace pending token
+          (pr.pid, { p_kind = Board.Value; p_into = (into.arr, into_box) });
+        charge cost.time_recv_init;
+        let name = section_name from.arr from_box in
+        Trace.emit tr
+          (Trace.Recv_init
+             { time = pr.clock; pid = pr.pid; name; kind = "value" });
+        Board.post_recv board ~time:pr.clock ~dst:pr.pid ~name
+          ~kind:Board.Value ~token
+    | Recv_owner s -> recv_ownership pr s ~with_value:false
+    | Recv_owner_value s -> recv_ownership pr s ~with_value:true
+    | Apply { fn; args } -> (
+        match Xdp.Kernels.find kernels fn with
+        | None -> misuse pr "unknown kernel %s" fn
+        | Some k ->
+            let boxes = List.map (Evalexpr.resolve_section h pr.env) args in
+            List.iter2
+              (fun (s : section) box ->
+                if not (Symtab.iown pr.st s.arr box) then
+                  misuse pr "kernel %s applied to unowned section %s" fn
+                    (section_name s.arr box))
+              args boxes;
+            let bufs =
+              List.map2
+                (fun (s : section) b -> Symtab.read_box pr.st s.arr b)
+                args boxes
+            in
+            let flops = k.flops bufs in
+            k.apply bufs;
+            List.iter2
+              (fun ((s : section), b) buf -> Symtab.write_box pr.st s.arr b buf)
+              (List.combine args boxes)
+              bufs;
+            let total_elems =
+              List.fold_left (fun acc b -> acc + Box.count b) 0 boxes
+            in
+            charge
+              ((flops *. cost.time_flop)
+              +. (2.0 *. float_of_int total_elems *. cost.time_mem)))
+  in
+  (* One scheduler step of processor [pr]: pop and run the next
+     statement, handling loops and blocking. *)
+  let step_proc pr =
+    match pr.stack with
+    | [] -> pr.status <- `Done
+    | Stmts [] :: rest -> pr.stack <- rest
+    | Stmts (s :: rest) :: frames -> (
+        pr.stack <- Stmts rest :: frames;
+        incr total_steps;
+        pr.stmts_executed <- pr.stmts_executed + 1;
+        if !total_steps > max_steps then
+          raise
+            (Xdp_misuse
+               (Printf.sprintf "step budget exceeded (%d)" max_steps));
+        try exec_stmt pr s
+        with Evalexpr.Blocked_on (name, box) ->
+          (* Undo the pop; retry the statement when accessible. *)
+          pr.stack <- Stmts (s :: rest) :: frames;
+          pr.status <- `Blocked { on_name = name; on_box = box; retry = s };
+          Trace.emit tr
+            (Trace.Blocked
+               {
+                 time = pr.clock;
+                 pid = pr.pid;
+                 on = section_name name box;
+               }))
+    | Loop l :: rest ->
+        if l.cur > l.hi then pr.stack <- rest
+        else begin
+          Hashtbl.replace pr.env l.var (Value.VInt l.cur);
+          l.cur <- l.cur + l.step;
+          pr.clock <- pr.clock +. cost.time_int_op;
+          pr.busy <- pr.busy +. cost.time_int_op;
+          pr.stack <- Stmts l.body :: Loop l :: rest
+        end
+  in
+  let apply_delivery (d : Board.delivery) =
+    let pr = procs.(d.dst) in
+    let _, pend =
+      match Hashtbl.find_opt pending d.token with
+      | Some x -> x
+      | None ->
+          raise
+            (Xdp_misuse
+               (Printf.sprintf "delivery with unknown token for %s" d.name))
+    in
+    Hashtbl.remove pending d.token;
+    let arr, box = pend.p_into in
+    (match pend.p_kind with
+    | Board.Value ->
+        Symtab.write_box pr.st arr box d.payload;
+        Symtab.mark_recv_complete pr.st arr box
+    | Board.Owner -> Symtab.accept_ownership pr.st arr box None
+    | Board.Owner_value ->
+        Symtab.accept_ownership pr.st arr box (Some d.payload));
+    Trace.emit tr
+      (Trace.Delivered
+         {
+           time = d.arrival;
+           src = d.src;
+           dst = d.dst;
+           name = d.name;
+           kind = Board.kind_to_string d.kind;
+           bytes = d.bytes;
+         });
+    (* Wake any processor whose blocking condition this satisfies. *)
+    Array.iter
+      (fun pr ->
+        match pr.status with
+        | `Blocked b
+          when Symtab.accessible pr.st b.on_name b.on_box ->
+            pr.status <- `Ready;
+            pr.clock <- Float.max pr.clock d.arrival;
+            Trace.emit tr (Trace.Unblocked { time = pr.clock; pid = pr.pid })
+        | _ -> ())
+      procs
+  in
+  (* Main discrete-event loop. *)
+  let rec loop () =
+    let ready =
+      Array.fold_left
+        (fun acc pr ->
+          match pr.status with
+          | `Ready -> (
+              match acc with
+              | Some best
+                when (best.clock, best.pid) <= (pr.clock, pr.pid) ->
+                  acc
+              | _ -> Some pr)
+          | _ -> acc)
+        None procs
+    in
+    let next_delivery = Board.peek_delivery board in
+    match (ready, next_delivery) with
+    | Some pr, Some d when d.arrival <= pr.clock ->
+        ignore (Board.pop_delivery board);
+        apply_delivery d;
+        loop ()
+    | Some pr, _ ->
+        step_proc pr;
+        loop ()
+    | None, Some d ->
+        ignore (Board.pop_delivery board);
+        apply_delivery d;
+        loop ()
+    | None, None ->
+        let blocked =
+          Array.to_list procs
+          |> List.filter_map (fun pr ->
+                 match pr.status with
+                 | `Blocked b ->
+                     Some
+                       (Printf.sprintf "P%d waits on %s" (pr.pid + 1)
+                          (section_name b.on_name b.on_box))
+                 | _ -> None)
+        in
+        if blocked <> [] then
+          raise
+            (Deadlock
+               (Printf.sprintf
+                  "%s: all processors blocked or done with no messages in \
+                   flight:\n%s\npending sends: %d, pending recvs: %d"
+                  p.prog_name
+                  (String.concat "\n" blocked)
+                  (List.length (Board.pending_sends board))
+                  (List.length (Board.pending_recvs board))
+               ^ Printf.sprintf "\nsends: %s\nrecvs: %s"
+                   (String.concat "; "
+                      (List.map
+                         (fun (n, _, src) -> Printf.sprintf "%s from P%d" n (src + 1))
+                         (Board.pending_sends board)))
+                   (String.concat "; "
+                      (List.map
+                         (fun (n, _, dst) -> Printf.sprintf "%s by P%d" n (dst + 1))
+                         (Board.pending_recvs board)))))
+  in
+  loop ();
+  (* Gather distributed arrays into global tensors. *)
+  let arrays =
+    List.map
+      (fun d ->
+        let shape = Xdp_dist.Layout.shape d.layout in
+        let t = Tensor.create shape in
+        (* universal arrays may diverge per processor; gather P1's copy
+           by convention *)
+        let sources = if d.universal then [| procs.(0) |] else procs in
+        Array.iter
+          (fun pr ->
+            List.iter
+              (fun (s : Symtab.seg) ->
+                match (s.status, s.data) with
+                | State.Unowned, _ | _, None -> ()
+                | _, Some data ->
+                    let i = ref 0 in
+                    Box.iter
+                      (fun idx ->
+                        Tensor.set t idx data.(!i);
+                        incr i)
+                      s.seg_box)
+              (Symtab.segments pr.st d.arr_name))
+          sources;
+        (d.arr_name, t))
+      p.decls
+  in
+  let makespan =
+    Array.fold_left (fun acc pr -> Float.max acc pr.clock) 0.0 procs
+  in
+  let stats =
+    {
+      Trace.makespan;
+      messages = Board.messages_matched board;
+      bytes = Board.bytes_matched board;
+      ownership_transfers = !ownership_transfers;
+      guard_evals =
+        Array.fold_left (fun acc pr -> acc + pr.guard_evals) 0 procs;
+      guard_hits =
+        Array.fold_left (fun acc pr -> acc + pr.guard_hits) 0 procs;
+      busy = Array.map (fun pr -> pr.busy) procs;
+      finish = Array.map (fun pr -> pr.clock) procs;
+      peak_storage = Array.map (fun pr -> Symtab.peak_elements pr.st) procs;
+      statements = !total_steps;
+      unmatched_sends = List.length (Board.pending_sends board);
+      unmatched_recvs = List.length (Board.pending_recvs board);
+    }
+  in
+  { arrays; stats; trace = tr; symtabs = Array.map (fun pr -> pr.st) procs }
+
+let ownership_defects r (p : program) =
+  let unowned = ref 0 and multi = ref 0 in
+  List.iter
+    (fun d ->
+      if d.universal then ()
+      else
+      let full = Box.of_shape (Xdp_dist.Layout.shape d.layout) in
+      Box.iter
+        (fun idx ->
+          let owners =
+            Array.fold_left
+              (fun acc st ->
+                if Symtab.iown st d.arr_name (Box.point idx) then acc + 1
+                else acc)
+              0 r.symtabs
+          in
+          if owners = 0 then incr unowned
+          else if owners > 1 then incr multi)
+        full)
+    p.decls;
+  (!unowned, !multi)

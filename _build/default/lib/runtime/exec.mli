@@ -1,0 +1,62 @@
+(** The SPMD machine executor: runs an IL+XDP program on P simulated
+    processors (the operational semantics of Figure 1).
+
+    Every processor executes the same program (SPMD); compute rules
+    select statements per processor.  Execution is a deterministic
+    discrete-event simulation: each processor has a local clock
+    charged per the machine {!Xdp_sim.Costmodel}; transfer statements
+    post to the rendezvous {!Xdp_sim.Board}; a processor that must
+    wait (an [await] on a transitional section, an ownership send of a
+    transitional section, a receive into a transitional section)
+    blocks until the completing delivery arrives, at which point its
+    clock advances to the arrival time.  The scheduler always steps
+    the runnable processor with the smallest (clock, pid) and applies
+    deliveries in arrival order, so identical inputs give identical
+    traces.
+
+    XDP's unsafety is preserved: reading a {e transitional} section is
+    not checked (you get the bytes that are there); reading the value
+    of an {e unowned} element outside a compute rule, writing an
+    unowned element, sending a section you do not own, or transferring
+    ownership of a partial segment are diagnosed as {!Xdp_misuse} —
+    these are exactly the obligations the paper places on the
+    compiler.  If every processor is blocked and nothing is in flight,
+    {!Deadlock} is raised with a description of who waits on what. *)
+
+open Xdp_util
+
+exception Deadlock of string
+exception Xdp_misuse of string
+
+type result = {
+  arrays : (string * Tensor.t) list;  (** gathered global arrays *)
+  stats : Xdp_sim.Trace.stats;
+  trace : Xdp_sim.Trace.t;
+  symtabs : Xdp_symtab.Symtab.t array;  (** final per-processor tables *)
+}
+
+val run :
+  ?cost:Xdp_sim.Costmodel.t ->
+  ?kernels:Xdp.Kernels.registry ->
+  ?init:(string -> int list -> float) ->
+  ?scalars:(string * Value.t) list ->
+  ?trace:bool ->
+  ?free_on_release:bool ->
+  ?max_steps:int ->
+  nprocs:int ->
+  Xdp.Ir.program ->
+  result
+(** [run ~nprocs p] — execute [p] on [nprocs] processors.  [init]
+    seeds every owned element (applied identically by {!Seq}, enabling
+    bit-for-bit verification); [scalars] preloads universal scalars on
+    every processor; [trace] records an event log; [free_on_release]
+    (default true) controls storage reuse on ownership sends
+    (experiment T6); [max_steps] bounds total executed statements
+    (default 20,000,000). *)
+
+val array : result -> string -> Tensor.t
+
+(** Elements of declared arrays owned by nobody / by several
+    processors after the run ([(unowned, multiply_owned)] counts) —
+    both should be zero for a correct program; checked by tests. *)
+val ownership_defects : result -> Xdp.Ir.program -> int * int

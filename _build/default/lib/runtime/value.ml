@@ -1,0 +1,80 @@
+type t = VInt of int | VFloat of float | VBool of bool
+
+let pp ppf = function
+  | VInt n -> Format.fprintf ppf "%d" n
+  | VFloat x -> Format.fprintf ppf "%g" x
+  | VBool b -> Format.fprintf ppf "%b" b
+
+let to_string v = Format.asprintf "%a" pp v
+
+let to_int = function
+  | VInt n -> n
+  | v -> invalid_arg ("Value.to_int: " ^ to_string v)
+
+let to_float = function
+  | VInt n -> float_of_int n
+  | VFloat x -> x
+  | v -> invalid_arg ("Value.to_float: " ^ to_string v)
+
+let to_bool = function
+  | VBool b -> b
+  | v -> invalid_arg ("Value.to_bool: " ^ to_string v)
+
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VBool x, VBool y -> x = y
+  | (VFloat _ | VInt _), (VFloat _ | VInt _) -> to_float a = to_float b
+  | _ -> false
+
+open Xdp.Ir
+
+let arith fi ff a b =
+  match (a, b) with
+  | VInt x, VInt y -> VInt (fi x y)
+  | (VInt _ | VFloat _), (VInt _ | VFloat _) ->
+      VFloat (ff (to_float a) (to_float b))
+  | _ -> invalid_arg "Value: arithmetic on booleans"
+
+let cmp f a b =
+  match (a, b) with
+  | VInt x, VInt y -> VBool (f (compare x y) 0)
+  | (VInt _ | VFloat _), (VInt _ | VFloat _) ->
+      VBool (f (compare (to_float a) (to_float b)) 0)
+  | VBool x, VBool y -> VBool (f (compare x y) 0)
+  | _ -> invalid_arg "Value: comparison of mixed types"
+
+let binop op a b =
+  match op with
+  | Add -> arith ( + ) ( +. ) a b
+  | Sub -> arith ( - ) ( -. ) a b
+  | Mul -> arith ( * ) ( *. ) a b
+  | Div -> (
+      match (a, b) with
+      | VInt _, VInt 0 -> invalid_arg "Value: integer division by zero"
+      | VInt x, VInt y -> VInt (x / y)
+      | _ -> VFloat (to_float a /. to_float b))
+  | Mod -> (
+      match (a, b) with
+      | VInt _, VInt 0 -> invalid_arg "Value: modulo by zero"
+      | VInt x, VInt y -> VInt (x mod y)
+      | _ -> invalid_arg "Value: modulo of non-integers")
+  | Min -> arith min Float.min a b
+  | Max -> arith max Float.max a b
+  | Eq -> cmp ( = ) a b
+  | Ne -> cmp ( <> ) a b
+  | Lt -> cmp ( < ) a b
+  | Le -> cmp ( <= ) a b
+  | Gt -> cmp ( > ) a b
+  | Ge -> cmp ( >= ) a b
+  | And -> VBool (to_bool a && to_bool b)
+  | Or -> VBool (to_bool a || to_bool b)
+
+let unop op a =
+  match op with
+  | Neg -> (
+      match a with
+      | VInt n -> VInt (-n)
+      | VFloat x -> VFloat (-.x)
+      | VBool _ -> invalid_arg "Value: negation of boolean")
+  | Not -> VBool (not (to_bool a))

@@ -1,0 +1,18 @@
+(** Scalar run-time values of the IL.
+
+    Universal (replicated) scalars and expression results are ints,
+    floats or booleans; array elements are always floats.  Mixed
+    int/float arithmetic promotes to float, as in Fortran. *)
+
+type t = VInt of int | VFloat of float | VBool of bool
+
+val to_int : t -> int
+(** @raise Invalid_argument on non-integer values (floats are not
+    silently truncated: subscripts must be integers). *)
+
+val to_float : t -> float
+val to_bool : t -> bool
+val binop : Xdp.Ir.binop -> t -> t -> t
+val unop : Xdp.Ir.unop -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/board.ml: Array Costmodel Float Hashtbl List Option Printf

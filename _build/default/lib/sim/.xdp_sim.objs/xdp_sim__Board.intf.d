@@ -1,0 +1,1 @@
+lib/sim/board.mli: Costmodel

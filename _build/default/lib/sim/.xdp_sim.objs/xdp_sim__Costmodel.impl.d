@@ -1,0 +1,1 @@
+lib/sim/costmodel.ml: Format Printf

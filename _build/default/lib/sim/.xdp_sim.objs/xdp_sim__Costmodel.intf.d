@@ -1,0 +1,1 @@
+lib/sim/costmodel.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Array Buffer List Printf String Trace

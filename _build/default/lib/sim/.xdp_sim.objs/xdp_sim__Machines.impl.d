@@ -1,0 +1,1 @@
+lib/sim/machines.ml: Costmodel List Option String

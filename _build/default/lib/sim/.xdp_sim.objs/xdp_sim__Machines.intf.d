@@ -1,0 +1,1 @@
+lib/sim/machines.mli: Costmodel

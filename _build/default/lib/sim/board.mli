@@ -1,0 +1,82 @@
+(** The rendezvous board: name-matched message transport.
+
+    XDP sends carry the {e name} of a section (the paper's footnote 2:
+    the name is the tag that associates a send with a receive) and may
+    leave the destination unspecified; receives name the section they
+    expect.  The board matches them FIFO on (name, kind):
+
+    - an {e undirected} send matches the earliest pending receive of
+      that name anywhere (this is what lets several idle processors
+      race to receive work in the §2.7 load-balancing pattern);
+    - a {e directed} send ([E -> S]) matches only receives posted by
+      the named destinations (one message per destination);
+    - a receive matches the earliest eligible send.
+
+    Matching a send and a receive of different kinds (value vs
+    ownership) is the paper's "incorrect usage"; the board raises
+    {!Mismatch} instead of producing unpredictable results, since the
+    compiler is required to generate matching pairs.
+
+    A matched pair becomes a {e delivery} with arrival time
+    [max(send_time + alpha + beta*bytes, recv_time)]; deliveries are
+    consumed by the executor in (arrival, sequence) order, which keeps
+    simulation deterministic. *)
+
+type kind = Value | Owner | Owner_value
+
+exception Mismatch of string
+
+type delivery = {
+  arrival : float;
+  seq : int;         (** global tie-break sequence *)
+  src : int;
+  dst : int;
+  name : string;
+  kind : kind;
+  payload : float array;  (** packed section values; empty for [Owner] *)
+  bytes : int;
+  token : int;       (** the receiver's token from [post_recv] *)
+}
+
+type t
+
+val create : Costmodel.t -> t
+
+(** [post_send t ~time ~src ~name ~kind ~payload ~directed] — initiate
+    a send.  [directed = None] leaves the destination unspecified;
+    [Some pids] sends one message to each listed destination
+    (broadcast/multicast). @raise Invalid_argument on [Some []]. *)
+val post_send :
+  t ->
+  time:float ->
+  src:int ->
+  name:string ->
+  kind:kind ->
+  payload:float array ->
+  directed:int list option ->
+  unit
+
+(** [post_recv t ~time ~dst ~name ~kind ~token] — initiate a receive.
+    [token] is echoed back in the delivery so the caller can find its
+    pending-receive record. *)
+val post_recv :
+  t -> time:float -> dst:int -> name:string -> kind:kind -> token:int -> unit
+
+(** Earliest delivery not yet consumed, if any. *)
+val peek_delivery : t -> delivery option
+
+val pop_delivery : t -> delivery option
+
+(** Are there sends/receives still waiting for a partner?  (Program
+    end with leftovers means the compiler emitted unmatched
+    operations; reported in run statistics.) *)
+val pending_sends : t -> (string * kind * int) list
+
+val pending_recvs : t -> (string * kind * int) list
+
+(** Cumulative transport statistics. *)
+val messages_matched : t -> int
+
+val bytes_matched : t -> int
+
+val kind_to_string : kind -> string

@@ -1,0 +1,68 @@
+type t = {
+  name : string;
+  time_flop : float;
+  time_int_op : float;
+  time_mem : float;
+  time_guard : float;
+  time_desc : float;
+  time_send_init : float;
+  time_recv_init : float;
+  alpha : float;
+  beta : float;
+  elem_bytes : int;
+  header_bytes : int;
+  time_owner_admin : float;
+  nic_serialize : bool;
+}
+
+let message_passing =
+  {
+    name = "message_passing";
+    time_flop = 1.0;
+    time_int_op = 0.5;
+    time_mem = 1.0;
+    time_guard = 5.0;
+    time_desc = 2.0;
+    time_send_init = 200.0;
+    time_recv_init = 200.0;
+    alpha = 2000.0;
+    beta = 0.5;
+    elem_bytes = 8;
+    header_bytes = 16;
+    time_owner_admin = 50.0;
+    nic_serialize = false;
+  }
+
+let shared_address =
+  {
+    message_passing with
+    name = "shared_address";
+    time_send_init = 20.0;
+    time_recv_init = 20.0;
+    alpha = 150.0;
+    beta = 0.25;
+  }
+
+let idealized =
+  {
+    message_passing with
+    name = "idealized";
+    time_send_init = 0.0;
+    time_recv_init = 0.0;
+    alpha = 0.0;
+    beta = 0.0;
+    time_owner_admin = 0.0;
+  }
+
+let with_network t ~alpha ~beta =
+  { t with name = Printf.sprintf "%s(a=%g,b=%g)" t.name alpha beta; alpha; beta }
+
+let serialized t = { t with name = t.name ^ "+nic"; nic_serialize = true }
+
+let message_bytes t ~elems = (elems * t.elem_bytes) + t.header_bytes
+let transfer_time t ~bytes = t.alpha +. (t.beta *. float_of_int bytes)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: flop=%g mem=%g send_init=%g alpha=%g beta=%g/B" t.name t.time_flop
+    t.time_mem t.time_send_init t.alpha t.beta

@@ -1,0 +1,62 @@
+(** Machine cost models for the simulated SPMD target.
+
+    XDP deliberately delays the binding of communication primitives to
+    transfer operations until code generation (§3.2): the same IL+XDP
+    program can target a message-passing machine or a shared-address
+    machine (KSR1-style prefetch/poststore).  We model that delayed
+    binding by running one program against different cost models.
+
+    All times are in abstract {e cycles}; one flop = 1.0 under the
+    default presets.  Network transfer of a [b]-byte message costs
+    [alpha + beta*b] from send initiation to availability at the
+    receiver (the classic postal model). *)
+
+type t = {
+  name : string;
+  time_flop : float;       (** one floating-point operation *)
+  time_int_op : float;     (** one integer/index operation *)
+  time_mem : float;        (** one local element load or store *)
+  time_guard : float;      (** base cost of evaluating a compute rule *)
+  time_desc : float;       (** per segment descriptor visited by an intrinsic *)
+  time_send_init : float;  (** software overhead to initiate a send *)
+  time_recv_init : float;  (** software overhead to initiate a receive *)
+  alpha : float;           (** per-message network latency *)
+  beta : float;            (** per-byte network cost *)
+  elem_bytes : int;        (** bytes per array element *)
+  header_bytes : int;      (** per-message envelope (the transferred "name") *)
+  time_owner_admin : float;(** symbol-table update per ownership transfer *)
+  nic_serialize : bool;
+      (** when true, each processor's network interface injects one
+          message at a time: a message occupies the sender's NIC for
+          [beta * bytes] cycles before the [alpha] flight latency, so
+          bursts of sends queue behind each other (the common 1993
+          reality; off in the default presets for the simpler postal
+          model) *)
+}
+
+(** 1993-era distributed-memory multicomputer: expensive message
+    startup (alpha/flop = 2000), moderate bandwidth. *)
+val message_passing : t
+
+(** Shared-address machine with prefetch/poststore binding: small
+    initiation and latency costs, same compute costs. *)
+val shared_address : t
+
+(** Zero-cost communication; isolates pure compute time. *)
+val idealized : t
+
+(** [with_network t ~alpha ~beta] — preset with overridden network
+    parameters (used by the alpha/beta sweep of experiment T4). *)
+val with_network : t -> alpha:float -> beta:float -> t
+
+(** Same machine with a serializing NIC. *)
+val serialized : t -> t
+
+(** [message_bytes t ~elems] — wire size of a message carrying
+    [elems] elements (payload + header). *)
+val message_bytes : t -> elems:int -> int
+
+(** [transfer_time t ~bytes] — [alpha + beta*bytes]. *)
+val transfer_time : t -> bytes:int -> float
+
+val pp : Format.formatter -> t -> unit

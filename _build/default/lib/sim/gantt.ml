@@ -1,0 +1,46 @@
+let render ~nprocs ~makespan ?(width = 72) events =
+  if makespan <= 0.0 then "(empty trace)"
+  else
+    let buckets = Array.make_matrix nprocs width ' ' in
+    let bucket t =
+      min (width - 1) (max 0 (int_of_float (t /. makespan *. float_of_int width)))
+    in
+    (* Mark blocked intervals: Blocked..Unblocked pairs per pid. *)
+    let block_start = Array.make nprocs None in
+    let mark pid a b ch =
+      for x = bucket a to bucket b do
+        if buckets.(pid).(x) = ' ' || buckets.(pid).(x) = '#' then
+          buckets.(pid).(x) <- ch
+      done
+    in
+    let last_seen = Array.make nprocs 0.0 in
+    List.iter
+      (fun (e : Trace.event) ->
+        match e with
+        | Trace.Blocked { time; pid; _ } -> block_start.(pid) <- Some time
+        | Trace.Unblocked { time; pid } -> (
+            match block_start.(pid) with
+            | Some t0 ->
+                mark pid t0 time '.';
+                block_start.(pid) <- None;
+                last_seen.(pid) <- time
+            | None -> ())
+        | Trace.Send_init { time; pid; _ } | Trace.Recv_init { time; pid; _ }
+          ->
+            mark pid last_seen.(pid) time '#';
+            last_seen.(pid) <- time
+        | Trace.Delivered { time; dst; _ } ->
+            buckets.(dst).(bucket time) <- 'v'
+        | Trace.Note { time; pid; _ } -> last_seen.(pid) <- time)
+      events;
+    let buf = Buffer.create ((nprocs + 2) * (width + 8)) in
+    Buffer.add_string buf
+      (Printf.sprintf "t=0 %s t=%.0f\n" (String.make (width - 8) ' ')
+         makespan);
+    for pid = 0 to nprocs - 1 do
+      Buffer.add_string buf (Printf.sprintf "P%-2d |" (pid + 1));
+      Array.iter (Buffer.add_char buf) buckets.(pid);
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.add_string buf "     ('#' busy  '.' blocked  'v' delivery)\n";
+    Buffer.contents buf

@@ -1,0 +1,12 @@
+(** ASCII Gantt rendering of execution traces.
+
+    Draws one lane per processor over simulated time, marking compute
+    activity, blocked intervals and message deliveries — the quickest
+    way to {e see} the overlap the pipelined FFT variants buy
+    (examples print these). *)
+
+(** [render ~nprocs ~makespan ~width events] — one line per processor:
+    ['#'] busy, ['.'] blocked/idle, ['v'] a delivery arriving in that
+    time bucket.  [width] columns (default 72). *)
+val render :
+  nprocs:int -> makespan:float -> ?width:int -> Trace.event list -> string

@@ -1,0 +1,24 @@
+let mk name ~send ~alpha ~beta =
+  {
+    Costmodel.message_passing with
+    name;
+    time_send_init = send;
+    time_recv_init = send;
+    alpha;
+    beta;
+  }
+
+let all =
+  [
+    ("iPSC/860", mk "iPSC/860" ~send:300.0 ~alpha:3000.0 ~beta:1.25);
+    ("Delta", mk "Delta" ~send:250.0 ~alpha:3500.0 ~beta:0.85);
+    ("Paragon", mk "Paragon" ~send:200.0 ~alpha:2000.0 ~beta:0.25);
+    ("CM-5", mk "CM-5" ~send:180.0 ~alpha:3400.0 ~beta:0.9);
+    ("SP-1", mk "SP-1" ~send:350.0 ~alpha:4000.0 ~beta:0.6);
+    ("KSR1", { Costmodel.shared_address with name = "KSR1" });
+  ]
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt (fun (n, _) -> String.lowercase_ascii n = needle) all
+  |> Option.map snd

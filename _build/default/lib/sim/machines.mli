@@ -1,0 +1,15 @@
+(** A catalogue of stylized 1993-era machine models.
+
+    The paper's delayed communication binding (§3.2) retargets one
+    IL+XDP program to different machines; these presets let the bench
+    harness sweep the era's design space.  Parameters are stylized
+    (order-of-magnitude folklore for message startup and per-byte cost
+    in processor cycles, not vendor measurements) — the experiments
+    only rely on their relative shape: hypercubes and fat-trees with
+    millisecond-class software startup vs. the KSR1's hardware
+    shared-address transfers. *)
+
+val all : (string * Costmodel.t) list
+
+(** [find name] — case-insensitive lookup. *)
+val find : string -> Costmodel.t option

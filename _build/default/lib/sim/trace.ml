@@ -1,0 +1,76 @@
+type event =
+  | Send_init of { time : float; pid : int; name : string; kind : string }
+  | Recv_init of { time : float; pid : int; name : string; kind : string }
+  | Delivered of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      kind : string;
+      bytes : int;
+    }
+  | Blocked of { time : float; pid : int; on : string }
+  | Unblocked of { time : float; pid : int }
+  | Note of { time : float; pid : int; msg : string }
+
+type t = { enabled : bool; mutable events : event list (* reversed *) }
+
+let create ~enabled = { enabled; events = [] }
+let enabled t = t.enabled
+let emit t e = if t.enabled then t.events <- e :: t.events
+let events t = List.rev t.events
+
+let pp_event ppf = function
+  | Send_init { time; pid; name; kind } ->
+      Format.fprintf ppf "[%10.1f] P%d send-init  %-6s %s" time (pid + 1) kind
+        name
+  | Recv_init { time; pid; name; kind } ->
+      Format.fprintf ppf "[%10.1f] P%d recv-init  %-6s %s" time (pid + 1) kind
+        name
+  | Delivered { time; src; dst; name; kind; bytes } ->
+      Format.fprintf ppf "[%10.1f] P%d -> P%d delivered %-6s %s (%dB)" time
+        (src + 1) (dst + 1) kind name bytes
+  | Blocked { time; pid; on } ->
+      Format.fprintf ppf "[%10.1f] P%d blocked on %s" time (pid + 1) on
+  | Unblocked { time; pid } ->
+      Format.fprintf ppf "[%10.1f] P%d unblocked" time (pid + 1)
+  | Note { time; pid; msg } ->
+      Format.fprintf ppf "[%10.1f] P%d %s" time (pid + 1) msg
+
+let pp ppf t =
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
+
+type stats = {
+  makespan : float;
+  messages : int;
+  bytes : int;
+  ownership_transfers : int;
+  guard_evals : int;
+  guard_hits : int;
+  busy : float array;
+  finish : float array;
+  peak_storage : int array;
+  statements : int;
+  unmatched_sends : int;
+  unmatched_recvs : int;
+}
+
+let idle_fraction s =
+  let n = Array.length s.busy in
+  if n = 0 || s.makespan <= 0.0 then 0.0
+  else
+    let total_busy = Array.fold_left ( +. ) 0.0 s.busy in
+    1.0 -. (total_busy /. (float_of_int n *. s.makespan))
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "makespan=%.1f msgs=%d bytes=%d ownership=%d guards=%d/%d idle=%.1f%% \
+     stmts=%d%s"
+    s.makespan s.messages s.bytes s.ownership_transfers s.guard_hits
+    s.guard_evals
+    (100.0 *. idle_fraction s)
+    s.statements
+    (if s.unmatched_sends > 0 || s.unmatched_recvs > 0 then
+       Printf.sprintf " UNMATCHED(s=%d,r=%d)" s.unmatched_sends
+         s.unmatched_recvs
+     else "")

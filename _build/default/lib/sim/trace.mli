@@ -1,0 +1,60 @@
+(** Execution traces and run statistics.
+
+    A trace records the observable events of a simulated run in
+    timestamp order (useful for the Figure 1 conformance scenarios and
+    for debugging optimizations); the statistics summarize what the
+    experiment tables report: messages, bytes, simulated makespan,
+    per-processor busy/idle split, guard evaluations and ownership
+    transfers. *)
+
+type event =
+  | Send_init of { time : float; pid : int; name : string; kind : string }
+  | Recv_init of { time : float; pid : int; name : string; kind : string }
+  | Delivered of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      kind : string;
+      bytes : int;
+    }
+  | Blocked of { time : float; pid : int; on : string }
+  | Unblocked of { time : float; pid : int }
+  | Note of { time : float; pid : int; msg : string }
+
+type t
+
+(** [create ~enabled] — when disabled, [emit] is a no-op (statistics
+    are always collected by the executor, independently). *)
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+val emit : t -> event -> unit
+
+(** Events in emission order. *)
+val events : t -> event list
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+(** {1 Run statistics} *)
+
+type stats = {
+  makespan : float;        (** max processor finish time *)
+  messages : int;
+  bytes : int;
+  ownership_transfers : int;
+  guard_evals : int;
+  guard_hits : int;        (** guards that evaluated true *)
+  busy : float array;      (** per-pid time spent computing/initiating *)
+  finish : float array;    (** per-pid finish time *)
+  peak_storage : int array;(** per-pid peak local elements allocated *)
+  statements : int;        (** interpreter steps executed *)
+  unmatched_sends : int;
+  unmatched_recvs : int;
+}
+
+(** Idle fraction: 1 - sum(busy)/(nprocs * makespan). *)
+val idle_fraction : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

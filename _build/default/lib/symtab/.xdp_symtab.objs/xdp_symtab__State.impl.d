@@ -1,0 +1,1 @@
+lib/symtab/state.ml: Format

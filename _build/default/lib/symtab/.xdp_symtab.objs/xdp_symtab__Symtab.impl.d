@@ -1,0 +1,1 @@
+lib/symtab/symtab.ml: Array Box Format Hashtbl List Option Printf State String Triplet Xdp_dist Xdp_util

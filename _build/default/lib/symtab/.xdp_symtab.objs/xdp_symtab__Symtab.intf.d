@@ -1,0 +1,1 @@
+lib/symtab/symtab.mli: Box Format State Xdp_dist Xdp_util

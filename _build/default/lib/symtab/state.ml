@@ -1,0 +1,9 @@
+type t = Unowned | Transitional | Accessible
+
+let to_string = function
+  | Unowned -> "unowned"
+  | Transitional -> "transitional"
+  | Accessible -> "accessible"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b

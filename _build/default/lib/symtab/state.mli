@@ -1,0 +1,11 @@
+(** The three states of an exclusive section with respect to a
+    processor (paper, Figure 1 / §2.1). *)
+
+type t =
+  | Unowned      (** some element not owned by this processor *)
+  | Transitional (** owned, but an initiated receive has not completed *)
+  | Accessible   (** owned and no uncompleted receive *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

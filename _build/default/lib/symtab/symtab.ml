@@ -1,0 +1,384 @@
+open Xdp_util
+
+type seg = {
+  seg_id : int;
+  seg_box : Box.t;
+  mutable status : State.t;
+  mutable data : float array option;
+}
+
+type entry = {
+  name : string;
+  rank : int;
+  global_shape : int list;
+  partitioning : string;
+  seg_shape : int list;
+  mutable segs : seg list; (* ascending seg_id *)
+  mutable next_id : int;
+  mutable dynamic : bool; (* ownership has moved since declaration *)
+  ent_universal : bool;
+}
+
+type t = {
+  pid : int;
+  free_on_release : bool;
+  entries : (string, entry) Hashtbl.t;
+  mutable order : string list; (* declaration order, reversed *)
+  mutable allocated : int;
+  mutable peak : int;
+  mutable visits : int;
+}
+
+let create ~pid ?(free_on_release = true) () =
+  {
+    pid;
+    free_on_release;
+    entries = Hashtbl.create 16;
+    order = [];
+    allocated = 0;
+    peak = 0;
+    visits = 0;
+  }
+
+let pid t = t.pid
+
+let alloc t n =
+  t.allocated <- t.allocated + n;
+  if t.allocated > t.peak then t.peak <- t.allocated
+
+let free t n = t.allocated <- t.allocated - n
+
+let entry t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Symtab: undeclared array %s" name)
+
+let declare t ~name ~layout ~seg_shape =
+  if Hashtbl.mem t.entries name then
+    invalid_arg (Printf.sprintf "Symtab.declare: %s already declared" name);
+  let descs = Xdp_dist.Segment.tile layout ~pid:t.pid ~seg_shape in
+  let segs =
+    List.map
+      (fun (d : Xdp_dist.Segment.desc) ->
+        let n = Box.count d.box in
+        alloc t n;
+        {
+          seg_id = d.id;
+          seg_box = d.box;
+          status = State.Accessible;
+          data = Some (Array.make n 0.0);
+        })
+      descs
+  in
+  let e =
+    {
+      name;
+      rank = Xdp_dist.Layout.rank layout;
+      global_shape = Xdp_dist.Layout.shape layout;
+      partitioning = Xdp_dist.Layout.to_string layout;
+      seg_shape;
+      segs;
+      next_id = List.length segs;
+      dynamic = false;
+      ent_universal = false;
+    }
+  in
+  Hashtbl.add t.entries name e;
+  t.order <- name :: t.order
+
+let declare_universal t ~name ~shape =
+  if Hashtbl.mem t.entries name then
+    invalid_arg (Printf.sprintf "Symtab.declare: %s already declared" name);
+  let box = Box.of_shape shape in
+  let n = Box.count box in
+  alloc t n;
+  let e =
+    {
+      name;
+      rank = List.length shape;
+      global_shape = shape;
+      partitioning = "(universal)";
+      seg_shape = shape;
+      segs =
+        [
+          {
+            seg_id = 0;
+            seg_box = box;
+            status = State.Accessible;
+            data = Some (Array.make n 0.0);
+          };
+        ];
+      next_id = 1;
+      dynamic = false;
+      ent_universal = true;
+    }
+  in
+  Hashtbl.add t.entries name e;
+  t.order <- name :: t.order
+
+let universal t name = (entry t name).ent_universal
+
+let reject_universal t name what =
+  if universal t name then
+    invalid_arg
+      (Printf.sprintf
+         "Symtab.%s: %s is universally owned (transfers require exclusive \
+          sections; copy into an exclusive section first, paper §2.6)"
+         what name)
+
+let declared t name = Hashtbl.mem t.entries name
+let names t = List.rev t.order
+let global_shape t name = (entry t name).global_shape
+let seg_shape t name = (entry t name).seg_shape
+let segments t name = (entry t name).segs
+
+(* Scans skip unowned descriptors: absence of a descriptor already
+   means "unowned", so a released segment carries no information for
+   queries — unlinking it from the scan path is the paper's §3.1
+   "more efficient algorithms could be developed" in its simplest
+   form (it keeps iown() linear in the number of *live* segments even
+   after a full redistribution has retired the original ones). *)
+let segments_covering t name box =
+  let e = entry t name in
+  List.filter
+    (fun s ->
+      s.status <> State.Unowned
+      &&
+      (t.visits <- t.visits + 1;
+       not (Box.disjoint s.seg_box box)))
+    e.segs
+
+let owned_parts t name box =
+  segments_covering t name box
+  |> List.filter (fun s -> s.status <> State.Unowned)
+  |> List.map (fun s -> s.seg_box)
+
+(* The paper's algorithm: intersect the queried section with all
+   segment bounds; iown is true iff the union of the (disjoint)
+   intersections equals the section and no intersecting segment is
+   unowned. *)
+let iown t name box = Box.covered_by ~parts:(owned_parts t name box) box
+
+let accessible t name box =
+  let parts =
+    segments_covering t name box
+    |> List.filter (fun s -> s.status = State.Accessible)
+    |> List.map (fun s -> s.seg_box)
+  in
+  Box.covered_by ~parts box
+
+let section_state t name box =
+  if not (iown t name box) then State.Unowned
+  else if accessible t name box then State.Accessible
+  else State.Transitional
+
+let bound which t name box d =
+  let pieces =
+    owned_parts t name box
+    |> List.filter_map (fun p -> Box.inter p box)
+    |> List.filter (fun b -> not (Box.is_empty b))
+  in
+  List.fold_left
+    (fun acc b ->
+      let tr = Box.dim b d in
+      let v =
+        match which with `Lb -> Triplet.first tr | `Ub -> Triplet.last tr
+      in
+      match acc with
+      | None -> Some v
+      | Some x -> Some (match which with `Lb -> min x v | `Ub -> max x v))
+    None pieces
+
+let mylb t name box d = bound `Lb t name box d
+let myub t name box d = bound `Ub t name box d
+
+let mark_recv_init t name box =
+  reject_universal t name "mark_recv_init";
+  if not (iown t name box) then
+    invalid_arg
+      (Printf.sprintf "Symtab.mark_recv_init: P%d does not own %s%s" t.pid
+         name (Box.to_string box));
+  List.iter
+    (fun s -> if s.status <> State.Unowned then s.status <- State.Transitional)
+    (segments_covering t name box)
+
+let mark_recv_complete t name box =
+  List.iter
+    (fun s -> if s.status = State.Transitional then s.status <- State.Accessible)
+    (segments_covering t name box)
+
+let release t name box =
+  reject_universal t name "release";
+  let e = entry t name in
+  let touching = segments_covering t name box in
+  List.iter
+    (fun s ->
+      if not (Box.subset s.seg_box box) then
+        invalid_arg
+          (Printf.sprintf
+             "Symtab.release: %s%s does not cover whole segment %s (ownership \
+              moves at segment granularity)"
+             name (Box.to_string box)
+             (Box.to_string s.seg_box));
+      if s.status = State.Transitional then
+        invalid_arg
+          (Printf.sprintf
+             "Symtab.release: segment %s of %s is transitional on P%d"
+             (Box.to_string s.seg_box) name t.pid))
+    touching;
+  let covered =
+    List.fold_left (fun acc s -> acc + Box.count s.seg_box) 0 touching
+  in
+  if covered <> Box.count box then
+    invalid_arg
+      (Printf.sprintf
+         "Symtab.release: %s%s is not an exact union of owned segments" name
+         (Box.to_string box));
+  e.dynamic <- true;
+  List.map
+    (fun s ->
+      let payload =
+        match s.data with
+        | Some d -> d
+        | None -> Array.make (Box.count s.seg_box) 0.0
+      in
+      s.status <- State.Unowned;
+      if t.free_on_release && s.data <> None then begin
+        free t (Box.count s.seg_box);
+        s.data <- None
+      end;
+      (s.seg_box, Array.copy payload))
+    touching
+
+let expect_ownership t name box =
+  reject_universal t name "expect_ownership";
+  let e = entry t name in
+  (match segments_covering t name box with
+  | [] -> ()
+  | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Symtab.expect_ownership: P%d already owns part of %s%s" t.pid
+           name (Box.to_string box)));
+  (* Stale unowned descriptors overlapping the incoming region carry no
+     information (absence of a descriptor already means unowned); drop
+     them so the table stays a disjoint cover. *)
+  e.segs <-
+    List.filter
+      (fun s ->
+        s.status <> State.Unowned || Box.disjoint s.seg_box box)
+      e.segs;
+  let id = e.next_id in
+  e.next_id <- id + 1;
+  e.dynamic <- true;
+  e.segs <-
+    e.segs
+    @ [ { seg_id = id; seg_box = box; status = State.Transitional; data = None } ]
+
+let accept_ownership t name box payload =
+  let e = entry t name in
+  match
+    List.find_opt
+      (fun s -> Box.equal s.seg_box box && s.status = State.Transitional
+                && s.data = None)
+      e.segs
+  with
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Symtab.accept_ownership: no pending ownership receive for %s%s \
+            on P%d"
+           name (Box.to_string box) t.pid)
+  | Some s ->
+      let n = Box.count box in
+      alloc t n;
+      let data =
+        match payload with
+        | Some p ->
+            if Array.length p <> n then
+              invalid_arg "Symtab.accept_ownership: payload size mismatch";
+            Array.copy p
+        | None -> Array.make n 0.0
+      in
+      s.data <- Some data;
+      s.status <- State.Accessible
+
+let seg_with_data t name idx =
+  let e = entry t name in
+  match
+    List.find_opt (fun s -> s.data <> None && Box.mem idx s.seg_box) e.segs
+  with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Symtab: P%d has no storage for %s[%s]" t.pid name
+           (String.concat "," (List.map string_of_int idx)))
+
+let get t name idx =
+  let s = seg_with_data t name idx in
+  (Option.get s.data).(Box.position s.seg_box idx)
+
+let set t name idx v =
+  let s = seg_with_data t name idx in
+  (Option.get s.data).(Box.position s.seg_box idx) <- v
+
+let read_box t name box =
+  let out = Array.make (Box.count box) 0.0 in
+  let segs =
+    segments_covering t name box |> List.filter (fun s -> s.data <> None)
+  in
+  List.iter
+    (fun s ->
+      match Box.inter s.seg_box box with
+      | None -> ()
+      | Some piece ->
+          let data = Option.get s.data in
+          Box.iter
+            (fun idx ->
+              out.(Box.position box idx) <- data.(Box.position s.seg_box idx))
+            piece)
+    segs;
+  out
+
+let write_box t name box buf =
+  if Array.length buf < Box.count box then
+    invalid_arg "Symtab.write_box: buffer too small";
+  let segs =
+    segments_covering t name box |> List.filter (fun s -> s.data <> None)
+  in
+  List.iter
+    (fun s ->
+      match Box.inter s.seg_box box with
+      | None -> ()
+      | Some piece ->
+          let data = Option.get s.data in
+          Box.iter
+            (fun idx ->
+              data.(Box.position s.seg_box idx) <- buf.(Box.position box idx))
+            piece)
+    segs
+
+let allocated_elements t = t.allocated
+let peak_elements t = t.peak
+let descriptor_visits t = t.visits
+
+let pp_table ppf t =
+  Format.fprintf ppf "XDP run-time symbol table, processor P%d@." (t.pid + 1);
+  Format.fprintf ppf
+    "%-5s %-8s %-4s %-12s %-28s %-10s %-6s@." "index" "symbol" "rank"
+    "global shape" "partitioning" "seg shape" "#segs";
+  List.iteri
+    (fun i name ->
+      let e = entry t name in
+      let shp l = "(" ^ String.concat "," (List.map string_of_int l) ^ ")" in
+      Format.fprintf ppf "%-5d %-8s %-4d %-12s %-28s %-10s %-6d@." (i + 1)
+        e.name e.rank (shp e.global_shape)
+        (e.partitioning ^ if e.dynamic then " [dynamic]" else "")
+        (shp e.seg_shape) (List.length e.segs);
+      List.iter
+        (fun s ->
+          Format.fprintf ppf "      segdesc[%d]: %-22s status=%a%s@." s.seg_id
+            (Box.to_string s.seg_box) State.pp s.status
+            (match s.data with Some _ -> "" | None -> " (no storage)"))
+        e.segs)
+    (names t)

@@ -1,0 +1,1 @@
+lib/util/box.ml: Array Format List Stdlib Triplet

@@ -1,0 +1,1 @@
+lib/util/box.mli: Format Triplet

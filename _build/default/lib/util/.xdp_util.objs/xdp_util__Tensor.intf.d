@@ -1,0 +1,1 @@
+lib/util/tensor.mli: Box Format

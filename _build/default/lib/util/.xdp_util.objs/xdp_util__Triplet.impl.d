@@ -1,0 +1,1 @@
+lib/util/triplet.ml: Format List Stdlib

@@ -1,0 +1,120 @@
+type t = Triplet.t array
+
+let make = function
+  | [] -> invalid_arg "Box.make: rank 0"
+  | ts -> Array.of_list ts
+
+let of_shape shape = make (List.map (fun n -> Triplet.range 1 n) shape)
+let point idx = make (List.map Triplet.point idx)
+let rank t = Array.length t
+let dims t = Array.to_list t
+
+let dim t d =
+  if d < 1 || d > Array.length t then invalid_arg "Box.dim: out of range";
+  t.(d - 1)
+
+let count t = Array.fold_left (fun acc tr -> acc * Triplet.count tr) 1 t
+let is_empty t = Array.exists Triplet.is_empty t
+
+let mem idx t =
+  List.length idx = Array.length t
+  && List.for_all2 (fun i tr -> Triplet.mem i tr) idx (dims t)
+
+let inter a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Box.inter: rank mismatch";
+  let result = Array.make (Array.length a) (Triplet.point 0) in
+  let ok = ref true in
+  Array.iteri
+    (fun i tra ->
+      match Triplet.inter tra b.(i) with
+      | Some tr -> result.(i) <- tr
+      | None -> ok := false)
+    a;
+  if !ok then Some result else None
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 Triplet.equal a b
+
+let compare a b =
+  match Stdlib.compare (Array.length a) (Array.length b) with
+  | 0 ->
+      let rec go i =
+        if i >= Array.length a then 0
+        else
+          match Triplet.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+      in
+      go 0
+  | c -> c
+
+let subset a b =
+  is_empty a
+  || match inter a b with Some i -> count i = count a | None -> false
+
+let disjoint a b =
+  match inter a b with None -> true | Some i -> is_empty i
+
+let iter f t =
+  let n = Array.length t in
+  if not (is_empty t) then begin
+    let idx = Array.map Triplet.first t in
+    let continue = ref true in
+    while !continue do
+      f (Array.to_list idx);
+      (* Advance row-major: last dimension fastest. *)
+      let rec bump d =
+        if d < 0 then continue := false
+        else
+          let tr = t.(d) in
+          let next = idx.(d) + tr.Triplet.stride in
+          if next <= Triplet.last tr then idx.(d) <- next
+          else begin
+            idx.(d) <- Triplet.first tr;
+            bump (d - 1)
+          end
+      in
+      bump (n - 1)
+    done
+  end
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun idx -> acc := f !acc idx) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc idx -> idx :: acc) [] t)
+
+let position t idx =
+  if not (mem idx t) then invalid_arg "Box.position: not a member";
+  let n = Array.length t in
+  let counts = Array.map Triplet.count t in
+  let weight = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    weight.(d) <- weight.(d + 1) * counts.(d + 1)
+  done;
+  List.fold_left
+    (fun acc (d, i) ->
+      let tr = t.(d) in
+      let pos = (i - Triplet.first tr) / tr.Triplet.stride in
+      acc + (pos * weight.(d)))
+    0
+    (List.mapi (fun d i -> (d, i)) idx)
+
+let covered_by ~parts t =
+  let covered =
+    List.fold_left
+      (fun acc p ->
+        match inter p t with Some i -> acc + count i | None -> acc)
+      0 parts
+  in
+  covered = count t
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Triplet.pp)
+    (dims t)
+
+let to_string t = Format.asprintf "%a" pp t

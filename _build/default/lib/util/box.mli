@@ -1,0 +1,67 @@
+(** Multi-dimensional strided index boxes: the resolved form of an XDP
+    array {e section}.
+
+    A box is a vector of {!Triplet.t}, one per array dimension; it
+    denotes the Cartesian product of the per-dimension progressions.
+    Boxes are what the run-time symbol table intersects segments
+    against (the paper's [iown()] algorithm, §3.1), and their
+    canonical rendering is the {e name} that matches sends with
+    receives on the rendezvous board. *)
+
+type t
+
+(** [make triplets] builds a box. @raise Invalid_argument on rank 0. *)
+val make : Triplet.t list -> t
+
+(** [of_shape shape] is the full box [1:n1, ..., 1:nk] of an array with
+    extents [shape] (Fortran 1-based). *)
+val of_shape : int list -> t
+
+(** [point idx] is the single-element box at index vector [idx]. *)
+val point : int list -> t
+
+val rank : t -> int
+val dims : t -> Triplet.t list
+
+(** [dim t d] is the triplet of (1-based) dimension [d]. *)
+val dim : t -> int -> Triplet.t
+
+val count : t -> int
+val is_empty : t -> bool
+
+(** [mem idx t] tests membership of index vector [idx]. *)
+val mem : int list -> t -> bool
+
+(** Per-dimension intersection; [None] when empty in any dimension. *)
+val inter : t -> t -> t option
+
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Enumerate member index vectors in row-major (last dimension
+    fastest) order — the canonical element order used for packing
+    message payloads. *)
+val iter : (int list -> unit) -> t -> unit
+
+val fold : ('a -> int list -> 'a) -> 'a -> t -> 'a
+val to_list : t -> int list list
+
+(** [position t idx] — 0-based rank of [idx] in the row-major
+    enumeration of [t] (the packing offset of that element in a
+    message payload for section [t]).
+    @raise Invalid_argument if [idx] is not a member. *)
+val position : t -> int list -> int
+
+(** [covered_by ~parts t]: do the {e pairwise-disjoint} boxes [parts]
+    jointly cover every element of [t]?  Implements the union test of
+    the paper's [iown()] algorithm by cardinality; the caller must
+    guarantee disjointness of [parts] (segments are disjoint by
+    construction). *)
+val covered_by : parts:t list -> t -> bool
+
+(** Prints in F90 section notation, e.g. ["[1:4, 5:7, 2]"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,32 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every workload generator and experiment in the reproduction draws
+    randomness through this module so that runs are bit-reproducible
+    across machines and independent of [Stdlib.Random] global state. *)
+
+type t
+
+val of_seed : int -> t
+
+(** Independent child stream; the parent advances. *)
+val split : t -> t
+
+(** Uniform in [0, bound) ; @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val float_in : t -> float -> float -> float
+
+val bool : t -> bool
+
+(** [choose rng l] picks a uniform element. @raise on empty list. *)
+val choose : t -> 'a list -> 'a
+
+(** Fisher-Yates shuffle (fresh list). *)
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,45 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+      let m = mean xs in
+      let var =
+        sum (List.map (fun x -> (x -. m) ** 2.0) xs)
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let min_ = function
+  | [] -> invalid_arg "Stats.min_: empty"
+  | x :: xs -> List.fold_left min x xs
+
+let max_ = function
+  | [] -> invalid_arg "Stats.max_: empty"
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+      if p < 0.0 || p > 100.0 then
+        invalid_arg "Stats.percentile: p out of range";
+      let a = Array.of_list xs in
+      Array.sort Float.compare a;
+      let n = Array.length a in
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then a.(lo)
+      else
+        let frac = rank -. float_of_int lo in
+        a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let imbalance = function
+  | [] -> 1.0
+  | xs ->
+      let m = mean xs in
+      if m = 0.0 then 1.0 else max_ xs /. m

@@ -1,0 +1,15 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val min_ : float list -> float
+val max_ : float list -> float
+
+(** [percentile p xs] with [p] in [0,100], linear interpolation. *)
+val percentile : float -> float list -> float
+
+val sum : float list -> float
+
+(** Gini-style load-imbalance coefficient: [max/mean] of a list of
+    nonnegative loads (1.0 = perfectly balanced). *)
+val imbalance : float list -> float

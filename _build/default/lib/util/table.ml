@@ -1,0 +1,61 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ~title ~header ?align rows =
+  let ncols = List.length header in
+  let align =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | _ -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row
+    else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let buf = Buffer.create 1024 in
+  let line ch =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) ch))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        let w = List.nth widths i in
+        let a = List.nth align i in
+        Buffer.add_string buf ("| " ^ pad a w cell ^ " "))
+      row;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf (title ^ "\n");
+  line '-';
+  emit header;
+  line '=';
+  List.iter emit rows;
+  line '-';
+  Buffer.contents buf
+
+let print ~title ~header ?align rows =
+  print_string (render ~title ~header ?align rows);
+  print_newline ()
+
+let cell_int = string_of_int
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_ratio x = Printf.sprintf "%.2fx" x
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

@@ -1,0 +1,101 @@
+type t = { shape : int array; strides : int array; data : float array }
+
+let compute_strides shape =
+  let n = Array.length shape in
+  let strides = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * shape.(d + 1)
+  done;
+  strides
+
+let create shape_l =
+  let shape = Array.of_list shape_l in
+  if Array.length shape = 0 then invalid_arg "Tensor.create: rank 0";
+  Array.iter
+    (fun n -> if n <= 0 then invalid_arg "Tensor.create: extent <= 0")
+    shape;
+  let size = Array.fold_left ( * ) 1 shape in
+  { shape; strides = compute_strides shape; data = Array.make size 0.0 }
+
+let shape t = Array.to_list t.shape
+let rank t = Array.length t.shape
+let size t = Array.length t.data
+let full_box t = Box.of_shape (shape t)
+
+let offset t idx =
+  let n = Array.length t.shape in
+  let rec go d off = function
+    | [] -> if d = n then off else invalid_arg "Tensor: rank mismatch"
+    | i :: rest ->
+        if d >= n then invalid_arg "Tensor: rank mismatch";
+        if i < 1 || i > t.shape.(d) then
+          invalid_arg
+            (Printf.sprintf "Tensor: index %d out of bounds 1..%d in dim %d"
+               i t.shape.(d) (d + 1));
+        go (d + 1) (off + ((i - 1) * t.strides.(d))) rest
+  in
+  go 0 0 idx
+
+let get t idx = t.data.(offset t idx)
+let set t idx v = t.data.(offset t idx) <- v
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let copy t =
+  { shape = Array.copy t.shape;
+    strides = Array.copy t.strides;
+    data = Array.copy t.data }
+
+let init shape_l f =
+  let t = create shape_l in
+  Box.iter (fun idx -> set t idx (f idx)) (full_box t);
+  t
+
+let extract t box =
+  let buf = Array.make (Box.count box) 0.0 in
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      buf.(!i) <- get t idx;
+      incr i)
+    box;
+  buf
+
+let blit t box buf =
+  if Array.length buf < Box.count box then
+    invalid_arg "Tensor.blit: buffer too small";
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      set t idx buf.(!i);
+      incr i)
+    box
+
+let map_box t box f = Box.iter (fun idx -> set t idx (f idx (get t idx))) box
+
+let max_diff a b =
+  if a.shape <> b.shape then invalid_arg "Tensor.max_diff: shape mismatch";
+  let m = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = Float.abs (x -. b.data.(i)) in
+      if d > !m then m := d)
+    a.data;
+  !m
+
+let equal ?(eps = 1e-9) a b = a.shape = b.shape && max_diff a b <= eps
+
+let pp ppf t =
+  Format.fprintf ppf "tensor%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "x")
+       Format.pp_print_int)
+    (shape t);
+  if size t <= 64 then begin
+    Format.fprintf ppf " [";
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Format.fprintf ppf "; ";
+        Format.fprintf ppf "%g" x)
+      t.data;
+    Format.fprintf ppf "]"
+  end

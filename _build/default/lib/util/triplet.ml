@@ -1,0 +1,105 @@
+type t = { lo : int; hi : int; stride : int }
+
+let make ~lo ~hi ~stride =
+  if stride <= 0 then invalid_arg "Triplet.make: stride must be positive";
+  if hi < lo then { lo; hi = lo - 1; stride = 1 }
+  else
+    let n = (hi - lo) / stride in
+    let hi = lo + (n * stride) in
+    let stride = if n = 0 then 1 else stride in
+    { lo; hi; stride }
+
+let point i = make ~lo:i ~hi:i ~stride:1
+let range lo hi = make ~lo ~hi ~stride:1
+let is_empty t = t.hi < t.lo
+let count t = if is_empty t then 0 else ((t.hi - t.lo) / t.stride) + 1
+let mem i t = i >= t.lo && i <= t.hi && (i - t.lo) mod t.stride = 0
+
+let first t =
+  if is_empty t then invalid_arg "Triplet.first: empty" else t.lo
+
+let last t = if is_empty t then invalid_arg "Triplet.last: empty" else t.hi
+
+let iter f t =
+  let i = ref t.lo in
+  while !i <= t.hi do
+    f !i;
+    i := !i + t.stride
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+
+(* Extended gcd: returns (g, x, y) with a*x + b*y = g. *)
+let rec egcd a b = if b = 0 then (a, 1, 0) else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+let inter a b =
+  if is_empty a || is_empty b then None
+  else
+    let lo = max a.lo b.lo and hi = min a.hi b.hi in
+    if lo > hi then None
+    else
+      (* Solve i = a.lo (mod a.stride), i = b.lo (mod b.stride). *)
+      let g, x, _ = egcd a.stride b.stride in
+      let diff = b.lo - a.lo in
+      if diff mod g <> 0 then None
+      else
+        let lcm = a.stride / g * b.stride in
+        (* One solution: a.lo + a.stride * x * (diff/g); reduce mod lcm. *)
+        let sol = a.lo + (a.stride * x * (diff / g)) in
+        let sol = sol mod lcm in
+        (* Smallest member of the combined progression that is >= lo. *)
+        let first =
+          let r = ((lo - sol) mod lcm + lcm) mod lcm in
+          lo + ((lcm - r) mod lcm)
+        in
+        if first > hi then None else Some (make ~lo:first ~hi ~stride:lcm)
+
+let equal a b =
+  (is_empty a && is_empty b)
+  || (a.lo = b.lo && a.hi = b.hi && a.stride = b.stride)
+
+let compare a b =
+  match Stdlib.compare a.lo b.lo with
+  | 0 -> (
+      match Stdlib.compare a.hi b.hi with
+      | 0 -> Stdlib.compare a.stride b.stride
+      | c -> c)
+  | c -> c
+
+let subset a b =
+  if is_empty a then true
+  else
+    match inter a b with Some i -> count i = count a | None -> false
+
+let disjoint a b = match inter a b with None -> true | Some _ -> false
+let contiguous t = t.stride = 1 || count t <= 1
+
+let of_sorted_list = function
+  | [] -> Some (make ~lo:1 ~hi:0 ~stride:1)
+  | [ i ] -> Some (point i)
+  | i :: j :: _ as l ->
+      let stride = j - i in
+      if stride <= 0 then None
+      else
+        let rec check prev = function
+          | [] -> true
+          | x :: rest -> x - prev = stride && check x rest
+        in
+        if check i (List.tl l) then
+          Some (make ~lo:i ~hi:(List.nth l (List.length l - 1)) ~stride)
+        else None
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "<empty>"
+  else if count t = 1 then Format.fprintf ppf "%d" t.lo
+  else if t.stride = 1 then Format.fprintf ppf "%d:%d" t.lo t.hi
+  else Format.fprintf ppf "%d:%d:%d" t.lo t.hi t.stride
+
+let to_string t = Format.asprintf "%a" pp t

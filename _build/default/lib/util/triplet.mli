@@ -1,0 +1,72 @@
+(** Fortran-90 style regular index triplets [lo:hi:stride].
+
+    A triplet denotes the arithmetic progression
+    [lo, lo+stride, lo+2*stride, ...] of indices not exceeding [hi].
+    Strides are strictly positive; indices are arbitrary integers
+    (the rest of the system uses 1-based Fortran indexing).
+
+    Triplets are the 1-dimensional building block of array {e sections}
+    in the XDP intermediate language (see {!Box} for the
+    multi-dimensional form). *)
+
+type t = private { lo : int; hi : int; stride : int }
+
+(** [make ~lo ~hi ~stride] builds a normalized triplet.  [hi] is
+    clamped down to the largest actual member of the progression, so
+    two triplets denoting the same index set are structurally equal.
+    @raise Invalid_argument if [stride <= 0]. *)
+val make : lo:int -> hi:int -> stride:int -> t
+
+(** [point i] is the singleton triplet [i:i:1]. *)
+val point : int -> t
+
+(** [range lo hi] is the contiguous triplet [lo:hi:1]. *)
+val range : int -> int -> t
+
+(** Number of indices denoted; [0] when [lo > hi]. *)
+val count : t -> int
+
+val is_empty : t -> bool
+
+(** [mem i t] tests membership of index [i]. *)
+val mem : int -> t -> bool
+
+(** First and last members. @raise Invalid_argument on empty triplets. *)
+val first : t -> int
+
+val last : t -> int
+
+(** All members, ascending. *)
+val to_list : t -> int list
+
+(** [iter f t] applies [f] to every member in ascending order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f init t] folds over members in ascending order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** Intersection of two arithmetic progressions is again an arithmetic
+    progression (or empty); computed in O(1) by the Chinese remainder
+    theorem, never by enumeration. *)
+val inter : t -> t -> t option
+
+(** [subset a b] is [true] iff every member of [a] is a member of [b]. *)
+val subset : t -> t -> bool
+
+(** [disjoint a b] is [true] iff [a] and [b] share no member. *)
+val disjoint : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Is the triplet a contiguous run (stride 1 or fewer than 2 members)? *)
+val contiguous : t -> bool
+
+(** [of_sorted_list l] recognizes a sorted list of distinct indices as a
+    triplet if it forms an arithmetic progression. *)
+val of_sorted_list : int list -> t option
+
+(** Prints in F90 notation: ["5"], ["1:8"] or ["1:8:2"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Printf QCheck QCheck_alcotest Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_util

@@ -1,0 +1,1 @@
+test/test_bind.ml: Alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

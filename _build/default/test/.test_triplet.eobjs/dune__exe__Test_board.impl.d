@@ -1,0 +1,1 @@
+test/test_board.ml: Alcotest Array Board Costmodel Gen List Printf QCheck QCheck_alcotest Xdp_sim

@@ -1,0 +1,1 @@
+test/test_box.ml: Alcotest Box Fun List QCheck QCheck_alcotest Triplet Xdp_util

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest List Xdp Xdp_dist Xdp_runtime Xdp_util

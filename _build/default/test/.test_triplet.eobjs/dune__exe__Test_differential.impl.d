@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest List Printf QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist Fun List Printf QCheck QCheck_alcotest Triplet Xdp_dist Xdp_util

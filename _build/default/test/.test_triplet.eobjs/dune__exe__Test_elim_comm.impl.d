@@ -1,0 +1,1 @@
+test/test_elim_comm.ml: Alcotest List QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Hashtbl List Xdp Xdp_runtime Xdp_sim Xdp_util

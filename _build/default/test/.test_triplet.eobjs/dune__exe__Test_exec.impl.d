@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest List Printf String Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_util

@@ -1,0 +1,1 @@
+test/test_fuse.ml: Alcotest List QCheck QCheck_alcotest String Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_util

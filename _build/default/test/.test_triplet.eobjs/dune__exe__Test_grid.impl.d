@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Grid List Printf QCheck QCheck_alcotest Xdp_dist

@@ -1,0 +1,1 @@
+test/test_hoist_guard.ml: Alcotest List Xdp Xdp_dist Xdp_runtime Xdp_util

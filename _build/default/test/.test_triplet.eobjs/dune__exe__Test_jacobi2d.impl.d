@@ -1,0 +1,1 @@
+test/test_jacobi2d.ml: Alcotest List Printf QCheck QCheck_alcotest Xdp_apps Xdp_runtime Xdp_util

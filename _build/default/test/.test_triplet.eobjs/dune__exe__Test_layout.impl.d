@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Box Dist Fun Grid Layout List QCheck QCheck_alcotest Triplet Xdp_dist Xdp_util

@@ -1,0 +1,1 @@
+test/test_localize.ml: Alcotest List QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+test/test_lower.ml: Alcotest List QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

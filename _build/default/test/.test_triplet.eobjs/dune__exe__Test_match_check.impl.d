@@ -1,0 +1,1 @@
+test/test_match_check.ml: Alcotest List String Xdp Xdp_apps Xdp_dist Xdp_runtime

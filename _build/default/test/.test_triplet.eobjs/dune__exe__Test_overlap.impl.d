@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest Float List Printf Xdp_apps Xdp_runtime Xdp_sim Xdp_util

@@ -1,0 +1,1 @@
+test/test_owner_expr.ml: Alcotest Dist Grid Hashtbl Layout List Printf Xdp Xdp_dist Xdp_runtime Xdp_sim

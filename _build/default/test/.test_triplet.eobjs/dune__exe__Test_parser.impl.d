@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest List Printf QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime

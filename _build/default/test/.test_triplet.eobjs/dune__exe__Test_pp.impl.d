@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest String Xdp Xdp_dist

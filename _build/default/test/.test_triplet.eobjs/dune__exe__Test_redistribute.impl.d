@@ -1,0 +1,1 @@
+test/test_redistribute.ml: Alcotest Array List Printf QCheck QCheck_alcotest String Xdp Xdp_dist Xdp_runtime Xdp_symtab Xdp_util

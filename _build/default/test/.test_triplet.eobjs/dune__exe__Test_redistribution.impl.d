@@ -1,0 +1,1 @@
+test/test_redistribution.ml: Alcotest Box Dist Grid Hashtbl Layout List QCheck QCheck_alcotest Redistribution Xdp_dist Xdp_util

@@ -1,0 +1,1 @@
+test/test_reduce.ml: Alcotest Float List Printf QCheck QCheck_alcotest Xdp Xdp_apps Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Box Dist Fun Grid Layout List QCheck QCheck_alcotest Segment Triplet Xdp_dist Xdp_util

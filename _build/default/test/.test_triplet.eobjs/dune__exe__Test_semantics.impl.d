@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Array List Option Printf Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_symtab Xdp_util

@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest List Printf Xdp Xdp_dist Xdp_runtime Xdp_util

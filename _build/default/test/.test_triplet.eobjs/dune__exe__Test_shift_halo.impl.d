@@ -1,0 +1,1 @@
+test/test_shift_halo.ml: Alcotest Gen List QCheck QCheck_alcotest Xdp Xdp_dist Xdp_runtime Xdp_util

@@ -1,0 +1,1 @@
+test/test_shift_halo.mli:

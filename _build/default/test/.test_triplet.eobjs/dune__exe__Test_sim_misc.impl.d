@@ -1,0 +1,1 @@
+test/test_sim_misc.ml: Alcotest Array Costmodel Format Gantt List String Trace Xdp_apps Xdp_runtime Xdp_sim Xdp_util

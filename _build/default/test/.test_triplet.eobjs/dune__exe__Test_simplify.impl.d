@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Hashtbl List QCheck QCheck_alcotest Xdp Xdp_runtime Xdp_sim

@@ -1,0 +1,1 @@
+test/test_sink_await.ml: Alcotest Xdp Xdp_apps Xdp_runtime Xdp_util

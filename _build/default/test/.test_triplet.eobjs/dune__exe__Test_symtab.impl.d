@@ -1,0 +1,1 @@
+test/test_symtab.ml: Alcotest Array Box Dist Format Gen Grid Layout List Printf QCheck QCheck_alcotest State String Symtab Triplet Xdp_dist Xdp_symtab Xdp_util

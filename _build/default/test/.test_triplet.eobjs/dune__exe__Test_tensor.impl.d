@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Box List QCheck QCheck_alcotest Tensor Triplet Xdp_util

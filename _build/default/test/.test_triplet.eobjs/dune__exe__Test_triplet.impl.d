@@ -1,0 +1,1 @@
+test/test_triplet.ml: Alcotest List Printf QCheck QCheck_alcotest Triplet Xdp_util

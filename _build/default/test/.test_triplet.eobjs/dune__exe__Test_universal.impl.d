@@ -1,0 +1,1 @@
+test/test_universal.ml: Alcotest Array List String Xdp Xdp_dist Xdp_runtime Xdp_symtab Xdp_util

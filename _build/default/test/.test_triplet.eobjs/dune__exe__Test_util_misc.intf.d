@@ -1,0 +1,1 @@
+test/test_util_misc.mli:

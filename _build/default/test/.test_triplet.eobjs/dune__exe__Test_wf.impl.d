@@ -1,0 +1,1 @@
+test/test_wf.ml: Alcotest List String Xdp Xdp_dist

@@ -1,0 +1,241 @@
+(* End-to-end application tests: every stage of every bundled app
+   verifies against its sequential reference (or invariant) across a
+   sweep of sizes and processor counts, and the optimization stages
+   improve the metrics the paper claims they improve. *)
+
+module Exec = Xdp_runtime.Exec
+
+let tensor_close a b = Xdp_util.Tensor.max_diff a b < 1e-9
+
+(* --- vecadd --- *)
+
+let vecadd_expected ~n = Xdp_apps.Vecadd.expected ~n
+
+let test_vecadd_all_stages_all_sizes () =
+  List.iter
+    (fun (n, nprocs) ->
+      List.iter
+        (fun dist_b ->
+          let seqp =
+            Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b
+              ~stage:Xdp_apps.Vecadd.Sequential ()
+          in
+          let seq_a =
+            Xdp_runtime.Seq.array
+              (Xdp_runtime.Seq.run ~init:Xdp_apps.Vecadd.init seqp)
+              "A"
+          in
+          Alcotest.(check bool) "sequential matches closed form" true
+            (tensor_close seq_a (vecadd_expected ~n));
+          List.iter
+            (fun stage ->
+              if stage <> Xdp_apps.Vecadd.Sequential then begin
+                let p = Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b ~stage () in
+                let r = Exec.run ~init:Xdp_apps.Vecadd.init ~nprocs p in
+                Alcotest.(check bool)
+                  (Printf.sprintf "n=%d p=%d %s %s" n nprocs
+                     (Xdp_dist.Dist.to_string dist_b)
+                     (Xdp_apps.Vecadd.stage_name stage))
+                  true
+                  (tensor_close (Exec.array r "A") (vecadd_expected ~n))
+              end)
+            Xdp_apps.Vecadd.all_stages)
+        [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ])
+    [ (8, 2); (8, 4); (16, 4); (12, 3) ]
+
+let test_vecadd_stage_metrics_improve () =
+  let n = 16 and nprocs = 4 in
+  let run stage =
+    Exec.run ~init:Xdp_apps.Vecadd.init ~nprocs
+      (Xdp_apps.Vecadd.build ~n ~nprocs ~stage ())
+  in
+  let naive = run Xdp_apps.Vecadd.Naive in
+  let elim = run Xdp_apps.Vecadd.Elim in
+  let local = run Xdp_apps.Vecadd.Localized in
+  Alcotest.(check int) "naive: one message per element" n
+    naive.stats.messages;
+  Alcotest.(check int) "elim removes all messages" 0 elim.stats.messages;
+  Alcotest.(check bool) "elim still guards" true (elim.stats.guard_evals > 0);
+  Alcotest.(check int) "localize removes all guards" 0
+    local.stats.guard_evals;
+  Alcotest.(check bool) "each stage is faster" true
+    (naive.stats.makespan > elim.stats.makespan
+    && elim.stats.makespan > local.stats.makespan)
+
+(* --- fft3d --- *)
+
+let fft_reference ~n ~nprocs =
+  Xdp_runtime.Seq.array
+    (Xdp_runtime.Seq.run ~init:Xdp_apps.Fft3d.init
+       (Xdp_apps.Fft3d.sequential ~n ~nprocs))
+    "A"
+
+let test_fft_all_stages () =
+  List.iter
+    (fun (n, nprocs, seg_rows) ->
+      let expected = fft_reference ~n ~nprocs in
+      List.iter
+        (fun stage ->
+          let p = Xdp_apps.Fft3d.build ~n ~nprocs ~seg_rows ~stage () in
+          let r = Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs p in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d p=%d seg=%d %s" n nprocs seg_rows
+               (Xdp_apps.Fft3d.stage_name stage))
+            true
+            (tensor_close (Exec.array r "A") expected);
+          (* ownership must end up exactly redistributed *)
+          let unowned, multi = Exec.ownership_defects r p in
+          Alcotest.(check int) "no unowned" 0 unowned;
+          Alcotest.(check int) "no multiply-owned" 0 multi)
+        Xdp_apps.Fft3d.all_stages)
+    [ (4, 4, 4); (4, 4, 2); (8, 4, 8); (8, 2, 4); (8, 8, 8) ]
+
+let test_fft_redistribution_message_count () =
+  let n = 4 and nprocs = 4 in
+  let p = Xdp_apps.Fft3d.build ~n ~nprocs ~stage:Xdp_apps.Fft3d.Localized () in
+  let r = Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs p in
+  (* n sends per processor, including the self-transfer *)
+  Alcotest.(check int) "messages" (n * nprocs) r.stats.messages;
+  Alcotest.(check int) "ownership transfers" (n * nprocs)
+    r.stats.ownership_transfers
+
+(* --- jacobi --- *)
+
+let jacobi_reference ~n ~nprocs ~sweeps =
+  Xdp_runtime.Seq.array
+    (Xdp_runtime.Seq.run ~init:Xdp_apps.Jacobi.init
+       (Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps
+          ~stage:Xdp_apps.Jacobi.Sequential ()))
+    "A"
+
+let test_jacobi_all_stages () =
+  List.iter
+    (fun (n, nprocs, sweeps) ->
+      let expected = jacobi_reference ~n ~nprocs ~sweeps in
+      List.iter
+        (fun stage ->
+          if stage <> Xdp_apps.Jacobi.Sequential then begin
+            let p = Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage () in
+            let r = Exec.run ~init:Xdp_apps.Jacobi.init ~nprocs p in
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d p=%d sweeps=%d %s" n nprocs sweeps
+                 (Xdp_apps.Jacobi.stage_name stage))
+              true
+              (tensor_close (Exec.array r "A") expected)
+          end)
+        Xdp_apps.Jacobi.all_stages)
+    [ (8, 2, 1); (16, 4, 3); (16, 2, 4); (32, 4, 2) ]
+
+let test_jacobi_halo_message_savings () =
+  let n = 32 and nprocs = 4 and sweeps = 2 in
+  let run stage =
+    Exec.run ~init:Xdp_apps.Jacobi.init ~nprocs
+      (Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage ())
+  in
+  let elim = run Xdp_apps.Jacobi.Elim in
+  let halo = run Xdp_apps.Jacobi.Halo in
+  Alcotest.(check int) "halo: 2 msgs per neighbor pair per sweep"
+    (2 * (nprocs - 1) * sweeps)
+    halo.stats.messages;
+  Alcotest.(check bool) "halo uses far fewer messages" true
+    (halo.stats.messages * 5 < elim.stats.messages);
+  Alcotest.(check bool) "halo is faster" true
+    (halo.stats.makespan < elim.stats.makespan)
+
+(* --- farm --- *)
+
+let farm_sum r nprocs =
+  let acc = Exec.array r "ACC" in
+  let sum = ref 0.0 in
+  for q = 1 to nprocs do
+    sum := !sum +. Xdp_util.Tensor.get acc [ q ]
+  done;
+  !sum
+
+let test_farm_conservation () =
+  List.iter
+    (fun (ntasks, nprocs) ->
+      List.iter
+        (fun skew ->
+          let total = Xdp_apps.Farm.total_work ~skew ~ntasks () in
+          List.iter
+            (fun variant ->
+              let p = Xdp_apps.Farm.build ~ntasks ~nprocs ~variant () in
+              let r =
+                Exec.run ~init:(Xdp_apps.Farm.init ~skew ~ntasks) ~nprocs p
+              in
+              Alcotest.(check (float 1e-6))
+                (Printf.sprintf "%s %s tasks=%d p=%d"
+                   (Xdp_apps.Farm.variant_name variant)
+                   (Xdp_apps.Farm.skew_name skew) ntasks nprocs)
+                total (farm_sum r nprocs);
+              Alcotest.(check int) "no unmatched traffic" 0
+                (r.stats.unmatched_sends + r.stats.unmatched_recvs))
+            [ Xdp_apps.Farm.Static; Xdp_apps.Farm.Dynamic ])
+        [ Xdp_apps.Farm.Uniform; Xdp_apps.Farm.Quadratic;
+          Xdp_apps.Farm.Random 7 ])
+    [ (8, 2); (16, 4); (24, 4) ]
+
+let test_farm_balances_coarse_skewed_work () =
+  let ntasks = 32 and nprocs = 4 in
+  let skew = Xdp_apps.Farm.Front_loaded and base = 20000.0 in
+  let run variant =
+    Exec.run
+      ~init:(Xdp_apps.Farm.init ~base ~skew ~ntasks)
+      ~nprocs
+      (Xdp_apps.Farm.build ~ntasks ~nprocs ~variant ())
+  in
+  let s = run Xdp_apps.Farm.Static in
+  let d = run Xdp_apps.Farm.Dynamic in
+  Alcotest.(check bool) "dynamic at least 1.5x faster" true
+    (s.stats.makespan > 1.5 *. d.stats.makespan);
+  Alcotest.(check bool) "dynamic less idle" true
+    (Xdp_sim.Trace.idle_fraction d.stats
+    < Xdp_sim.Trace.idle_fraction s.stats)
+
+(* randomized end-to-end property over the vecadd family *)
+let prop_full_pipeline_random =
+  QCheck.Test.make ~name:"full pipeline correct on random configs" ~count:20
+    QCheck.(
+      triple (int_range 1 4) (int_range 1 4)
+        (oneofl [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ]))
+    (fun (nprocs, mult, dist_b) ->
+      let n = nprocs * mult * 2 in
+      let p =
+        Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b
+          ~stage:Xdp_apps.Vecadd.Bound ()
+      in
+      let r = Exec.run ~init:Xdp_apps.Vecadd.init ~nprocs p in
+      tensor_close (Exec.array r "A") (vecadd_expected ~n))
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "vecadd",
+        [
+          Alcotest.test_case "all stages, all sizes" `Quick
+            test_vecadd_all_stages_all_sizes;
+          Alcotest.test_case "stage metrics" `Quick
+            test_vecadd_stage_metrics_improve;
+        ] );
+      ( "fft3d",
+        [
+          Alcotest.test_case "all stages" `Quick test_fft_all_stages;
+          Alcotest.test_case "message counts" `Quick
+            test_fft_redistribution_message_count;
+        ] );
+      ( "jacobi",
+        [
+          Alcotest.test_case "all stages" `Quick test_jacobi_all_stages;
+          Alcotest.test_case "halo savings" `Quick
+            test_jacobi_halo_message_savings;
+        ] );
+      ( "farm",
+        [
+          Alcotest.test_case "work conservation" `Quick test_farm_conservation;
+          Alcotest.test_case "balances skewed work" `Quick
+            test_farm_balances_coarse_skewed_work;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_full_pipeline_random ] );
+    ]

@@ -1,0 +1,115 @@
+(* Delayed-binding pass tests: static annotation of receivers and its
+   effect on wire bytes (the name need not travel, footnote 2). *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid n = Xdp_dist.Grid.linear n
+
+let vec ~dist_b n nprocs =
+  let decls =
+    [
+      decl ~name:"A" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ]
+        ~grid:(grid nprocs) ();
+      decl ~name:"B" ~shape:[ n ] ~dist:[ dist_b ] ~grid:(grid nprocs) ();
+    ]
+  in
+  let iv = var "i" in
+  program ~name:"p" ~decls
+    [ loop "i" (i 1) (i n) [ set "A" [ iv ] (elem "A" [ iv ] +: elem "B" [ iv ]) ] ]
+
+let lowered_misaligned nprocs =
+  Xdp.Lower.run ~direct:false ~nprocs (vec ~dist_b:Xdp_dist.Dist.Cyclic 8 nprocs)
+
+let test_binds_lowered_send () =
+  let p, report = Xdp.Bind.run_with_report (lowered_misaligned 4) in
+  Alcotest.(check int) "bound" 1 report.bound;
+  let rec find_send = function
+    | [] -> None
+    | Send_value (_, d) :: _ -> Some d
+    | Guard (_, b) :: rest | For { body = b; _ } :: rest -> (
+        match find_send b with Some d -> Some d | None -> find_send rest)
+    | _ :: rest -> find_send rest
+  in
+  match find_send p.body with
+  | Some (Directed [ e ]) ->
+      (* destination = owner of A[i] under BLOCK(2) *)
+      Alcotest.(check string) "owner formula" "(((i - 1) / 2) + 1)"
+        (Xdp.Pp.expr_to_string e)
+  | _ -> Alcotest.fail "expected a directed send"
+
+let test_bound_program_saves_header_bytes () =
+  let undirected = lowered_misaligned 4 in
+  let bound = Xdp.Bind.run undirected in
+  let init name idx =
+    match (name, idx) with
+    | "A", [ i ] -> float_of_int i
+    | "B", [ i ] -> float_of_int (i * 3)
+    | _ -> 0.0
+  in
+  let r1 = Exec.run ~init ~nprocs:4 undirected in
+  let r2 = Exec.run ~init ~nprocs:4 bound in
+  Alcotest.(check int) "same messages" r1.stats.messages r2.stats.messages;
+  Alcotest.(check bool) "fewer bytes when bound" true
+    (r2.stats.bytes < r1.stats.bytes);
+  (* and the results agree *)
+  Alcotest.(check bool) "same result" true
+    (Xdp_util.Tensor.equal (Exec.array r1 "A") (Exec.array r2 "A"))
+
+let test_ambiguous_receive_not_bound () =
+  (* two receives of the same name: binding would be a guess *)
+  let decls =
+    [
+      decl ~name:"A" ~shape:[ 4 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+      decl ~name:"T" ~shape:[ 2 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+    ]
+  in
+  let p =
+    program ~name:"p" ~decls
+      [
+        iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ];
+        iown (sec "A" [ at (i 1) ])
+        @: [ recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]) ];
+        iown (sec "A" [ at (i 2) ])
+        @: [ recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]) ];
+      ]
+  in
+  let _, report = Xdp.Bind.run_with_report p in
+  Alcotest.(check int) "not bound" 0 report.bound;
+  Alcotest.(check int) "reported unbound" 1 report.unbound
+
+let test_spanning_owner_not_bound () =
+  (* the receive guard names a section spanning processors *)
+  let decls =
+    [
+      decl ~name:"A" ~shape:[ 4 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+      decl ~name:"T" ~shape:[ 2 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+    ]
+  in
+  let p =
+    program ~name:"p" ~decls
+      [
+        iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ];
+        iown (sec "A" [ all ])
+        @: [ recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]) ];
+      ]
+  in
+  let _, report = Xdp.Bind.run_with_report p in
+  Alcotest.(check int) "not bound" 0 report.bound
+
+let () =
+  Alcotest.run "bind"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "binds lowered send" `Quick
+            test_binds_lowered_send;
+          Alcotest.test_case "saves header bytes" `Quick
+            test_bound_program_saves_header_bytes;
+          Alcotest.test_case "ambiguous not bound" `Quick
+            test_ambiguous_receive_not_bound;
+          Alcotest.test_case "spanning owner not bound" `Quick
+            test_spanning_owner_not_bound;
+        ] );
+    ]

@@ -1,0 +1,247 @@
+(* Rendezvous board tests: FIFO name matching, directed vs undirected
+   sends, arrival-time arithmetic, kind mismatch detection, and the
+   multi-receiver semantics behind the §2.7 farm. *)
+
+open Xdp_sim
+
+let cm = Costmodel.message_passing
+let mk () = Board.create cm
+
+let pop_all b =
+  let rec go acc =
+    match Board.pop_delivery b with
+    | Some d -> go (d :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_send_then_recv () =
+  let b = mk () in
+  Board.post_send b ~time:0.0 ~src:0 ~name:"A[1]" ~kind:Board.Value
+    ~payload:[| 7.0 |] ~directed:None;
+  Alcotest.(check int) "no delivery yet" 0 (List.length (pop_all b));
+  Board.post_recv b ~time:50.0 ~dst:1 ~name:"A[1]" ~kind:Board.Value ~token:9;
+  (match pop_all b with
+  | [ d ] ->
+      Alcotest.(check int) "src" 0 d.src;
+      Alcotest.(check int) "dst" 1 d.dst;
+      Alcotest.(check int) "token" 9 d.token;
+      (* arrival = max(0 + alpha + beta*bytes, 50) ; bytes = 8 + 16 hdr *)
+      let bytes = 8 + cm.header_bytes in
+      Alcotest.(check (float 1e-9)) "arrival"
+        (cm.alpha +. (cm.beta *. float_of_int bytes))
+        d.arrival;
+      Alcotest.(check (float 0.0)) "payload" 7.0 d.payload.(0)
+  | l -> Alcotest.failf "expected 1 delivery, got %d" (List.length l))
+
+let test_recv_then_send_late () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"X" ~kind:Board.Value ~token:1;
+  Board.post_send b ~time:10_000.0 ~src:0 ~name:"X" ~kind:Board.Value
+    ~payload:[||] ~directed:None;
+  (match pop_all b with
+  | [ d ] ->
+      Alcotest.(check bool) "arrival after send" true (d.arrival > 10_000.0)
+  | _ -> Alcotest.fail "expected delivery")
+
+let test_recv_waits_for_arrival_not_send () =
+  let b = mk () in
+  Board.post_send b ~time:0.0 ~src:0 ~name:"X" ~kind:Board.Value
+    ~payload:[| 1.0 |] ~directed:None;
+  Board.post_recv b ~time:1_000_000.0 ~dst:1 ~name:"X" ~kind:Board.Value
+    ~token:1;
+  (match pop_all b with
+  | [ d ] ->
+      (* message long since arrived; completion at recv time *)
+      Alcotest.(check (float 1e-9)) "arrival = recv time" 1_000_000.0 d.arrival
+  | _ -> Alcotest.fail "expected delivery")
+
+let test_fifo_order () =
+  let b = mk () in
+  Board.post_send b ~time:0.0 ~src:0 ~name:"J" ~kind:Board.Value
+    ~payload:[| 1.0 |] ~directed:None;
+  Board.post_send b ~time:1.0 ~src:0 ~name:"J" ~kind:Board.Value
+    ~payload:[| 2.0 |] ~directed:None;
+  Board.post_recv b ~time:2.0 ~dst:1 ~name:"J" ~kind:Board.Value ~token:1;
+  Board.post_recv b ~time:3.0 ~dst:2 ~name:"J" ~kind:Board.Value ~token:2;
+  (match pop_all b with
+  | [ d1; d2 ] ->
+      Alcotest.(check (float 0.0)) "first send to first recv" 1.0
+        d1.payload.(0);
+      Alcotest.(check int) "to dst 1" 1 d1.dst;
+      Alcotest.(check (float 0.0)) "second to second" 2.0 d2.payload.(0);
+      Alcotest.(check int) "to dst 2" 2 d2.dst
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l))
+
+let test_multi_receiver_race () =
+  (* The farm pattern: receives posted by different processors drain a
+     queue of same-name sends in receive order. *)
+  let b = mk () in
+  Board.post_recv b ~time:5.0 ~dst:2 ~name:"JOB" ~kind:Board.Value ~token:1;
+  Board.post_recv b ~time:1.0 ~dst:3 ~name:"JOB" ~kind:Board.Value ~token:2;
+  Board.post_send b ~time:10.0 ~src:0 ~name:"JOB" ~kind:Board.Value
+    ~payload:[| 1.0 |] ~directed:None;
+  (match pop_all b with
+  | [ d ] ->
+      (* earliest-posted receive wins *)
+      Alcotest.(check int) "earliest receiver" 2 d.dst
+  | _ -> Alcotest.fail "expected delivery")
+
+let test_directed_matching () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"A" ~kind:Board.Value ~token:1;
+  Board.post_recv b ~time:1.0 ~dst:2 ~name:"A" ~kind:Board.Value ~token:2;
+  (* directed to 2 skips the earlier receive by 1 *)
+  Board.post_send b ~time:2.0 ~src:0 ~name:"A" ~kind:Board.Value
+    ~payload:[| 9.0 |] ~directed:(Some [ 2 ]);
+  (match pop_all b with
+  | [ d ] -> Alcotest.(check int) "directed dst" 2 d.dst
+  | _ -> Alcotest.fail "expected delivery");
+  Alcotest.(check int) "P1's recv still pending" 1
+    (List.length (Board.pending_recvs b))
+
+let test_directed_skips_header () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"A" ~kind:Board.Value ~token:1;
+  Board.post_send b ~time:0.0 ~src:0 ~name:"A" ~kind:Board.Value
+    ~payload:[| 1.0; 2.0 |] ~directed:(Some [ 1 ]);
+  (match pop_all b with
+  | [ d ] -> Alcotest.(check int) "no header" 16 d.bytes
+  | _ -> Alcotest.fail "expected delivery")
+
+let test_broadcast () =
+  let b = mk () in
+  List.iter
+    (fun dst ->
+      Board.post_recv b ~time:0.0 ~dst ~name:"S" ~kind:Board.Value
+        ~token:dst)
+    [ 0; 1; 2 ];
+  Board.post_send b ~time:1.0 ~src:0 ~name:"S" ~kind:Board.Value
+    ~payload:[| 5.0 |] ~directed:(Some [ 0; 1; 2 ]);
+  let ds = pop_all b in
+  Alcotest.(check int) "three deliveries" 3 (List.length ds);
+  Alcotest.(check (list int)) "all destinations" [ 0; 1; 2 ]
+    (List.sort compare (List.map (fun (d : Board.delivery) -> d.dst) ds))
+
+let test_kind_mismatch () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"A" ~kind:Board.Owner ~token:1;
+  Alcotest.(check bool) "mismatch raises" true
+    (try
+       Board.post_send b ~time:0.0 ~src:0 ~name:"A" ~kind:Board.Value
+         ~payload:[||] ~directed:None;
+       false
+     with Board.Mismatch _ -> true)
+
+let test_owner_message_is_header_only () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"A" ~kind:Board.Owner ~token:1;
+  Board.post_send b ~time:0.0 ~src:0 ~name:"A" ~kind:Board.Owner
+    ~payload:[||] ~directed:None;
+  (match pop_all b with
+  | [ d ] ->
+      Alcotest.(check int) "header only" cm.header_bytes d.bytes
+  | _ -> Alcotest.fail "expected delivery")
+
+let test_empty_destination_set () =
+  let b = mk () in
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Board.post_send: empty destination set") (fun () ->
+      Board.post_send b ~time:0.0 ~src:0 ~name:"A" ~kind:Board.Value
+        ~payload:[||] ~directed:(Some []))
+
+let test_stats () =
+  let b = mk () in
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"A" ~kind:Board.Value ~token:1;
+  Board.post_send b ~time:0.0 ~src:0 ~name:"A" ~kind:Board.Value
+    ~payload:[| 1.0 |] ~directed:None;
+  Alcotest.(check int) "matched" 1 (Board.messages_matched b);
+  Alcotest.(check int) "bytes" (8 + cm.header_bytes) (Board.bytes_matched b);
+  Alcotest.(check int) "no pending" 0
+    (List.length (Board.pending_sends b) + List.length (Board.pending_recvs b))
+
+let test_nic_serialization () =
+  let cm = Costmodel.serialized Costmodel.message_passing in
+  let b = Board.create cm in
+  (* two 100-element messages posted at t=0 by the same source: the
+     second departs only after the first clears the NIC *)
+  List.iter
+    (fun token ->
+      Board.post_recv b ~time:0.0 ~dst:1
+        ~name:(Printf.sprintf "M%d" token)
+        ~kind:Board.Value ~token)
+    [ 1; 2 ];
+  List.iter
+    (fun name ->
+      Board.post_send b ~time:0.0 ~src:0 ~name ~kind:Board.Value
+        ~payload:(Array.make 100 0.0) ~directed:(Some [ 1 ]))
+    [ "M1"; "M2" ];
+  (match pop_all b with
+  | [ d1; d2 ] ->
+      let occupancy = cm.beta *. 800.0 in
+      Alcotest.(check (float 1e-9)) "first unaffected"
+        (cm.alpha +. (cm.beta *. 800.0))
+        d1.arrival;
+      Alcotest.(check (float 1e-9)) "second queued behind the first"
+        (occupancy +. cm.alpha +. (cm.beta *. 800.0))
+        d2.arrival
+  | l -> Alcotest.failf "expected 2 deliveries, got %d" (List.length l));
+  (* a different source's NIC is independent *)
+  Board.post_recv b ~time:0.0 ~dst:1 ~name:"M3" ~kind:Board.Value ~token:3;
+  Board.post_send b ~time:0.0 ~src:5 ~name:"M3" ~kind:Board.Value
+    ~payload:(Array.make 100 0.0) ~directed:(Some [ 1 ]);
+  (match pop_all b with
+  | [ d ] ->
+      Alcotest.(check (float 1e-9)) "independent NIC"
+        (cm.alpha +. (cm.beta *. 800.0))
+        d.arrival
+  | _ -> Alcotest.fail "expected delivery")
+
+let prop_deliveries_sorted =
+  QCheck.Test.make ~name:"deliveries pop in (arrival, seq) order" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 20) (pair (int_range 0 100) bool))
+    (fun ops ->
+      let b = mk () in
+      let token = ref 0 in
+      List.iter
+        (fun (t, is_send) ->
+          incr token;
+          if is_send then
+            Board.post_send b ~time:(float_of_int t) ~src:0 ~name:"N"
+              ~kind:Board.Value ~payload:[| 0.0 |] ~directed:None
+          else
+            Board.post_recv b ~time:(float_of_int t) ~dst:1 ~name:"N"
+              ~kind:Board.Value ~token:!token)
+        ops;
+      let ds = pop_all b in
+      let keys = List.map (fun (d : Board.delivery) -> (d.arrival, d.seq)) ds in
+      keys = List.sort compare keys)
+
+let () =
+  Alcotest.run "board"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "send then recv" `Quick test_send_then_recv;
+          Alcotest.test_case "recv then late send" `Quick
+            test_recv_then_send_late;
+          Alcotest.test_case "early arrival" `Quick
+            test_recv_waits_for_arrival_not_send;
+          Alcotest.test_case "FIFO" `Quick test_fifo_order;
+          Alcotest.test_case "multi-receiver race (farm)" `Quick
+            test_multi_receiver_race;
+          Alcotest.test_case "directed matching" `Quick test_directed_matching;
+          Alcotest.test_case "directed skips header" `Quick
+            test_directed_skips_header;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+          Alcotest.test_case "ownership message size" `Quick
+            test_owner_message_is_header_only;
+          Alcotest.test_case "empty destinations" `Quick
+            test_empty_destination_set;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "NIC serialization" `Quick
+            test_nic_serialization;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_deliveries_sorted ]);
+    ]

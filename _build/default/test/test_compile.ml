@@ -1,0 +1,90 @@
+(* The one-call compilation driver. *)
+
+open Xdp.Build
+module C = Xdp.Compile
+
+let grid = Xdp_dist.Grid.linear 4
+
+let decls =
+  [
+    decl ~name:"A" ~shape:[ 16 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid ();
+    decl ~name:"B" ~shape:[ 16 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid ();
+  ]
+
+let iv = var "i"
+
+let stencil_prog =
+  program ~name:"p" ~decls
+    [
+      loop "i" (i 2)
+        (i 15)
+        [ set "A" [ iv ] (elem "B" [ iv -: i 1 ] +: elem "B" [ iv +: i 1 ]) ];
+    ]
+
+let test_observe_reports_every_pass () =
+  let seen = ref [] in
+  let _ =
+    C.optimize ~observe:(fun name _ -> seen := name :: !seen) ~nprocs:4
+      stencil_prog
+  in
+  Alcotest.(check (list string))
+    "pass order"
+    [ "shift-halo"; "lower"; "elim-comm"; "localize"; "hoist-guard"; "fuse";
+      "bind"; "simplify" ]
+    (List.rev !seen)
+
+let test_result_is_balanced_and_correct () =
+  let { C.compiled; balance } = C.optimize ~nprocs:4 stencil_prog in
+  (match balance with
+  | Xdp.Match_check.Balanced -> ()
+  | _ -> Alcotest.fail "expected balanced");
+  let init name idx =
+    if name = "B" then float_of_int (List.hd idx * 2) else 0.0
+  in
+  let expected =
+    Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init stencil_prog) "A"
+  in
+  let r = Xdp_runtime.Exec.run ~init ~nprocs:4 compiled in
+  Alcotest.(check bool) "verified" true
+    (Xdp_util.Tensor.equal (Xdp_runtime.Exec.array r "A") expected);
+  (* the shift loop was vectorized: one strip per neighbour pair *)
+  Alcotest.(check int) "combined messages" 6 r.stats.messages
+
+let test_rejects_xdp_input () =
+  let bad = program ~name:"bad" ~decls [ send (sec "A" [ at (i 1) ]) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (C.optimize ~nprocs:4 bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_aligned_program_compiles_to_no_comm () =
+  let p =
+    program ~name:"p" ~decls
+      [
+        loop "i" (i 1)
+          (i 16)
+          [ set "A" [ iv ] (elem "A" [ iv ] +: elem "B" [ iv ]) ];
+      ]
+  in
+  let { C.compiled; balance } = C.optimize ~nprocs:4 p in
+  (match balance with
+  | Xdp.Match_check.Balanced -> ()
+  | _ -> Alcotest.fail "expected balanced");
+  Alcotest.(check (option int)) "zero messages predicted" (Some 0)
+    (Xdp.Match_check.static_message_count compiled)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "observe order" `Quick
+            test_observe_reports_every_pass;
+          Alcotest.test_case "balanced and correct" `Quick
+            test_result_is_balanced_and_correct;
+          Alcotest.test_case "rejects XDP input" `Quick test_rejects_xdp_input;
+          Alcotest.test_case "aligned -> no comm" `Quick
+            test_aligned_program_compiles_to_no_comm;
+        ] );
+    ]

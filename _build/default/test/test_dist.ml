@@ -1,0 +1,132 @@
+(* Per-dimension distribution tests: the HPF BLOCK / CYCLIC /
+   CYCLIC(m) / * owner arithmetic. *)
+
+open Xdp_dist
+open Xdp_util
+
+let owners dist ~extent ~procs =
+  List.init extent (fun i0 ->
+      Dist.owner_coord dist ~extent ~procs (i0 + 1))
+
+let test_block () =
+  Alcotest.(check (list int)) "block 8/4"
+    [ 0; 0; 1; 1; 2; 2; 3; 3 ]
+    (owners Dist.Block ~extent:8 ~procs:4);
+  (* uneven: ceil(7/3)=3 -> blocks 3,3,1 *)
+  Alcotest.(check (list int)) "block 7/3"
+    [ 0; 0; 0; 1; 1; 1; 2 ]
+    (owners Dist.Block ~extent:7 ~procs:3)
+
+let test_cyclic () =
+  Alcotest.(check (list int)) "cyclic 8/3"
+    [ 0; 1; 2; 0; 1; 2; 0; 1 ]
+    (owners Dist.Cyclic ~extent:8 ~procs:3)
+
+let test_block_cyclic () =
+  Alcotest.(check (list int)) "cyclic(2) 10/2"
+    [ 0; 0; 1; 1; 0; 0; 1; 1; 0; 0 ]
+    (owners (Dist.Block_cyclic 2) ~extent:10 ~procs:2)
+
+let triplets_indices ts = List.concat_map Triplet.to_list ts
+
+let test_owned_triplets_partition () =
+  (* For every distribution, owned_triplets over all coords partitions
+     1..extent and agrees with owner_coord. *)
+  List.iter
+    (fun (dist, extent, procs) ->
+      let all =
+        List.concat_map
+          (fun c ->
+            List.map (fun i -> (i, c))
+              (triplets_indices (Dist.owned_triplets dist ~extent ~procs c)))
+          (List.init procs Fun.id)
+      in
+      Alcotest.(check int)
+        (Dist.to_string dist ^ " partitions")
+        extent (List.length all);
+      List.iter
+        (fun (i, c) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s owner(%d)" (Dist.to_string dist) i)
+            (Dist.owner_coord dist ~extent ~procs i)
+            c)
+        all)
+    [
+      (Dist.Block, 8, 4);
+      (Dist.Block, 7, 3);
+      (Dist.Cyclic, 11, 4);
+      (Dist.Block_cyclic 2, 10, 2);
+      (Dist.Block_cyclic 3, 17, 4);
+    ]
+
+let test_star () =
+  Alcotest.(check (list int)) "star owns everything"
+    [ 1; 2; 3; 4; 5 ]
+    (triplets_indices (Dist.owned_triplets Dist.Star ~extent:5 ~procs:1 0));
+  Alcotest.(check bool) "star raises on owner" true
+    (try
+       ignore (Dist.owner_coord Dist.Star ~extent:5 ~procs:1 1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_parse_print () =
+  List.iter
+    (fun (s, d) ->
+      (match Dist.of_string s with
+      | Some d' -> Alcotest.(check bool) ("parse " ^ s) true (Dist.equal d d')
+      | None -> Alcotest.fail ("parse failed: " ^ s));
+      Alcotest.(check bool)
+        ("roundtrip " ^ s)
+        true
+        (Dist.of_string (Dist.to_string d) = Some d))
+    [
+      ("*", Dist.Star);
+      ("BLOCK", Dist.Block);
+      ("block", Dist.Block);
+      ("CYCLIC", Dist.Cyclic);
+      ("CYCLIC(4)", Dist.Block_cyclic 4);
+    ];
+  Alcotest.(check bool) "garbage" true (Dist.of_string "BLK" = None);
+  Alcotest.(check bool) "cyclic(0)" true (Dist.of_string "CYCLIC(0)" = None)
+
+let prop_block_contiguous =
+  QCheck.Test.make ~name:"BLOCK partitions are contiguous" ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 1 8))
+    (fun (extent, procs) ->
+      List.for_all
+        (fun c ->
+          match Dist.owned_triplets Dist.Block ~extent ~procs c with
+          | [] -> true
+          | [ t ] -> Triplet.contiguous t
+          | _ -> false)
+        (List.init procs Fun.id))
+
+let prop_cyclic_stride =
+  QCheck.Test.make ~name:"CYCLIC strides by procs" ~count:200
+    QCheck.(pair (int_range 1 40) (int_range 1 8))
+    (fun (extent, procs) ->
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun i ->
+              Dist.owner_coord Dist.Cyclic ~extent ~procs i = c)
+            (triplets_indices
+               (Dist.owned_triplets Dist.Cyclic ~extent ~procs c)))
+        (List.init procs Fun.id))
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "block" `Quick test_block;
+          Alcotest.test_case "cyclic" `Quick test_cyclic;
+          Alcotest.test_case "block_cyclic" `Quick test_block_cyclic;
+          Alcotest.test_case "partition" `Quick test_owned_triplets_partition;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "parse/print" `Quick test_parse_print;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_block_contiguous; prop_cyclic_stride ] );
+    ]

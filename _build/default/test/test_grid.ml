@@ -1,0 +1,55 @@
+(* Processor grid tests. *)
+
+open Xdp_dist
+
+let test_linear () =
+  let g = Grid.linear 4 in
+  Alcotest.(check int) "nprocs" 4 (Grid.nprocs g);
+  Alcotest.(check int) "rank" 1 (Grid.rank g);
+  Alcotest.(check (list int)) "coords" [ 2 ] (Grid.coords g 2);
+  Alcotest.(check int) "pid" 3 (Grid.pid g [ 3 ])
+
+let test_2d_roundtrip () =
+  let g = Grid.make [ 2; 3 ] in
+  Alcotest.(check int) "nprocs" 6 (Grid.nprocs g);
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "roundtrip %d" p)
+        p
+        (Grid.pid g (Grid.coords g p)))
+    (Grid.all_pids g);
+  (* row-major: last axis fastest *)
+  Alcotest.(check (list int)) "coords of 4" [ 1; 1 ] (Grid.coords g 4)
+
+let test_errors () =
+  Alcotest.check_raises "rank 0" (Invalid_argument "Grid.make: rank 0")
+    (fun () -> ignore (Grid.make []));
+  Alcotest.check_raises "bad extent"
+    (Invalid_argument "Grid.make: extent <= 0") (fun () ->
+      ignore (Grid.make [ 2; 0 ]));
+  let g = Grid.make [ 2; 2 ] in
+  Alcotest.check_raises "pid range" (Invalid_argument "Grid.coords: pid range")
+    (fun () -> ignore (Grid.coords g 4));
+  Alcotest.check_raises "coord range" (Invalid_argument "Grid.pid: coord range")
+    (fun () -> ignore (Grid.pid g [ 2; 0 ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pid/coords inverse" ~count:200
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (a, b) ->
+      let g = Grid.make [ a; b ] in
+      List.for_all (fun p -> Grid.pid g (Grid.coords g p) = p)
+        (Grid.all_pids g))
+
+let () =
+  Alcotest.run "grid"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "linear" `Quick test_linear;
+          Alcotest.test_case "2d roundtrip" `Quick test_2d_roundtrip;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,171 @@
+(* Guard-hoisting pass tests. *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid = Xdp_dist.Grid.linear 2
+
+let decls =
+  [
+    decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid ();
+    decl ~name:"B" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid ();
+  ]
+
+let prog body = program ~name:"hoist" ~decls body
+let iv = var "i"
+
+let hoisted p =
+  match (Xdp.Hoist_guard.run p).body with
+  | [ Guard (_, [ For _ ]) ] -> true
+  | _ -> false
+
+let test_invariant_guard_hoists () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [
+            iown (sec "A" [ slice (i 1) (i 4) ])
+            @: [ set "B" [ iv ] (f 1.0) ];
+          ];
+      ]
+  in
+  Alcotest.(check bool) "hoisted" true (hoisted p)
+
+let test_variant_guard_stays () =
+  (* guard mentions the induction variable *)
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [ iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  Alcotest.(check bool) "not hoisted" false (hoisted p)
+
+let test_body_writing_guard_scalar_stays () =
+  let p =
+    prog
+      [
+        setv "flag" (i 1);
+        loop "i" (i 1) (i 8)
+          [ (var "flag" =: i 1) @: [ setv "flag" (i 0) ] ];
+      ]
+  in
+  match (Xdp.Hoist_guard.run p).body with
+  | [ _; For { body = [ Guard _ ]; _ } ] -> ()
+  | b -> Alcotest.failf "should stay:\n%s" (Xdp.Pp.stmts_to_string b)
+
+let test_body_writing_guard_array_stays () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [
+            (elem "A" [ i 1 ] >: f 0.0)
+            @: [ iown (sec "A" [ at (i 1) ]) @: [ set "A" [ i 1 ] (f 0.0) ] ];
+          ];
+      ]
+  in
+  Alcotest.(check bool) "not hoisted" false (hoisted p)
+
+let test_ownership_ops_block_hoist () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [
+            iown (sec "A" [ slice (i 1) (i 4) ])
+            @: [ send_owner_value (sec "A" [ slice (i 1) (i 4) ]) ];
+          ];
+      ]
+  in
+  Alcotest.(check bool) "not hoisted" false (hoisted p)
+
+let test_await_never_hoisted () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [ await (sec "A" [ slice (i 1) (i 4) ]) @: [ set "B" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  Alcotest.(check bool) "not hoisted" false (hoisted p)
+
+let test_accessible_never_hoisted () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [
+            accessible (sec "A" [ slice (i 1) (i 4) ])
+            @: [ set "B" [ iv ] (f 1.0) ];
+          ];
+      ]
+  in
+  Alcotest.(check bool) "not hoisted" false (hoisted p)
+
+let test_semantics_preserved () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 8)
+          [
+            iown (sec "B" [ at iv ])
+            @: [
+                 iown (sec "A" [ slice (i 1) (i 4) ])
+                 @: [ set "B" [ iv ] (elem "B" [ iv ] +: f 3.0) ];
+               ];
+          ];
+      ]
+  in
+  let init _ idx = float_of_int (List.hd idx) in
+  let r1 = Exec.run ~init ~nprocs:2 p in
+  let r2 = Exec.run ~init ~nprocs:2 (Xdp.Hoist_guard.run p) in
+  Alcotest.(check bool) "same result" true
+    (Xdp_util.Tensor.equal (Exec.array r1 "B") (Exec.array r2 "B"));
+  Alcotest.(check bool) "fewer guard evals" true
+    (r2.stats.guard_evals <= r1.stats.guard_evals)
+
+let test_guard_eval_savings () =
+  (* the point of the pass: per-iteration rules become one rule *)
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 4)
+          [ iown (sec "A" [ slice (i 1) (i 4) ]) @: [ set "B" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  let r1 = Exec.run ~nprocs:2 p in
+  let r2 = Exec.run ~nprocs:2 (Xdp.Hoist_guard.run p) in
+  Alcotest.(check int) "before: per iteration per proc" 8 r1.stats.guard_evals;
+  Alcotest.(check int) "after: once per proc" 2 r2.stats.guard_evals;
+  (* but wait: hoisting makes the guard gate WRITES to B by ownership
+     of A's first half — only P1 executes the loop, matching the
+     unhoisted behaviour *)
+  Alcotest.(check bool) "same writes" true
+    (Xdp_util.Tensor.equal (Exec.array r1 "B") (Exec.array r2 "B"))
+
+let () =
+  Alcotest.run "hoist_guard"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "invariant hoists" `Quick
+            test_invariant_guard_hoists;
+          Alcotest.test_case "variant stays" `Quick test_variant_guard_stays;
+          Alcotest.test_case "scalar write blocks" `Quick
+            test_body_writing_guard_scalar_stays;
+          Alcotest.test_case "array write blocks" `Quick
+            test_body_writing_guard_array_stays;
+          Alcotest.test_case "ownership ops block" `Quick
+            test_ownership_ops_block_hoist;
+          Alcotest.test_case "await stays" `Quick test_await_never_hoisted;
+          Alcotest.test_case "accessible stays" `Quick
+            test_accessible_never_hoisted;
+          Alcotest.test_case "semantics preserved" `Quick
+            test_semantics_preserved;
+          Alcotest.test_case "guard savings" `Quick test_guard_eval_savings;
+        ] );
+    ]

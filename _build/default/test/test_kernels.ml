@@ -1,0 +1,103 @@
+(* Kernel registry tests, including the self-inverse property of the
+   Hartley-transform fft1D that makes the FFT pipelines verifiable. *)
+
+let find name =
+  match Xdp.Kernels.find Xdp.Kernels.default name with
+  | Some k -> k
+  | None -> Alcotest.failf "kernel %s missing" name
+
+let test_registry () =
+  List.iter
+    (fun n -> ignore (find n))
+    [ "fft1D"; "scale2"; "negate"; "smooth3"; "spin" ];
+  Alcotest.(check bool) "unknown" true
+    (Xdp.Kernels.find Xdp.Kernels.default "nope" = None);
+  let r = Xdp.Kernels.add Xdp.Kernels.empty (find "spin") in
+  Alcotest.(check bool) "add/find" true (Xdp.Kernels.find r "spin" <> None)
+
+let test_dht_involution () =
+  let x = Array.init 16 (fun i -> sin (float_of_int i) +. 0.3) in
+  let y = Array.copy x in
+  Xdp.Kernels.dht y;
+  Alcotest.(check bool) "transform changes data" true (y <> x);
+  Xdp.Kernels.dht y;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "x[%d]" i) x.(i) v)
+    y
+
+let test_dht_linearity () =
+  let n = 8 in
+  let a = Array.init n (fun i -> float_of_int (i + 1)) in
+  let b = Array.init n (fun i -> cos (float_of_int i)) in
+  let sum = Array.init n (fun i -> a.(i) +. b.(i)) in
+  Xdp.Kernels.dht a;
+  Xdp.Kernels.dht b;
+  Xdp.Kernels.dht sum;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 1e-9)) "additive" (a.(i) +. b.(i)) v)
+    sum
+
+let test_dht_requires_pow2 () =
+  Alcotest.(check bool) "length 6 rejected" true
+    (try
+       Xdp.Kernels.dht (Array.make 6 0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fft_flops_nlogn () =
+  let k = find "fft1D" in
+  let f16 = k.flops [ Array.make 16 0.0 ] in
+  Alcotest.(check (float 1e-9)) "5 n log n" (5.0 *. 16.0 *. 4.0) f16
+
+let test_scale2_negate () =
+  let buf = [| 1.0; -2.0 |] in
+  (find "scale2").apply [ buf ];
+  Alcotest.(check (array (float 0.0))) "scaled" [| 2.0; -4.0 |] buf;
+  (find "negate").apply [ buf ];
+  Alcotest.(check (array (float 0.0))) "negated" [| -2.0; 4.0 |] buf
+
+let test_smooth3_preserves_mean () =
+  let buf = [| 1.0; 5.0; 3.0; 7.0 |] in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. 4.0 in
+  let m0 = mean buf in
+  (find "smooth3").apply [ buf ];
+  Alcotest.(check (float 1e-9)) "mean preserved" m0 (mean buf)
+
+let test_spin_cost_is_data () =
+  let k = find "spin" in
+  Alcotest.(check (float 0.0)) "flops = sum" 60.0
+    (k.flops [ [| 10.0; 20.0; 30.0 |] ]);
+  Alcotest.(check (float 0.0)) "negative clamped" 0.0
+    (k.flops [ [| -5.0 |] ]);
+  let buf = [| 42.0 |] in
+  k.apply [ buf ];
+  Alcotest.(check (array (float 0.0))) "data untouched" [| 42.0 |] buf
+
+let prop_dht_involution =
+  QCheck.Test.make ~name:"dht is an involution (random data)" ~count:100
+    QCheck.(list_of_size (Gen.return 8) (float_bound_exclusive 10.0))
+    (fun xs ->
+      let x = Array.of_list xs in
+      let y = Array.copy x in
+      Xdp.Kernels.dht y;
+      Xdp.Kernels.dht y;
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-8) x y)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "dht involution" `Quick test_dht_involution;
+          Alcotest.test_case "dht linearity" `Quick test_dht_linearity;
+          Alcotest.test_case "pow2 check" `Quick test_dht_requires_pow2;
+          Alcotest.test_case "fft flop model" `Quick test_fft_flops_nlogn;
+          Alcotest.test_case "scale2/negate" `Quick test_scale2_negate;
+          Alcotest.test_case "smooth3" `Quick test_smooth3_preserves_mean;
+          Alcotest.test_case "spin cost" `Quick test_spin_cost_is_data;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_dht_involution ]);
+    ]

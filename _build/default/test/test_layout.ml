@@ -1,0 +1,165 @@
+(* Layout tests: ownership arithmetic across grids and distribution
+   mixes, including the paper's Figure 2/3 configurations. *)
+
+open Xdp_dist
+open Xdp_util
+
+let layout shape dist grid = Layout.make ~shape ~dist ~grid
+
+(* The paper's Figure 2 arrays. *)
+let fig2_a = layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.make [ 2 ])
+(* A is ( *, BLOCK); in Figure 2 it is shown on a 2x2 grid with one
+   distributed dim — we model the distributed dim over a 2-extent
+   axis. *)
+
+let fig2_b =
+  layout [ 16; 16 ] [ Dist.Block; Dist.Cyclic ] (Grid.make [ 2; 2 ])
+
+let test_rank_mismatch () =
+  Alcotest.(check bool) "too many distributed dims" true
+    (try
+       ignore (layout [ 4; 4 ] [ Dist.Block; Dist.Block ] (Grid.make [ 2 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too few" true
+    (try
+       ignore (layout [ 4; 4 ] [ Dist.Star; Dist.Star ] (Grid.make [ 2 ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_owner_star_block () =
+  (* ( *, BLOCK) over 2 procs, 4x8: columns 1-4 on P0, 5-8 on P1. *)
+  Alcotest.(check int) "left half" 0 (Layout.owner fig2_a [ 3; 2 ]);
+  Alcotest.(check int) "right half" 1 (Layout.owner fig2_a [ 1; 7 ]);
+  Alcotest.(check bool) "owns" true (Layout.owns fig2_a 1 [ 4; 8 ])
+
+let test_owner_block_cyclic_grid () =
+  (* (BLOCK, CYCLIC) over 2x2: rows 1-8 axis0=0; cols odd axis1=0. *)
+  Alcotest.(check int) "P0" 0 (Layout.owner fig2_b [ 1; 1 ]);
+  Alcotest.(check int) "P1" 1 (Layout.owner fig2_b [ 1; 2 ]);
+  Alcotest.(check int) "P2" 2 (Layout.owner fig2_b [ 9; 3 ]);
+  Alcotest.(check int) "P3" 3 (Layout.owner fig2_b [ 16; 16 ])
+
+let test_owned_boxes_partition () =
+  List.iter
+    (fun l ->
+      let full = Layout.full_box l in
+      let total =
+        List.fold_left
+          (fun acc p ->
+            let boxes = Layout.owned_boxes l p in
+            (* owned boxes are disjoint *)
+            List.iteri
+              (fun i a ->
+                List.iteri
+                  (fun j b ->
+                    if i < j then
+                      Alcotest.(check bool) "disjoint" true (Box.disjoint a b))
+                  boxes)
+              boxes;
+            acc + List.fold_left (fun a b -> a + Box.count b) 0 boxes)
+          0
+          (List.init (Layout.nprocs l) Fun.id)
+      in
+      Alcotest.(check int)
+        (Layout.to_string l ^ " partitions")
+        (Box.count full) total)
+    [
+      fig2_a;
+      fig2_b;
+      layout [ 7 ] [ Dist.Block ] (Grid.linear 3);
+      layout [ 12; 5 ] [ Dist.Cyclic; Dist.Star ] (Grid.linear 5);
+      layout [ 9; 9 ] [ Dist.Block_cyclic 2; Dist.Block_cyclic 3 ]
+        (Grid.make [ 2; 2 ]);
+    ]
+
+let test_owned_boxes_agree_with_owner () =
+  let l = fig2_b in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun box ->
+          Box.iter
+            (fun idx ->
+              Alcotest.(check int) "box owner" p (Layout.owner l idx))
+            box)
+        (Layout.owned_boxes l p))
+    (List.init 4 Fun.id)
+
+let test_local_extent_size () =
+  let l = layout [ 7 ] [ Dist.Block ] (Grid.linear 3) in
+  (* blocks: 3,3,1 *)
+  Alcotest.(check int) "P0" 3 (Layout.local_extent l 0 1);
+  Alcotest.(check int) "P2" 1 (Layout.local_extent l 2 1);
+  Alcotest.(check int) "size" 1 (Layout.local_size l 2);
+  let l2 = fig2_b in
+  Alcotest.(check int) "16x16 over 4" 64 (Layout.local_size l2 0)
+
+let test_mylb_myub () =
+  let l = layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 2) in
+  let whole = Layout.full_box l in
+  (* P1 owns columns 5..8 *)
+  Alcotest.(check (option int)) "mylb dim2" (Some 5) (Layout.mylb l 1 whole 2);
+  Alcotest.(check (option int)) "myub dim2" (Some 8) (Layout.myub l 1 whole 2);
+  Alcotest.(check (option int)) "mylb dim1" (Some 1) (Layout.mylb l 1 whole 1);
+  (* a box P1 owns nothing of *)
+  let left = Box.make [ Triplet.range 1 4; Triplet.range 1 4 ] in
+  Alcotest.(check (option int)) "none" None (Layout.mylb l 1 left 2);
+  (* strided query *)
+  let q = Box.make [ Triplet.point 2; Triplet.make ~lo:2 ~hi:8 ~stride:3 ] in
+  (* members cols 2,5,8; P1 owns 5,8 *)
+  Alcotest.(check (option int)) "strided lb" (Some 5) (Layout.mylb l 1 q 2);
+  Alcotest.(check (option int)) "strided ub" (Some 8) (Layout.myub l 1 q 2)
+
+let test_ownership_map () =
+  (* Figure 3 (a): 4x8, (BLOCK, BLOCK) over 2x2. *)
+  let l = layout [ 4; 8 ] [ Dist.Block; Dist.Block ] (Grid.make [ 2; 2 ]) in
+  Alcotest.(check string) "fig3 block-block"
+    "00001111\n00001111\n22223333\n22223333"
+    (Layout.ownership_map l);
+  (* Figure 3 (b): ( *, BLOCK) over linear 4 *)
+  let l2 = layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 4) in
+  Alcotest.(check string) "fig3 star-block"
+    "00112233\n00112233\n00112233\n00112233"
+    (Layout.ownership_map l2)
+
+let prop_partition =
+  QCheck.Test.make ~name:"every index owned exactly once" ~count:100
+    QCheck.(
+      triple (int_range 1 12) (int_range 1 12)
+        (pair (int_range 1 3) (int_range 1 3)))
+    (fun (n1, n2, (p1, p2)) ->
+      let l =
+        layout [ n1; n2 ] [ Dist.Block; Dist.Cyclic ] (Grid.make [ p1; p2 ])
+      in
+      Box.fold
+        (fun acc idx ->
+          acc
+          &&
+          let owners =
+            List.filter (fun p -> Layout.owns l p idx)
+              (List.init (p1 * p2) Fun.id)
+          in
+          List.length owners = 1)
+        true (Layout.full_box l))
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "rank checks" `Quick test_rank_mismatch;
+          Alcotest.test_case "star/block owner" `Quick test_owner_star_block;
+          Alcotest.test_case "block/cyclic 2x2" `Quick
+            test_owner_block_cyclic_grid;
+          Alcotest.test_case "owned boxes partition" `Quick
+            test_owned_boxes_partition;
+          Alcotest.test_case "boxes agree with owner" `Quick
+            test_owned_boxes_agree_with_owner;
+          Alcotest.test_case "local extent/size" `Quick test_local_extent_size;
+          Alcotest.test_case "mylb/myub" `Quick test_mylb_myub;
+          Alcotest.test_case "ownership map (Figure 3)" `Quick
+            test_ownership_map;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_partition ]);
+    ]

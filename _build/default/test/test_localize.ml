@@ -1,0 +1,209 @@
+(* Compute-rule elimination tests: bounds adjustment, single-iteration
+   collapse, the §4 whole-block loop, and await-guard localization. *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid n = Xdp_dist.Grid.linear n
+
+let decl1 ?(dist = Xdp_dist.Dist.Block) ?(n = 8) ?(p = 4) name =
+  decl ~name ~shape:[ n ] ~dist:[ dist ] ~grid:(grid p) ()
+
+let iv = var "i"
+
+let count_guards p =
+  let n = ref 0 in
+  let rec go = function
+    | [] -> ()
+    | Guard (_, b) :: rest ->
+        incr n;
+        go b;
+        go rest
+    | For { body; _ } :: rest ->
+        go body;
+        go rest
+    | If (_, a, b) :: rest ->
+        go a;
+        go b;
+        go rest
+    | _ :: rest -> go rest
+  in
+  go p.body;
+  !n
+
+let test_block_bounds () =
+  let p =
+    program ~name:"p" ~decls:[ decl1 "A" ]
+      [
+        loop "i" (i 1) (i 8)
+          [ iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  let q = Xdp.Localize.run p in
+  Alcotest.(check int) "guard gone" 0 (count_guards q);
+  match q.body with
+  | [ For { lo; hi; _ } ] ->
+      Alcotest.(check string) "lb" "(((mypid - 1) * 2) + 1)"
+        (Xdp.Pp.expr_to_string lo);
+      Alcotest.(check string) "ub" "(mypid * 2)" (Xdp.Pp.expr_to_string hi)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_block_partial_range_keeps_min_max () =
+  let p =
+    program ~name:"p" ~decls:[ decl1 "A" ]
+      [
+        loop "i" (i 3) (i 6)
+          [ iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  match (Xdp.Localize.run p).body with
+  | [ For { lo; hi; _ } ] ->
+      Alcotest.(check string) "max kept"
+        "max(3, (((mypid - 1) * 2) + 1))"
+        (Xdp.Pp.expr_to_string lo);
+      Alcotest.(check string) "min kept" "min(6, (mypid * 2))"
+        (Xdp.Pp.expr_to_string hi)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_cyclic_stride () =
+  let p =
+    program ~name:"p" ~decls:[ decl1 ~dist:Xdp_dist.Dist.Cyclic "A" ]
+      [
+        loop "i" (i 1) (i 8)
+          [ iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  match (Xdp.Localize.run p).body with
+  | [ For { lo; step; _ } ] ->
+      Alcotest.(check string) "starts at mypid" "mypid"
+        (Xdp.Pp.expr_to_string lo);
+      Alcotest.(check string) "steps by nprocs" "4"
+        (Xdp.Pp.expr_to_string step)
+  | _ -> Alcotest.fail "expected loop"
+
+let test_collapse_block_size_one () =
+  let p =
+    program ~name:"p" ~decls:[ decl1 ~n:4 ~p:4 "A" ]
+      [
+        loop "k" (i 1) (i 4)
+          [ iown (sec "A" [ at (var "k") ]) @: [ set "A" [ var "k" ] (f 1.0) ] ];
+      ]
+  in
+  match (Xdp.Localize.run p).body with
+  | [ Assign (Lelem ("A", [ Mypid ]), _) ] -> ()
+  | body ->
+      Alcotest.failf "expected collapsed assignment, got:\n%s"
+        (Xdp.Pp.stmts_to_string body)
+
+let test_whole_block_loop () =
+  (* §4 Loop 3 shape at block size 2 *)
+  let n = 8 and procs = 4 in
+  let pv = var "p" in
+  let blk = slice (((pv -: i 1) *: i 2) +: i 1) (pv *: i 2) in
+  let p =
+    program ~name:"p" ~decls:[ decl1 ~n ~p:procs "A" ]
+      [
+        loop "p" (i 1) (i procs)
+          [ iown (sec "A" [ blk ]) @: [ send_owner_value (sec "A" [ blk ]) ] ];
+      ]
+  in
+  match (Xdp.Localize.run p).body with
+  | [ Send_owner_value s ] ->
+      Alcotest.(check string) "block of mypid"
+        "A[(((mypid - 1) * 2) + 1):(mypid * 2)]"
+        (Xdp.Pp.section_to_string s)
+  | body ->
+      Alcotest.failf "expected collapsed send, got:\n%s"
+        (Xdp.Pp.stmts_to_string body)
+
+let test_await_guard_kept () =
+  let p =
+    program ~name:"p" ~decls:[ decl1 ~n:4 ~p:4 "A" ]
+      [
+        loop "j" (i 1) (i 4)
+          [
+            await (sec "A" [ at (var "j") ])
+            @: [ set "A" [ var "j" ] (f 2.0) ];
+          ];
+      ]
+  in
+  match (Xdp.Localize.run p).body with
+  | [ Guard (Await s, [ Assign _ ]) ] ->
+      Alcotest.(check string) "await narrowed to mypid" "A[mypid]"
+        (Xdp.Pp.section_to_string s)
+  | body ->
+      Alcotest.failf "expected kept await, got:\n%s"
+        (Xdp.Pp.stmts_to_string body)
+
+let test_nonlocalizable_left_alone () =
+  let cases =
+    [
+      (* non-identity subscript *)
+      loop "i" (i 1) (i 7)
+        [ iown (sec "A" [ at (iv +: i 1) ]) @: [ set "A" [ iv +: i 1 ] (f 1.0) ] ];
+      (* extra statement beside the guard *)
+      loop "i" (i 1) (i 8)
+        [ setv "x" iv; iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+    ]
+  in
+  List.iter
+    (fun st ->
+      let p = program ~name:"p" ~decls:[ decl1 "A" ] [ st ] in
+      Alcotest.(check int) "guard survives" 1 (count_guards (Xdp.Localize.run p)))
+    cases
+
+let test_block_cyclic_left_alone () =
+  let p =
+    program ~name:"p"
+      ~decls:[ decl1 ~dist:(Xdp_dist.Dist.Block_cyclic 2) "A" ]
+      [
+        loop "i" (i 1) (i 8)
+          [ iown (sec "A" [ at iv ]) @: [ set "A" [ iv ] (f 1.0) ] ];
+      ]
+  in
+  Alcotest.(check int) "guard survives" 1 (count_guards (Xdp.Localize.run p))
+
+let prop_localize_preserves_semantics =
+  QCheck.Test.make ~name:"localize = guarded original" ~count:30
+    QCheck.(
+      pair (int_range 1 4) (oneofl [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ]))
+    (fun (nprocs, dist) ->
+      let n = 4 * nprocs in
+      let p =
+        program ~name:"p" ~decls:[ decl1 ~dist ~n ~p:nprocs "A" ]
+          [
+            loop "i" (i 1) (i n)
+              [
+                iown (sec "A" [ at iv ])
+                @: [ set "A" [ iv ] (elem "A" [ iv ] +: (iv *: iv)) ];
+              ];
+          ]
+      in
+      let init _ idx = float_of_int (List.hd idx * 7) in
+      let r1 = Exec.run ~init ~nprocs p in
+      let r2 = Exec.run ~init ~nprocs (Xdp.Localize.run p) in
+      Xdp_util.Tensor.equal (Exec.array r1 "A") (Exec.array r2 "A")
+      && count_guards (Xdp.Localize.run p) = 0)
+
+let () =
+  Alcotest.run "localize"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "block bounds" `Quick test_block_bounds;
+          Alcotest.test_case "partial range" `Quick
+            test_block_partial_range_keeps_min_max;
+          Alcotest.test_case "cyclic stride" `Quick test_cyclic_stride;
+          Alcotest.test_case "collapse b=1" `Quick test_collapse_block_size_one;
+          Alcotest.test_case "whole-block loop (§4)" `Quick
+            test_whole_block_loop;
+          Alcotest.test_case "await kept" `Quick test_await_guard_kept;
+          Alcotest.test_case "non-localizable untouched" `Quick
+            test_nonlocalizable_left_alone;
+          Alcotest.test_case "block-cyclic untouched" `Quick
+            test_block_cyclic_left_alone;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_localize_preserves_semantics ] );
+    ]

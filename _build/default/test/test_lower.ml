@@ -1,0 +1,148 @@
+(* Owner-computes lowering tests. *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid n = Xdp_dist.Grid.linear n
+
+let simple_prog ?(dist_b = Xdp_dist.Dist.Block) n nprocs =
+  let decls =
+    [
+      decl ~name:"A" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ]
+        ~grid:(grid nprocs) ();
+      decl ~name:"B" ~shape:[ n ] ~dist:[ dist_b ] ~grid:(grid nprocs) ();
+    ]
+  in
+  let iv = var "i" in
+  program ~name:"p" ~decls
+    [ loop "i" (i 1) (i n) [ set "A" [ iv ] (elem "A" [ iv ] +: elem "B" [ iv ]) ] ]
+
+let test_shape_of_lowered_code () =
+  let p = Xdp.Lower.run ~direct:false ~nprocs:4 (simple_prog 8 4) in
+  (* one temp declared *)
+  Alcotest.(check int) "decl count" 3 (List.length p.decls);
+  Alcotest.(check string) "temp name" "__T1"
+    (List.nth p.decls 2).arr_name;
+  match p.body with
+  | [ For { body = [ s1; s2 ]; _ } ] -> (
+      (match s1 with
+      | Guard (Iown { arr = "B"; _ }, [ Send_value (_, Unspecified) ]) -> ()
+      | _ -> Alcotest.fail "expected guarded undirected send of B");
+      match s2 with
+      | Guard (Iown { arr = "A"; _ }, Recv_value { into; _ } :: _) ->
+          Alcotest.(check string) "receives into temp" "__T1" into.arr
+      | _ -> Alcotest.fail "expected guarded receive")
+  | _ -> Alcotest.fail "expected single loop"
+
+let test_direct_lowering_annotates_receiver () =
+  let p = Xdp.Lower.run ~direct:true ~nprocs:4 (simple_prog 8 4) in
+  match p.body with
+  | [ For { body = Guard (_, [ Send_value (_, Directed [ pid ]) ]) :: _; _ } ]
+    ->
+      (* receiver = owner of A[i] under BLOCK(2): ((i-1)/2)+1 *)
+      Alcotest.(check string) "owner formula" "(((i - 1) / 2) + 1)"
+        (Xdp.Pp.expr_to_string pid)
+  | _ -> Alcotest.fail "expected directed send"
+
+let test_same_element_not_sent () =
+  (* A[i] = A[i] * 2 has no remote refs: no transfers generated *)
+  let decls =
+    [ decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) () ]
+  in
+  let iv = var "i" in
+  let p =
+    Xdp.Lower.run ~nprocs:2
+      (program ~name:"p" ~decls
+         [ loop "i" (i 1) (i 8) [ set "A" [ iv ] (elem "A" [ iv ] *: f 2.0) ] ])
+  in
+  Alcotest.(check int) "no temps" 1 (List.length p.decls);
+  match p.body with
+  | [ For { body = [ Guard (Iown _, [ Assign _ ]) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected guard+assign only"
+
+let test_duplicate_refs_one_temp () =
+  (* B[i] used twice: one send/temp, both uses substituted *)
+  let iv = var "i" in
+  let decls =
+    [
+      decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+      decl ~name:"B" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) ();
+    ]
+  in
+  let p =
+    Xdp.Lower.run ~nprocs:2
+      (program ~name:"p" ~decls
+         [
+           loop "i" (i 1) (i 8)
+             [ set "A" [ iv ] (elem "B" [ iv ] *: elem "B" [ iv ]) ];
+         ])
+  in
+  Alcotest.(check int) "one temp" 3 (List.length p.decls)
+
+let test_scalar_broadcast () =
+  let decls =
+    [ decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 4) () ]
+  in
+  let p =
+    Xdp.Lower.run ~nprocs:4
+      (program ~name:"p" ~decls [ setv "s" (elem "A" [ i 3 ] +: f 1.0) ])
+  in
+  (* runs and every processor ends with its own copy of s *)
+  let r =
+    Exec.run ~init:(fun _ idx -> if idx = [ 3 ] then 9.0 else 0.0) ~nprocs:4 p
+  in
+  Alcotest.(check int) "broadcast messages" 4 r.stats.messages;
+  (* verify against sequential *)
+  Alcotest.(check bool) "ran" true (r.stats.makespan > 0.0)
+
+let test_rejects_xdp_input () =
+  let decls =
+    [ decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid 2) () ]
+  in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Xdp.Lower.run ~nprocs:2
+            (program ~name:"p" ~decls [ send (sec "A" [ all ]) ]));
+       false
+     with Invalid_argument _ -> true)
+
+(* semantics preservation across random sizes/proc counts/alignments *)
+let prop_lowering_preserves_semantics =
+  QCheck.Test.make ~name:"lowered = sequential (vecadd family)" ~count:30
+    QCheck.(
+      triple (int_range 1 4)
+        (oneofl [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ])
+        bool)
+    (fun (nprocs, dist_b, direct) ->
+      let n = 4 * nprocs in
+      let seqp = simple_prog ~dist_b n nprocs in
+      let init name idx =
+        match (name, idx) with
+        | "A", [ i ] -> float_of_int i
+        | "B", [ i ] -> float_of_int (100 + i)
+        | _ -> 0.0
+      in
+      let expected = Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init seqp) "A" in
+      let lowered = Xdp.Lower.run ~direct ~nprocs seqp in
+      let r = Exec.run ~init ~nprocs lowered in
+      Xdp_util.Tensor.equal (Exec.array r "A") expected)
+
+let () =
+  Alcotest.run "lower"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "lowered shape" `Quick test_shape_of_lowered_code;
+          Alcotest.test_case "direct annotation" `Quick
+            test_direct_lowering_annotates_receiver;
+          Alcotest.test_case "same element local" `Quick
+            test_same_element_not_sent;
+          Alcotest.test_case "duplicate refs" `Quick test_duplicate_refs_one_temp;
+          Alcotest.test_case "scalar broadcast" `Quick test_scalar_broadcast;
+          Alcotest.test_case "rejects XDP input" `Quick test_rejects_xdp_input;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_lowering_preserves_semantics ] );
+    ]

@@ -1,0 +1,181 @@
+(* Static send/receive balance analysis tests. *)
+
+open Xdp.Build
+module MC = Xdp.Match_check
+
+let grid n = Xdp_dist.Grid.linear n
+
+let decls n =
+  [
+    decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid n) ();
+    decl ~name:"T" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid n)
+      ~seg_shape:[ 1 ] ();
+  ]
+
+let prog ?(n = 4) body = program ~name:"mc" ~decls:(decls n) body
+
+let check_is msg expected got =
+  let show = function
+    | MC.Balanced -> "balanced"
+    | MC.Unbalanced m -> "unbalanced: " ^ m
+    | MC.Unknown m -> "unknown: " ^ m
+  in
+  match (expected, got) with
+  | `B, MC.Balanced | `U, MC.Unbalanced _ | `K, MC.Unknown _ -> ()
+  | _ -> Alcotest.failf "%s: got %s" msg (show got)
+
+let test_lowered_vecadd_balanced () =
+  List.iter
+    (fun dist_b ->
+      let p =
+        Xdp_apps.Vecadd.build ~n:8 ~nprocs:4 ~dist_b
+          ~stage:Xdp_apps.Vecadd.Naive ()
+      in
+      check_is "vecadd naive" `B (MC.check p))
+    [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ]
+
+let test_fft_stages_balanced () =
+  List.iter
+    (fun stage ->
+      let p = Xdp_apps.Fft3d.build ~n:4 ~nprocs:4 ~stage () in
+      check_is (Xdp_apps.Fft3d.stage_name stage) `B (MC.check p))
+    Xdp_apps.Fft3d.all_stages
+
+let test_jacobi_halo_balanced () =
+  let p =
+    Xdp_apps.Jacobi.build ~n:16 ~nprocs:4 ~sweeps:3
+      ~stage:Xdp_apps.Jacobi.Halo ()
+  in
+  check_is "jacobi halo" `B (MC.check p)
+
+let test_missing_receive_detected () =
+  let p =
+    prog [ iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ] ]
+  in
+  check_is "orphan send" `U (MC.check p)
+
+let test_count_mismatch_detected () =
+  let p =
+    prog
+      [
+        loop "i" (i 1) (i 4)
+          [ iown (sec "A" [ at (var "i") ]) @: [ send (sec "A" [ at (var "i") ]) ] ];
+        (mypid =: i 2)
+        @: [ recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]) ];
+      ]
+  in
+  (* 4 sends vs 1 receive *)
+  check_is "4 vs 1" `U (MC.check p)
+
+let test_broadcast_counted_by_fanout () =
+  let p =
+    prog
+      [
+        iown (sec "A" [ at (i 1) ])
+        @: [ send_to (sec "A" [ at (i 1) ]) [ i 1; i 2; i 3; i 4 ] ];
+        (* every processor receives one copy: unguarded recv = x nprocs *)
+        recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]);
+      ]
+  in
+  check_is "broadcast" `B (MC.check p)
+
+let test_data_dependent_reported_unknown () =
+  let p =
+    prog
+      [
+        setv "flag" (i 0);
+        (var "flag" =: i 0)
+        @: [ recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]) ];
+        iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ];
+      ]
+  in
+  check_is "flag guard" `K (MC.check p);
+  (* the farm's worker loop is the canonical data-dependent case *)
+  let farm =
+    Xdp_apps.Farm.build ~ntasks:8 ~nprocs:4 ~variant:Xdp_apps.Farm.Dynamic ()
+  in
+  check_is "farm dynamic" `K (MC.check farm)
+
+let predicted_equals_measured ?init ~nprocs p =
+  match MC.static_message_count p with
+  | None -> Alcotest.fail "expected a static count"
+  | Some predicted ->
+      let r = Xdp_runtime.Exec.run ?init ~nprocs p in
+      Alcotest.(check int)
+        (p.Xdp.Ir.prog_name ^ ": predicted = measured")
+        predicted r.stats.messages
+
+let test_prediction_matches_simulator () =
+  (* vecadd, all stages and alignments *)
+  List.iter
+    (fun dist_b ->
+      List.iter
+        (fun stage ->
+          if stage <> Xdp_apps.Vecadd.Sequential then
+            predicted_equals_measured ~init:Xdp_apps.Vecadd.init ~nprocs:4
+              (Xdp_apps.Vecadd.build ~n:16 ~nprocs:4 ~dist_b ~stage ()))
+        Xdp_apps.Vecadd.all_stages)
+    [ Xdp_dist.Dist.Block; Xdp_dist.Dist.Cyclic ];
+  (* fft, all stages *)
+  List.iter
+    (fun stage ->
+      predicted_equals_measured ~init:Xdp_apps.Fft3d.init ~nprocs:4
+        (Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~stage ()))
+    Xdp_apps.Fft3d.all_stages;
+  (* jacobi halo variants *)
+  List.iter
+    (fun stage ->
+      predicted_equals_measured ~init:Xdp_apps.Jacobi.init ~nprocs:4
+        (Xdp_apps.Jacobi.build ~n:16 ~nprocs:4 ~sweeps:2 ~stage ()))
+    [ Xdp_apps.Jacobi.Naive; Xdp_apps.Jacobi.Elim; Xdp_apps.Jacobi.Auto_halo;
+      Xdp_apps.Jacobi.Halo ];
+  (* reduction *)
+  List.iter
+    (fun stage ->
+      predicted_equals_measured ~init:Xdp_apps.Reduce.init ~nprocs:4
+        (Xdp_apps.Reduce.build ~n:16 ~nprocs:4 ~stage ()))
+    [ Xdp_apps.Reduce.Naive; Xdp_apps.Reduce.Partial ];
+  (* data-dependent programs decline to predict *)
+  Alcotest.(check bool) "farm unpredictable" true
+    (MC.static_message_count
+       (Xdp_apps.Farm.build ~ntasks:8 ~nprocs:4
+          ~variant:Xdp_apps.Farm.Dynamic ())
+    = None)
+
+let test_report_mentions_arrays () =
+  let p =
+    prog [ iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ] ]
+  in
+  let r = MC.report p in
+  let has sub =
+    let n = String.length r and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub r i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names A" true (has "A");
+  Alcotest.(check bool) "flags mismatch" true (has "MISMATCH")
+
+let () =
+  Alcotest.run "match_check"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "vecadd balanced" `Quick
+            test_lowered_vecadd_balanced;
+          Alcotest.test_case "fft stages balanced" `Quick
+            test_fft_stages_balanced;
+          Alcotest.test_case "jacobi halo balanced" `Quick
+            test_jacobi_halo_balanced;
+          Alcotest.test_case "orphan send" `Quick
+            test_missing_receive_detected;
+          Alcotest.test_case "count mismatch" `Quick
+            test_count_mismatch_detected;
+          Alcotest.test_case "broadcast fanout" `Quick
+            test_broadcast_counted_by_fanout;
+          Alcotest.test_case "data-dependent unknown" `Quick
+            test_data_dependent_reported_unknown;
+          Alcotest.test_case "prediction vs simulator" `Quick
+            test_prediction_matches_simulator;
+          Alcotest.test_case "report" `Quick test_report_mentions_arrays;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* §2.3's background-computation claim: accessible() lets a processor
+   fill its communication wait with useful work. *)
+
+module Exec = Xdp_runtime.Exec
+
+let producer_cost = 50000.0
+let bg_cost = 2000.0
+let bg_units = 20
+
+let run variant =
+  let p = Xdp_apps.Overlap.build ~nprocs:2 ~bg_units ~variant () in
+  Exec.run
+    ~init:(Xdp_apps.Overlap.init ~producer_cost ~bg_cost)
+    ~nprocs:2 p
+
+let acc r = Xdp_util.Tensor.get (Exec.array r "ACC") [ 2 ]
+
+let test_both_do_all_the_work () =
+  let want =
+    Xdp_apps.Overlap.expected_acc ~producer_cost ~bg_cost ~bg_units
+  in
+  List.iter
+    (fun v ->
+      let r = run v in
+      Alcotest.(check (float 1e-6))
+        (Xdp_apps.Overlap.variant_name v)
+        want (acc r))
+    [ Xdp_apps.Overlap.Blocking; Xdp_apps.Overlap.Polling ]
+
+let test_polling_overlaps () =
+  let b = run Xdp_apps.Overlap.Blocking in
+  let p = run Xdp_apps.Overlap.Polling in
+  (* blocking pays wait + background serially; polling overlaps them *)
+  Alcotest.(check bool)
+    (Printf.sprintf "polling %.0f < blocking %.0f" p.stats.makespan
+       b.stats.makespan)
+    true
+    (p.stats.makespan < b.stats.makespan);
+  (* and saves at least half the background time here *)
+  Alcotest.(check bool) "substantial saving" true
+    (b.stats.makespan -. p.stats.makespan
+    > 0.5 *. float_of_int bg_units *. bg_cost);
+  (* P2 never blocks in the polling variant at these parameters *)
+  Alcotest.(check bool) "less idle when polling" true
+    (Xdp_sim.Trace.idle_fraction p.stats
+    < Xdp_sim.Trace.idle_fraction b.stats)
+
+let test_no_background_no_gain () =
+  (* with zero background work both variants block the same way *)
+  let run0 variant =
+    let p = Xdp_apps.Overlap.build ~nprocs:2 ~bg_units:0 ~variant () in
+    Exec.run
+      ~init:(Xdp_apps.Overlap.init ~producer_cost ~bg_cost)
+      ~nprocs:2 p
+  in
+  let b = run0 Xdp_apps.Overlap.Blocking in
+  let p = run0 Xdp_apps.Overlap.Polling in
+  Alcotest.(check (float 1e-6)) "same value" (acc b) (acc p);
+  Alcotest.(check bool) "similar time" true
+    (Float.abs (b.stats.makespan -. p.stats.makespan)
+    < 0.05 *. b.stats.makespan)
+
+let () =
+  Alcotest.run "overlap"
+    [
+      ( "accessible() background work (§2.3)",
+        [
+          Alcotest.test_case "work conserved" `Quick
+            test_both_do_all_the_work;
+          Alcotest.test_case "polling overlaps" `Quick test_polling_overlaps;
+          Alcotest.test_case "no background, no gain" `Quick
+            test_no_background_no_gain;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+(* Parser tests: the textual IL+XDP syntax, including round-trip with
+   the pretty-printer. *)
+
+open Xdp.Ir
+
+let stmt_t =
+  Alcotest.testable
+    (fun ppf s -> Xdp.Pp.pp_stmts ppf s)
+    (fun a b -> a = b)
+
+let check_parses msg src expected =
+  Alcotest.check stmt_t msg expected (Xdp.Parse.stmts src)
+
+let test_paper_22_listing_parses () =
+  let src =
+    {|do i = 1, 8
+        iown(B[i]) : { B[i] -> }
+        iown(A[i]) : {
+          T[mypid] <- B[i]
+          await(T[mypid]) : { A[i] = A[i] + T[mypid] }
+        }
+      enddo|}
+  in
+  match Xdp.Parse.stmts src with
+  | [ For { var = "i"; body = [ Guard (Iown _, [ Send_value _ ]); Guard _ ]; _ } ]
+    -> ()
+  | s -> Alcotest.failf "unexpected parse:\n%s" (Xdp.Pp.stmts_to_string s)
+
+let test_paper_4_listing_parses () =
+  let src =
+    {|// Loop3a,3b: Redistribute A as (*,BLOCK,*)
+      do n = 1,4
+        A[*,n,mypid] -=>
+      enddo
+      do n = 1, 4
+        A[*,mypid,n] <=-
+      enddo|}
+  in
+  match Xdp.Parse.stmts src with
+  | [ For { body = [ Send_owner_value _ ]; _ };
+      For { body = [ Recv_owner_value _ ]; _ } ] -> ()
+  | s -> Alcotest.failf "unexpected parse:\n%s" (Xdp.Pp.stmts_to_string s)
+
+let test_transfers () =
+  check_parses "undirected send" "B[i] ->"
+    [ Send_value ({ arr = "B"; sel = [ At (Var "i") ] }, Unspecified) ];
+  check_parses "directed send" "B[i] -> {1,3}"
+    [ Send_value ({ arr = "B"; sel = [ At (Var "i") ] },
+                  Directed [ Int 1; Int 3 ]) ];
+  check_parses "owner send" "A[1:4] =>"
+    [ Send_owner { arr = "A"; sel = [ Slice (Int 1, Int 4, Int 1) ] } ];
+  check_parses "recv owner" "U[2] <="
+    [ Recv_owner { arr = "U"; sel = [ At (Int 2) ] } ];
+  check_parses "recv owner value" "U[2] <=-"
+    [ Recv_owner_value { arr = "U"; sel = [ At (Int 2) ] } ]
+
+let test_sections_and_slices () =
+  check_parses "star and strided" "A[*,1:8:2,j] =>"
+    [
+      Send_owner
+        {
+          arr = "A";
+          sel = [ All; Slice (Int 1, Int 8, Int 2); At (Var "j") ];
+        };
+    ]
+
+let test_expressions () =
+  let e = Xdp.Parse.expr in
+  Alcotest.(check bool) "precedence" true
+    (e "1 + 2 * 3" = Bin (Add, Int 1, Bin (Mul, Int 2, Int 3)));
+  Alcotest.(check bool) "parens" true
+    (e "(1 + 2) * 3" = Bin (Mul, Bin (Add, Int 1, Int 2), Int 3));
+  Alcotest.(check bool) "comparisons bind looser" true
+    (e "i + 1 < n * 2"
+    = Bin (Lt, Bin (Add, Var "i", Int 1), Bin (Mul, Var "n", Int 2)));
+  Alcotest.(check bool) "and/or" true
+    (e "a < 1 and b < 2 or c < 3"
+    = Bin (Or, Bin (And, Bin (Lt, Var "a", Int 1), Bin (Lt, Var "b", Int 2)),
+           Bin (Lt, Var "c", Int 3)));
+  Alcotest.(check bool) "intrinsics" true
+    (e "mylb(A[*],1) + myub(A[*],1)"
+    = Bin (Add, Mylb ({ arr = "A"; sel = [ All ] }, 1),
+           Myub ({ arr = "A"; sel = [ All ] }, 1)));
+  Alcotest.(check bool) "min/max" true
+    (e "min(i, max(j, 3))"
+    = Bin (Min, Var "i", Bin (Max, Var "j", Int 3)));
+  Alcotest.(check bool) "floats" true (e "2.5" = Float 2.5);
+  Alcotest.(check bool) "negative folded" true (e "-3" = Int (-3));
+  Alcotest.(check bool) "mod keyword" true
+    (e "i mod 4" = Bin (Mod, Var "i", Int 4))
+
+let test_if_and_scalar () =
+  check_parses "if/else" "if x < 0.0 then\n d = 1\nelse\n d = 2\nendif"
+    [
+      If
+        ( Bin (Lt, Var "x", Float 0.0),
+          [ Assign (Lvar "d", Int 1) ],
+          [ Assign (Lvar "d", Int 2) ] );
+    ]
+
+let test_apply_and_stepped_loop () =
+  check_parses "kernel apply" "fft1D(A[i,*,k])"
+    [
+      Apply
+        {
+          fn = "fft1D";
+          args = [ { arr = "A"; sel = [ At (Var "i"); All; At (Var "k") ] } ];
+        };
+    ];
+  match Xdp.Parse.stmts "do i = mypid, 16, nprocs\nenddo" with
+  | [ For { lo = Mypid; hi = Int 16; step = Nprocs; _ } ] -> ()
+  | s -> Alcotest.failf "stepped loop:\n%s" (Xdp.Pp.stmts_to_string s)
+
+let test_program_with_decls () =
+  let src =
+    {|array A[4,8] dist (*, BLOCK) grid (2) seg (2,1)
+      array B[16] dist (CYCLIC(2)) grid (2)
+      do i = 1, 16
+        iown(B[i]) : { B[i] = 0.0 }
+      enddo|}
+  in
+  let p = Xdp.Parse.program ~name:"parsed" src in
+  Alcotest.(check int) "two decls" 2 (List.length p.decls);
+  let a = List.hd p.decls in
+  Alcotest.(check (list int)) "shape" [ 4; 8 ]
+    (Xdp_dist.Layout.shape a.layout);
+  Alcotest.(check (list int)) "seg" [ 2; 1 ] a.seg_shape;
+  let b = List.nth p.decls 1 in
+  Alcotest.(check string) "dist parsed" "(CYCLIC(2)) over 2"
+    (Xdp_dist.Layout.to_string b.layout);
+  (* defaulted seg shape = local partition *)
+  Alcotest.(check (list int)) "default seg" [ 2 ] b.seg_shape;
+  (* parsed program runs *)
+  let r = Xdp_runtime.Exec.run ~nprocs:2 p in
+  Alcotest.(check bool) "runs" true (r.stats.makespan >= 0.0)
+
+let test_errors_carry_line_numbers () =
+  List.iter
+    (fun (src, min_line) ->
+      try
+        ignore (Xdp.Parse.stmts src);
+        Alcotest.failf "expected parse error for %S" src
+      with Xdp.Parse.Parse_error { line; _ } ->
+        Alcotest.(check bool)
+          (Printf.sprintf "line >= %d" min_line)
+          true (line >= min_line))
+    [
+      ("do i = 1, 4", 1);                  (* missing enddo *)
+      ("x =", 1);                          (* missing rhs *)
+      ("\n\nA[*] = 1.0", 3);               (* star in lhs *)
+      ("A[1] -> {}", 1);                   (* empty destination *)
+      ("$", 1);                            (* bad character *)
+    ]
+
+let test_comments_ignored () =
+  check_parses "comments" "// a comment\nx = 1 // trailing\n// another"
+    [ Assign (Lvar "x", Int 1) ]
+
+(* --- round-trip property over generated statement lists --- *)
+
+let gen_expr_leaf =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Int v) (int_range 0 9);
+        oneofl [ Var "i"; Var "j"; Mypid; Nprocs ];
+      ])
+
+let gen_expr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then gen_expr_leaf
+           else
+             let sub = self (n / 3) in
+             oneof
+               [
+                 gen_expr_leaf;
+                 map2
+                   (fun op (a, b) -> Bin (op, a, b))
+                   (oneofl [ Add; Sub; Mul; Div; Mod; Lt; Le; Eq; Min; Max ])
+                   (pair sub sub);
+                 map (fun (a, idx) -> Elem (a, [ idx ]))
+                   (pair (oneofl [ "A"; "B" ]) sub);
+               ]))
+
+let gen_sel =
+  QCheck.Gen.(
+    oneof
+      [
+        return All;
+        map (fun e -> At e) gen_expr_leaf;
+        map (fun (a, b) -> Slice (a, b, Int 1)) (pair gen_expr_leaf gen_expr_leaf);
+        map (fun (a, b) -> Slice (a, b, Int 2)) (pair gen_expr_leaf gen_expr_leaf);
+      ])
+
+let gen_section =
+  QCheck.Gen.(
+    map2
+      (fun arr sel -> { arr; sel })
+      (oneofl [ "A"; "B" ])
+      (list_size (int_range 1 3) gen_sel))
+
+let gen_stmt =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map (fun s -> Send_value (s, Unspecified)) gen_section;
+                 map2
+                   (fun s pids ->
+                     Send_value (s, Directed (List.map (fun p -> Int p) pids)))
+                   gen_section
+                   (list_size (int_range 1 3) (int_range 1 4));
+                 map (fun s -> Send_owner s) gen_section;
+                 map (fun s -> Send_owner_value s) gen_section;
+                 map (fun s -> Recv_owner s) gen_section;
+                 map (fun s -> Recv_owner_value s) gen_section;
+                 map2 (fun a b -> Recv_value { into = a; from = b })
+                   gen_section gen_section;
+                 map2 (fun v e -> Assign (Lvar v, e)) (oneofl [ "x"; "y" ])
+                   gen_expr;
+                 map2 (fun (a, idx) e -> Assign (Lelem (a, [ idx ]), e))
+                   (pair (oneofl [ "A"; "B" ]) gen_expr_leaf)
+                   gen_expr;
+                 map (fun s -> Apply { fn = "fft1D"; args = [ s ] }) gen_section;
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             let body = list_size (int_range 0 3) (self (n / 3)) in
+             oneof
+               [
+                 leaf;
+                 map2
+                   (fun g body -> Guard (Bin (Lt, g, Int 3), body))
+                   gen_expr_leaf body;
+                 map (fun s -> Guard (Iown s, [])) gen_section;
+                 map2
+                   (fun (v, (lo, hi)) body ->
+                     For { var = v; lo; hi; step = Int 1; body;
+                           local_range = None })
+                   (pair (oneofl [ "i"; "j" ]) (pair gen_expr_leaf gen_expr_leaf))
+                   body;
+               ]))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse (print stmts) = stmts" ~count:300
+    (QCheck.make
+       ~print:(fun s -> Xdp.Pp.stmts_to_string s)
+       QCheck.Gen.(list_size (int_range 0 4) gen_stmt))
+    (fun stmts ->
+      let printed = Xdp.Pp.stmts_to_string stmts in
+      try Xdp.Parse.stmts printed = stmts
+      with Xdp.Parse.Parse_error { msg; line } ->
+        QCheck.Test.fail_reportf "parse error line %d: %s\n%s" line msg
+          printed)
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "§2.2 listing" `Quick test_paper_22_listing_parses;
+          Alcotest.test_case "§4 listing" `Quick test_paper_4_listing_parses;
+          Alcotest.test_case "transfers" `Quick test_transfers;
+          Alcotest.test_case "sections" `Quick test_sections_and_slices;
+          Alcotest.test_case "expressions" `Quick test_expressions;
+          Alcotest.test_case "if/scalar" `Quick test_if_and_scalar;
+          Alcotest.test_case "apply/stepped loop" `Quick
+            test_apply_and_stepped_loop;
+          Alcotest.test_case "program with decls" `Quick
+            test_program_with_decls;
+          Alcotest.test_case "error lines" `Quick
+            test_errors_carry_line_numbers;
+          Alcotest.test_case "comments" `Quick test_comments_ignored;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,111 @@
+(* Pretty-printer tests: the concrete syntax must match the paper's
+   notation. *)
+
+open Xdp.Build
+
+let iv = var "i"
+
+let check_stmt msg expected st =
+  Alcotest.(check string) msg expected (Xdp.Pp.stmts_to_string [ st ])
+
+let test_transfer_notation () =
+  check_stmt "value send" "B[i] ->" (send (sec "B" [ at iv ]));
+  check_stmt "directed send" "B[i] -> {1,3}"
+    (send_to (sec "B" [ at iv ]) [ i 1; i 3 ]);
+  check_stmt "owner send" "A[*,n,mypid] =>"
+    (send_owner (sec "A" [ all; at (var "n"); at mypid ]));
+  check_stmt "owner+value send" "A[*,n,mypid] -=>"
+    (send_owner_value (sec "A" [ all; at (var "n"); at mypid ]));
+  check_stmt "value receive" "T[mypid] <- B[i]"
+    (recv ~into:(sec "T" [ at mypid ]) ~from:(sec "B" [ at iv ]));
+  check_stmt "owner receive" "U[1] <=" (recv_owner (sec "U" [ at (i 1) ]));
+  check_stmt "owner+value receive" "A[*,mypid,n] <=-"
+    (recv_owner_value (sec "A" [ all; at mypid; at (var "n") ]))
+
+let test_guard_notation () =
+  check_stmt "single statement inline" "iown(B[i]) : { B[i] -> }"
+    (iown (sec "B" [ at iv ]) @: [ send (sec "B" [ at iv ]) ]);
+  let g =
+    iown (sec "A" [ at iv ])
+    @: [
+         recv ~into:(sec "T" [ at mypid ]) ~from:(sec "B" [ at iv ]);
+         await (sec "T" [ at mypid ])
+         @: [ set "A" [ iv ] (elem "A" [ iv ] +: elem "T" [ mypid ]) ];
+       ]
+  in
+  Alcotest.(check string) "nested guard (§2.2 shape)"
+    "iown(A[i]) : {\n\
+    \  T[mypid] <- B[i]\n\
+    \  await(T[mypid]) : { A[i] = (A[i] + T[mypid]) }\n\
+     }"
+    (Xdp.Pp.stmts_to_string [ g ])
+
+let test_loop_notation () =
+  Alcotest.(check string) "do/enddo"
+    "do i = 1, 4\n  fft1D(A[i,*,mypid])\nenddo"
+    (Xdp.Pp.stmts_to_string
+       [
+         loop "i" (i 1) (i 4)
+           [ apply "fft1D" [ sec "A" [ at iv; all; at mypid ] ] ];
+       ]);
+  Alcotest.(check string) "stepped loop shows step"
+    "do i = mypid, 8, 4\nenddo"
+    (Xdp.Pp.stmts_to_string [ loop_step "i" mypid (i 8) (i 4) [] ])
+
+let test_sections () =
+  let s ppf_sec = Xdp.Pp.section_to_string ppf_sec in
+  Alcotest.(check string) "star" "A[*,j,k]"
+    (s (sec "A" [ all; at (var "j"); at (var "k") ]));
+  Alcotest.(check string) "triplet" "A[1:4]" (s (sec "A" [ slice (i 1) (i 4) ]));
+  Alcotest.(check string) "strided" "A[1:7:2]"
+    (s (sec "A" [ slice3 (i 1) (i 7) (i 2) ]))
+
+let test_exprs () =
+  let e x = Xdp.Pp.expr_to_string x in
+  Alcotest.(check string) "intrinsics" "mylb(A[*],1)" (e (mylb (sec "A" [ all ]) 1));
+  Alcotest.(check string) "min" "min(i, 4)" (e (emin iv (i 4)));
+  Alcotest.(check string) "logic" "(iown(A[i]) and (i < 4))"
+    (e (iown (sec "A" [ at iv ]) &&: (iv <: i 4)));
+  Alcotest.(check string) "float has point" "2.0" (e (f 2.0));
+  Alcotest.(check string) "int plain" "2" (e (i 2))
+
+let test_if_notation () =
+  Alcotest.(check string) "if/else"
+    "if (x < 0.0) then\n  d = 1\nelse\n  d = 2\nendif"
+    (Xdp.Pp.stmts_to_string
+       [ if_ (var "x" <: f 0.0) [ setv "d" (i 1) ] [ setv "d" (i 2) ] ])
+
+let test_program_header () =
+  let p =
+    program ~name:"demo"
+      ~decls:
+        [
+          decl ~name:"A" ~shape:[ 4; 8 ]
+            ~dist:[ Xdp_dist.Dist.Star; Xdp_dist.Dist.Block ]
+            ~grid:(Xdp_dist.Grid.linear 2) ~seg_shape:[ 2; 1 ] ();
+        ]
+      [ setv "x" (i 0) ]
+  in
+  let s = Xdp.Pp.program_to_string p in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has decl comment" true
+    (contains "A[1:4,1:8]" && contains "(*, BLOCK)" && contains "(2,1)")
+
+let () =
+  Alcotest.run "pp"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "transfers" `Quick test_transfer_notation;
+          Alcotest.test_case "guards" `Quick test_guard_notation;
+          Alcotest.test_case "loops" `Quick test_loop_notation;
+          Alcotest.test_case "sections" `Quick test_sections;
+          Alcotest.test_case "exprs" `Quick test_exprs;
+          Alcotest.test_case "if" `Quick test_if_notation;
+          Alcotest.test_case "program header" `Quick test_program_header;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+(* Redistribution planning tests — the static analysis behind §4's
+   ownership-transfer code generation. *)
+
+open Xdp_dist
+open Xdp_util
+
+let layout shape dist grid = Layout.make ~shape ~dist ~grid
+
+let fft_before n p =
+  layout [ n; n; n ] [ Dist.Star; Dist.Star; Dist.Block ] (Grid.linear p)
+
+let fft_after n p =
+  layout [ n; n; n ] [ Dist.Star; Dist.Block; Dist.Star ] (Grid.linear p)
+
+let test_fft_plan_shape () =
+  (* The paper's 4-proc case: each proc sends 3 slices, keeps 1. *)
+  let src = fft_before 4 4 and dst = fft_after 4 4 in
+  let plan = Redistribution.plan ~src ~dst in
+  Alcotest.(check int) "moves" (4 * 3) (List.length plan);
+  Alcotest.(check int) "volume" (4 * 4 * 4 * 3 / 4)
+    (Redistribution.volume plan);
+  Alcotest.(check int) "stationary" 16 (Redistribution.stationary ~src ~dst);
+  (* each move is a full dim1 column set: 16 elements *)
+  List.iter
+    (fun (m : Redistribution.move) ->
+      Alcotest.(check int) "move size" 4 (Box.count m.box))
+    plan
+
+let test_plan_conservation () =
+  List.iter
+    (fun (src, dst) ->
+      let plan = Redistribution.plan ~src ~dst in
+      let full = Box.count (Layout.full_box src) in
+      Alcotest.(check int) "moved + stationary = all" full
+        (Redistribution.volume plan + Redistribution.stationary ~src ~dst);
+      (* every moved element: src owns it before, dst owns it after,
+         and it appears in exactly one move *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (m : Redistribution.move) ->
+          Box.iter
+            (fun idx ->
+              Alcotest.(check bool) "no duplicate" false (Hashtbl.mem seen idx);
+              Hashtbl.replace seen idx ();
+              Alcotest.(check int) "src owns before" m.src
+                (Layout.owner src idx);
+              Alcotest.(check int) "dst owns after" m.dst
+                (Layout.owner dst idx))
+            m.box)
+        plan)
+    [
+      (fft_before 4 4, fft_after 4 4);
+      (fft_before 8 4, fft_after 8 4);
+      ( layout [ 12 ] [ Dist.Block ] (Grid.linear 3),
+        layout [ 12 ] [ Dist.Cyclic ] (Grid.linear 3) );
+      ( layout [ 8; 8 ] [ Dist.Block; Dist.Star ] (Grid.linear 4),
+        layout [ 8; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 4) );
+    ]
+
+let test_identity_plan_empty () =
+  let l = layout [ 8 ] [ Dist.Block ] (Grid.linear 4) in
+  Alcotest.(check int) "no moves" 0
+    (List.length (Redistribution.plan ~src:l ~dst:l))
+
+let test_shape_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Redistribution.plan: shape mismatch") (fun () ->
+      ignore
+        (Redistribution.plan
+           ~src:(layout [ 8 ] [ Dist.Block ] (Grid.linear 2))
+           ~dst:(layout [ 9 ] [ Dist.Block ] (Grid.linear 2))))
+
+let test_deterministic_order () =
+  let src = fft_before 4 4 and dst = fft_after 4 4 in
+  let p1 = Redistribution.plan ~src ~dst in
+  let p2 = Redistribution.plan ~src ~dst in
+  Alcotest.(check bool) "same order" true (p1 = p2);
+  (* sorted by (src, dst) *)
+  let keys = List.map (fun (m : Redistribution.move) -> (m.src, m.dst)) p1 in
+  Alcotest.(check bool) "sorted" true (keys = List.sort compare keys)
+
+let prop_block_to_cyclic_conserves =
+  QCheck.Test.make ~name:"block->cyclic conserves elements" ~count:100
+    QCheck.(pair (int_range 1 24) (int_range 1 6))
+    (fun (n, p) ->
+      let src = layout [ n ] [ Dist.Block ] (Grid.linear p) in
+      let dst = layout [ n ] [ Dist.Cyclic ] (Grid.linear p) in
+      let plan = Redistribution.plan ~src ~dst in
+      Redistribution.volume plan + Redistribution.stationary ~src ~dst = n)
+
+let () =
+  Alcotest.run "redistribution"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fft plan shape" `Quick test_fft_plan_shape;
+          Alcotest.test_case "conservation" `Quick test_plan_conservation;
+          Alcotest.test_case "identity" `Quick test_identity_plan_empty;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_order;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_block_to_cyclic_conserves ] );
+    ]

@@ -1,0 +1,84 @@
+(* Reduction strategies: broadcast-per-element lowering vs the
+   partial-sums XDP program built on mylb/myub. *)
+
+module Exec = Xdp_runtime.Exec
+
+let check_all_replicas ~n ~nprocs r =
+  let out = Exec.array r "OUT" in
+  let want = Xdp_apps.Reduce.expected_sum ~n in
+  for p = 1 to nprocs do
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "OUT[%d]" p)
+      want
+      (Xdp_util.Tensor.get out [ p ])
+  done
+
+let run ~n ~nprocs stage =
+  Exec.run ~init:Xdp_apps.Reduce.init ~nprocs
+    (Xdp_apps.Reduce.build ~n ~nprocs ~stage ())
+
+let test_sequential_reference () =
+  let n = 12 in
+  let r =
+    Xdp_runtime.Seq.run ~init:Xdp_apps.Reduce.init
+      (Xdp_apps.Reduce.build ~n ~nprocs:4 ~stage:Xdp_apps.Reduce.Sequential ())
+  in
+  match List.assoc_opt "s" r.scalars with
+  | Some v ->
+      Alcotest.(check (float 1e-9)) "sum"
+        (Xdp_apps.Reduce.expected_sum ~n)
+        (Xdp_runtime.Value.to_float v)
+  | None -> Alcotest.fail "no scalar s"
+
+let test_correct_across_configs () =
+  List.iter
+    (fun (n, nprocs) ->
+      List.iter
+        (fun stage ->
+          if stage <> Xdp_apps.Reduce.Sequential then
+            check_all_replicas ~n ~nprocs (run ~n ~nprocs stage))
+        [ Xdp_apps.Reduce.Naive; Xdp_apps.Reduce.Partial ])
+    [ (8, 2); (16, 4); (24, 3); (32, 8) ]
+
+let test_message_counts () =
+  let n = 16 and nprocs = 4 in
+  let naive = run ~n ~nprocs Xdp_apps.Reduce.Naive in
+  let partial = run ~n ~nprocs Xdp_apps.Reduce.Partial in
+  Alcotest.(check int) "naive broadcasts every element" (n * nprocs)
+    naive.stats.messages;
+  Alcotest.(check int) "partial: P-1 up + P down" ((2 * nprocs) - 1)
+    partial.stats.messages;
+  Alcotest.(check bool) "partial much faster" true
+    (partial.stats.makespan *. 4.0 < naive.stats.makespan)
+
+let test_balance () =
+  let p = Xdp_apps.Reduce.build ~n:16 ~nprocs:4 ~stage:Xdp_apps.Reduce.Partial () in
+  match Xdp.Match_check.check p with
+  | Xdp.Match_check.Balanced -> ()
+  | Xdp.Match_check.Unbalanced m -> Alcotest.failf "unbalanced: %s" m
+  | Xdp.Match_check.Unknown m -> Alcotest.failf "unknown: %s" m
+
+let prop_random =
+  QCheck.Test.make ~name:"reduction correct on random configs" ~count:20
+    QCheck.(pair (int_range 2 6) (int_range 1 5))
+    (fun (nprocs, mult) ->
+      let n = nprocs * mult * 2 in
+      let r = run ~n ~nprocs Xdp_apps.Reduce.Partial in
+      let out = Exec.array r "OUT" in
+      let want = Xdp_apps.Reduce.expected_sum ~n in
+      List.for_all
+        (fun p -> Float.abs (Xdp_util.Tensor.get out [ p ] -. want) < 1e-6)
+        (List.init nprocs (fun p -> p + 1)))
+
+let () =
+  Alcotest.run "reduce"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "sequential" `Quick test_sequential_reference;
+          Alcotest.test_case "all configs" `Quick test_correct_across_configs;
+          Alcotest.test_case "message counts" `Quick test_message_counts;
+          Alcotest.test_case "balance" `Quick test_balance;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random ]);
+    ]

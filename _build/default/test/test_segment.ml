@@ -1,0 +1,136 @@
+(* Segmentation tests: tiling local partitions into compiler-chosen
+   segments, including the Figure 2 and Figure 3 shapes. *)
+
+open Xdp_dist
+open Xdp_util
+
+let layout shape dist grid = Layout.make ~shape ~dist ~grid
+
+let test_fig2_a_segments () =
+  (* A[1:4,1:8] ( *, BLOCK) over a 2-proc axis, segment shape (2,1):
+     local partition is 4x4, so 2x4 = 8 segments of 2 elements. *)
+  let l = layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 2) in
+  let segs = Segment.tile l ~pid:0 ~seg_shape:[ 2; 1 ] in
+  Alcotest.(check int) "#segments" 8 (List.length segs);
+  Alcotest.(check int) "covers partition" 16 (Segment.total_elements segs);
+  (* Paper's Figure 2 claims 4 segments of shape (2,1) for its 2x2
+     grid where each proc's partition is 4x2. *)
+  let l22 =
+    layout [ 4; 8 ] [ Dist.Block; Dist.Block ] (Grid.make [ 2; 2 ])
+  in
+  let segs22 = Segment.tile l22 ~pid:3 ~seg_shape:[ 2; 1 ] in
+  Alcotest.(check int) "2x2 grid: 2x4 partition -> 4 segs" 4
+    (List.length segs22)
+
+let test_fig2_b_segments () =
+  (* B[1:16,1:16] (BLOCK, CYCLIC) over 2x2, segment shape (4,2): local
+     partition is 8x8 (compressed), so 2*4 = 8 segments. *)
+  let l = layout [ 16; 16 ] [ Dist.Block; Dist.Cyclic ] (Grid.make [ 2; 2 ]) in
+  let segs = Segment.tile l ~pid:3 ~seg_shape:[ 4; 2 ] in
+  Alcotest.(check int) "#segments" 8 (List.length segs);
+  Alcotest.(check int) "covers partition" 64 (Segment.total_elements segs);
+  (* Cyclic dim: global footprint is strided by 2. *)
+  let s0 = List.hd segs in
+  let tr2 = Box.dim s0.Segment.box 2 in
+  Alcotest.(check bool) "stride 2 in cyclic dim" true
+    (Triplet.to_string tr2 = "2:4:2" || Triplet.to_string tr2 = "1:3:2")
+
+let test_segments_disjoint_cover () =
+  List.iter
+    (fun (l, seg_shape) ->
+      List.iter
+        (fun pid ->
+          let segs = Segment.tile l ~pid ~seg_shape in
+          List.iteri
+            (fun i (a : Segment.desc) ->
+              List.iteri
+                (fun j (b : Segment.desc) ->
+                  if i < j then
+                    Alcotest.(check bool) "disjoint" true
+                      (Box.disjoint a.box b.box))
+                segs)
+            segs;
+          Alcotest.(check int) "total" (Layout.local_size l pid)
+            (Segment.total_elements segs))
+        (List.init (Layout.nprocs l) Fun.id))
+    [
+      (layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 4), [ 2; 2 ]);
+      (layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 4), [ 4; 1 ]);
+      (layout [ 12 ] [ Dist.Cyclic ] (Grid.linear 3), [ 2 ]);
+      (layout [ 7 ] [ Dist.Block ] (Grid.linear 3), [ 2 ]);
+    ]
+
+let test_ragged_tail () =
+  (* 7 elements over 3 procs BLOCK: P0 owns 3, tiled by 2 -> segs of
+     2 and 1. *)
+  let l = layout [ 7 ] [ Dist.Block ] (Grid.linear 3) in
+  let segs = Segment.tile l ~pid:0 ~seg_shape:[ 2 ] in
+  Alcotest.(check (list int)) "sizes"
+    [ 2; 1 ]
+    (List.map (fun (s : Segment.desc) -> Box.count s.box) segs)
+
+let test_find_containing () =
+  let l = layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 2) in
+  let segs = Segment.tile l ~pid:1 ~seg_shape:[ 2; 2 ] in
+  (match Segment.find_containing segs [ 3; 7 ] with
+  | Some s -> Alcotest.(check bool) "contains" true (Box.mem [ 3; 7 ] s.box)
+  | None -> Alcotest.fail "expected containing segment");
+  Alcotest.(check bool) "not owned -> none" true
+    (Segment.find_containing segs [ 3; 2 ] = None)
+
+let test_straddling_block_cyclic_rejected () =
+  (* CYCLIC(2) owned indices per proc are 1,2,5,6,...; chunks of 3
+     straddle blocks and are not arithmetic progressions. *)
+  let l = layout [ 16 ] [ Dist.Block_cyclic 2 ] (Grid.linear 2) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Segment.tile l ~pid:0 ~seg_shape:[ 3 ]);
+       false
+     with Invalid_argument _ -> true);
+  (* chunks of 2 align with blocks: fine *)
+  let segs = Segment.tile l ~pid:0 ~seg_shape:[ 2 ] in
+  Alcotest.(check int) "aligned tiling works" 4 (List.length segs)
+
+let test_segment_map_fig3 () =
+  (* Figure 3(a): (BLOCK, BLOCK) over 2x2, P3 (pid 2 in our 0-based
+     row-major order owns rows 3:4, cols 1:4), 2x1 segments. *)
+  let l = layout [ 4; 8 ] [ Dist.Block; Dist.Block ] (Grid.make [ 2; 2 ]) in
+  let m = Segment.segment_map l ~pid:2 ~seg_shape:[ 2; 1 ] in
+  Alcotest.(check string) "fig3a 2x1 segs"
+    "........\n........\n0123....\n0123...."
+    m;
+  let m2 = Segment.segment_map l ~pid:2 ~seg_shape:[ 1; 2 ] in
+  Alcotest.(check string) "fig3a 1x2 segs"
+    "........\n........\n0011....\n2233...."
+    m2
+
+let prop_tile_partitions =
+  QCheck.Test.make ~name:"tiling partitions the local partition" ~count:100
+    QCheck.(
+      triple (int_range 1 16) (int_range 1 4) (int_range 1 4))
+    (fun (n, procs, seg) ->
+      let l = layout [ n ] [ Dist.Block ] (Grid.linear procs) in
+      List.for_all
+        (fun pid ->
+          let segs = Segment.tile l ~pid ~seg_shape:[ seg ] in
+          Segment.total_elements segs = Layout.local_size l pid)
+        (List.init procs Fun.id))
+
+let () =
+  Alcotest.run "segment"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "figure 2 A" `Quick test_fig2_a_segments;
+          Alcotest.test_case "figure 2 B" `Quick test_fig2_b_segments;
+          Alcotest.test_case "disjoint cover" `Quick
+            test_segments_disjoint_cover;
+          Alcotest.test_case "ragged tail" `Quick test_ragged_tail;
+          Alcotest.test_case "find_containing" `Quick test_find_containing;
+          Alcotest.test_case "straddling rejected" `Quick
+            test_straddling_block_cyclic_rejected;
+          Alcotest.test_case "segment map (Figure 3)" `Quick
+            test_segment_map_fig3;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_tile_partitions ]);
+    ]

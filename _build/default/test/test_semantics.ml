@@ -1,0 +1,289 @@
+(* Figure 1 conformance: one executable scenario per rule of the
+   paper's table of execution rules, plus the §2.7 concurrency
+   semantics and the §3.2 binding hazard. *)
+
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid n = Xdp_dist.Grid.linear n
+
+let base_decls ?(n = 2) () =
+  [
+    decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid n)
+      ~seg_shape:[ 8 / n ] ();
+    decl ~name:"T" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid n)
+      ~seg_shape:[ 1 ] ();
+    decl ~name:"OUT" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ]
+      ~grid:(grid n) ~seg_shape:[ 1 ] ();
+  ]
+
+let prog ?n body = program ~name:"fig1" ~decls:(base_decls ?n ()) body
+let run ?n ?init body = Exec.run ?init ~nprocs:(Option.value n ~default:2) (prog ?n body)
+let out r p = Xdp_util.Tensor.get (Exec.array r "OUT") [ p ]
+
+(* mypid: returns the unique identifier of p *)
+let test_rule_mypid () =
+  let r = run [ set "OUT" [ mypid ] (i 1 *: mypid) ] in
+  Alcotest.(check (float 0.0)) "P1" 1.0 (out r 1);
+  Alcotest.(check (float 0.0)) "P2" 2.0 (out r 2)
+
+(* mylb/myub: smallest/largest owned index, MAXINT/MININT otherwise *)
+let test_rule_mylb_myub () =
+  let r =
+    run
+      [
+        set "OUT" [ mypid ]
+          (mylb (sec "A" [ all ]) 1 *: i 100 +: myub (sec "A" [ all ]) 1);
+      ]
+  in
+  (* P1 owns 1..4: 1*100+4; P2 owns 5..8: 5*100+8 *)
+  Alcotest.(check (float 0.0)) "P1 bounds" 104.0 (out r 1);
+  Alcotest.(check (float 0.0)) "P2 bounds" 508.0 (out r 2);
+  (* MAXINT when no element owned *)
+  let r2 =
+    run
+      [
+        if_
+          (mylb (sec "A" [ slice (i 1) (i 4) ]) 1 =: i max_int)
+          [ set "OUT" [ mypid ] (f 7.0) ]
+          [ set "OUT" [ mypid ] (f 0.0) ];
+      ]
+  in
+  Alcotest.(check (float 0.0)) "P2 sees MAXINT" 7.0 (out r2 2);
+  Alcotest.(check (float 0.0)) "P1 owns some" 0.0 (out r2 1)
+
+(* iown: true iff X is owned by p *)
+let test_rule_iown () =
+  let r =
+    run
+      [
+        iown (sec "A" [ slice (i 1) (i 4) ]) @: [ set "OUT" [ mypid ] (f 1.0) ];
+        iown (sec "A" [ slice (i 3) (i 6) ]) @: [ set "OUT" [ mypid ] (f 9.0) ];
+      ]
+  in
+  (* nobody owns 3..6 entirely; only P1 owns 1..4 *)
+  Alcotest.(check (float 0.0)) "P1 fired once" 1.0 (out r 1);
+  Alcotest.(check (float 0.0)) "P2 never" 0.0 (out r 2)
+
+(* accessible: owned with no uncompleted receive; await blocks until
+   accessible; a receive puts the section in transitional state *)
+let test_rule_states_through_receive () =
+  let body =
+    [
+      (* before any receive: accessible *)
+      (mypid =: i 2)
+      @: [
+           if_
+             (accessible (sec "T" [ at mypid ]))
+             [ set "OUT" [ mypid ] (f 1.0) ]
+             [];
+           (* initiate a receive: T[2] becomes transitional *)
+           recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]);
+           if_
+             (enot (accessible (sec "T" [ at mypid ])))
+             [ set "OUT" [ mypid ] (elem "OUT" [ mypid ] +: f 10.0) ]
+             [];
+           (* iown is still true while transitional *)
+           iown (sec "T" [ at mypid ])
+           @: [ set "OUT" [ mypid ] (elem "OUT" [ mypid ] +: f 100.0) ];
+           (* await blocks until the delivery, then the value is there *)
+           await (sec "T" [ at mypid ])
+           @: [
+                set "OUT" [ mypid ]
+                  (elem "OUT" [ mypid ] +: elem "T" [ mypid ]);
+              ];
+         ];
+      iown (sec "A" [ at (i 1) ]) @: [ send (sec "A" [ at (i 1) ]) ];
+    ]
+  in
+  let r = run ~init:(fun name idx -> if name = "A" && idx = [ 1 ] then 1000.0 else 0.0) body in
+  Alcotest.(check (float 0.0)) "all four phases observed" 1111.0 (out r 2)
+
+(* await returns false on an unowned section (no blocking) *)
+let test_rule_await_unowned_false () =
+  let r =
+    run
+      [
+        (mypid =: i 2)
+        @: [
+             await (sec "A" [ slice (i 1) (i 4) ])
+             @: [ set "OUT" [ mypid ] (f 99.0) ];
+             set "OUT" [ mypid ] (elem "OUT" [ mypid ] +: f 1.0);
+           ];
+      ]
+  in
+  (* the await guard was false (not a deadlock); execution continued *)
+  Alcotest.(check (float 0.0)) "guard skipped" 1.0 (out r 2)
+
+(* E -> S : directed send reaches only the named destination *)
+let test_rule_directed_send () =
+  let r =
+    run ~n:4
+      ~init:(fun name idx -> if name = "A" && idx = [ 1 ] then 5.0 else 0.0)
+      [
+        iown (sec "A" [ at (i 1) ])
+        @: [ send_to (sec "A" [ at (i 1) ]) [ i 3 ] ];
+        (mypid =: i 3)
+        @: [
+             recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]);
+             await (sec "T" [ at mypid ])
+             @: [ set "OUT" [ mypid ] (elem "T" [ mypid ]) ];
+           ];
+      ]
+  in
+  Alcotest.(check (float 0.0)) "P3 received" 5.0 (out r 3);
+  Alcotest.(check (float 0.0)) "P2 not involved" 0.0 (out r 2)
+
+(* broadcast via E -> {all} *)
+let test_rule_broadcast () =
+  let r =
+    run ~n:4
+      ~init:(fun name idx -> if name = "A" && idx = [ 1 ] then 5.0 else 0.0)
+      [
+        iown (sec "A" [ at (i 1) ])
+        @: [ send_to (sec "A" [ at (i 1) ]) [ i 1; i 2; i 3; i 4 ] ];
+        recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]);
+        await (sec "T" [ at mypid ])
+        @: [ set "OUT" [ mypid ] (elem "T" [ mypid ]) ];
+      ]
+  in
+  for p = 1 to 4 do
+    Alcotest.(check (float 0.0)) (Printf.sprintf "P%d" p) 5.0 (out r p)
+  done
+
+(* E -=> / U <=- : ownership and value move; storage is freed at the
+   source (checked through the symbol tables) *)
+let test_rule_ownership_value_transfer () =
+  let body =
+    [
+      iown (sec "A" [ slice (i 1) (i 4) ])
+      @: [ send_owner_value (sec "A" [ slice (i 1) (i 4) ]) ];
+      (mypid =: i 2) @: [ recv_owner_value (sec "A" [ slice (i 1) (i 4) ]) ];
+      (* new owner computes on the received values *)
+      (mypid =: i 2)
+      @: [
+           await (sec "A" [ slice (i 1) (i 4) ])
+           @: [ set "OUT" [ mypid ] (elem "A" [ i 2 ]) ];
+         ];
+    ]
+  in
+  let r = run ~init:(fun name idx -> if name = "A" then float_of_int (List.hd idx) else 0.0) body in
+  Alcotest.(check (float 0.0)) "value followed ownership" 2.0 (out r 2);
+  Alcotest.(check int) "one ownership transfer" 1
+    r.stats.ownership_transfers;
+  (* P1's symbol table no longer owns; P2's does *)
+  let box14 = Xdp_util.Box.make [ Xdp_util.Triplet.range 1 4 ] in
+  Alcotest.(check bool) "P1 lost it" false
+    (Xdp_symtab.Symtab.iown r.symtabs.(0) "A" box14);
+  Alcotest.(check bool) "P2 has it" true
+    (Xdp_symtab.Symtab.iown r.symtabs.(1) "A" box14)
+
+(* E => / U <= : ownership only, value does not travel *)
+let test_rule_ownership_only () =
+  let body =
+    [
+      iown (sec "A" [ slice (i 1) (i 4) ])
+      @: [ send_owner (sec "A" [ slice (i 1) (i 4) ]) ];
+      (mypid =: i 2) @: [ recv_owner (sec "A" [ slice (i 1) (i 4) ]) ];
+      (mypid =: i 2)
+      @: [
+           await (sec "A" [ slice (i 1) (i 4) ])
+           @: [ set "OUT" [ mypid ] (elem "A" [ i 2 ] +: f 0.5) ];
+         ];
+    ]
+  in
+  let r = run ~init:(fun name _ -> if name = "A" then 7.0 else 0.0) body in
+  (* contents at the new owner are unspecified-but-zeroed, not 7.0 *)
+  Alcotest.(check (float 0.0)) "value did not travel" 0.5 (out r 2)
+
+(* §2.7: several processors may have outstanding receives for the same
+   section; multiple outstanding sends queue up *)
+let test_rule_concurrent_receives () =
+  let body =
+    [
+      iown (sec "A" [ at (i 1) ])
+      @: [ send (sec "A" [ at (i 1) ]); send (sec "A" [ at (i 1) ]) ];
+      recv ~into:(sec "T" [ at mypid ]) ~from:(sec "A" [ at (i 1) ]);
+      await (sec "T" [ at mypid ])
+      @: [ set "OUT" [ mypid ] (elem "T" [ mypid ]) ];
+    ]
+  in
+  let r = run ~init:(fun name idx -> if name = "A" && idx = [ 1 ] then 3.0 else 0.0) body in
+  (* both receivers got a copy *)
+  Alcotest.(check (float 0.0)) "P1" 3.0 (out r 1);
+  Alcotest.(check (float 0.0)) "P2" 3.0 (out r 2)
+
+(* the §3.2 hazard: undirected same-name sends from a stencil
+   cross-match and deadlock — the reason Lower directs its sends *)
+let test_undirected_stencil_deadlocks () =
+  let seqp =
+    Xdp_apps.Jacobi.build ~n:8 ~nprocs:2 ~sweeps:1
+      ~stage:Xdp_apps.Jacobi.Sequential ()
+  in
+  let undirected = Xdp.Lower.run ~direct:false ~nprocs:2 seqp in
+  Alcotest.(check bool) "deadlocks" true
+    (try
+       ignore (Exec.run ~init:Xdp_apps.Jacobi.init ~nprocs:2 undirected);
+       false
+     with Exec.Deadlock _ -> true);
+  (* and the directed lowering of the same program is live *)
+  let directed = Xdp.Lower.run ~direct:true ~nprocs:2 seqp in
+  let r = Exec.run ~init:Xdp_apps.Jacobi.init ~nprocs:2 directed in
+  Alcotest.(check bool) "directed completes" true (r.stats.makespan > 0.0)
+
+(* ownership sends block until the section is accessible *)
+let test_owner_send_blocks_until_accessible () =
+  let body =
+    [
+      (* P2: receive a value into A[5] (its own), putting the segment
+         in transitional state, then immediately try to send
+         ownership of it away: must wait for the delivery. *)
+      (mypid =: i 2)
+      @: [
+           recv ~into:(sec "A" [ slice (i 5) (i 8) ])
+             ~from:(sec "A" [ slice (i 1) (i 4) ]);
+           send_owner_value (sec "A" [ slice (i 5) (i 8) ]);
+         ];
+      iown (sec "A" [ slice (i 1) (i 4) ])
+      @: [ send (sec "A" [ slice (i 1) (i 4) ]) ];
+      (mypid =: i 1) @: [ recv_owner_value (sec "A" [ slice (i 5) (i 8) ]) ];
+      (mypid =: i 1)
+      @: [
+           await (sec "A" [ slice (i 5) (i 8) ])
+           @: [ set "OUT" [ mypid ] (elem "A" [ i 6 ]) ];
+         ];
+    ]
+  in
+  let r = run ~init:(fun name idx -> if name = "A" then float_of_int (10 * List.hd idx) else 0.0) body in
+  (* A[6] at P1 = the value received into A[6] at P2 = A[2] original = 20 *)
+  Alcotest.(check (float 0.0)) "ordering enforced" 20.0 (out r 1)
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "figure1",
+        [
+          Alcotest.test_case "mypid" `Quick test_rule_mypid;
+          Alcotest.test_case "mylb/myub + MAXINT" `Quick test_rule_mylb_myub;
+          Alcotest.test_case "iown" `Quick test_rule_iown;
+          Alcotest.test_case "states through a receive" `Quick
+            test_rule_states_through_receive;
+          Alcotest.test_case "await unowned = false" `Quick
+            test_rule_await_unowned_false;
+          Alcotest.test_case "directed send" `Quick test_rule_directed_send;
+          Alcotest.test_case "broadcast" `Quick test_rule_broadcast;
+          Alcotest.test_case "ownership+value transfer" `Quick
+            test_rule_ownership_value_transfer;
+          Alcotest.test_case "ownership-only transfer" `Quick
+            test_rule_ownership_only;
+          Alcotest.test_case "concurrent receives (§2.7)" `Quick
+            test_rule_concurrent_receives;
+          Alcotest.test_case "owner send blocks" `Quick
+            test_owner_send_blocks_until_accessible;
+        ] );
+      ( "hazards",
+        [
+          Alcotest.test_case "undirected stencil deadlock (§3.2)" `Quick
+            test_undirected_stencil_deadlocks;
+        ] );
+    ]

@@ -1,0 +1,121 @@
+(* Sequential reference interpreter tests. *)
+
+open Xdp.Build
+
+let grid = Xdp_dist.Grid.linear 2
+
+let decls =
+  [
+    decl ~name:"A" ~shape:[ 8 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid ();
+    decl ~name:"M" ~shape:[ 2; 3 ]
+      ~dist:[ Xdp_dist.Dist.Star; Xdp_dist.Dist.Block ]
+      ~grid:(Xdp_dist.Grid.linear 3) ();
+  ]
+
+let prog body = program ~name:"seq-test" ~decls body
+let iv = var "i"
+
+let test_loop_assign () =
+  let r =
+    Xdp_runtime.Seq.run
+      (prog [ loop "i" (i 1) (i 8) [ set "A" [ iv ] (iv *: iv) ] ])
+  in
+  let a = Xdp_runtime.Seq.array r "A" in
+  for k = 1 to 8 do
+    Alcotest.(check (float 0.0))
+      (Printf.sprintf "A[%d]" k)
+      (float_of_int (k * k))
+      (Xdp_util.Tensor.get a [ k ])
+  done
+
+let test_loop_step_and_if () =
+  let r =
+    Xdp_runtime.Seq.run
+      (prog
+         [
+           loop_step "i" (i 1) (i 8) (i 2) [ set "A" [ iv ] (f 1.0) ];
+           loop "i" (i 1) (i 8)
+             [
+               if_ (elem "A" [ iv ] =: f 1.0)
+                 [ set "A" [ iv ] (f 2.0) ]
+                 [ set "A" [ iv ] (f (-1.0)) ];
+             ];
+         ])
+  in
+  let a = Xdp_runtime.Seq.array r "A" in
+  Alcotest.(check (float 0.0)) "odd" 2.0 (Xdp_util.Tensor.get a [ 3 ]);
+  Alcotest.(check (float 0.0)) "even" (-1.0) (Xdp_util.Tensor.get a [ 4 ])
+
+let test_init_and_scalars () =
+  let r =
+    Xdp_runtime.Seq.run
+      ~init:(fun name idx ->
+        match (name, idx) with "A", [ i ] -> float_of_int (10 * i) | _ -> 0.0)
+      ~scalars:[ ("s", Xdp_runtime.Value.VInt 3) ]
+      (prog [ set "A" [ var "s" ] (elem "A" [ var "s" ] +: f 0.5) ])
+  in
+  let a = Xdp_runtime.Seq.array r "A" in
+  Alcotest.(check (float 0.0)) "seeded + updated" 30.5
+    (Xdp_util.Tensor.get a [ 3 ]);
+  Alcotest.(check (float 0.0)) "others seeded" 10.0
+    (Xdp_util.Tensor.get a [ 1 ])
+
+let test_apply_kernel () =
+  let r =
+    Xdp_runtime.Seq.run
+      ~init:(fun _ idx -> float_of_int (List.hd idx))
+      (prog [ apply "scale2" [ sec "A" [ slice (i 2) (i 4) ] ] ])
+  in
+  let a = Xdp_runtime.Seq.array r "A" in
+  Alcotest.(check (float 0.0)) "inside scaled" 6.0 (Xdp_util.Tensor.get a [ 3 ]);
+  Alcotest.(check (float 0.0)) "outside untouched" 5.0
+    (Xdp_util.Tensor.get a [ 5 ])
+
+let test_2d_kernel_slice () =
+  (* smooth along a row of a 2-D array *)
+  let r =
+    Xdp_runtime.Seq.run
+      ~init:(fun _ idx -> match idx with [ _; j ] -> float_of_int j | _ -> 0.0)
+      (prog [ apply "smooth3" [ sec "M" [ at (i 1); all ] ] ])
+  in
+  let m = Xdp_runtime.Seq.array r "M" in
+  Alcotest.(check (float 1e-9)) "row smoothed" 2.0
+    (Xdp_util.Tensor.get m [ 1; 2 ]);
+  Alcotest.(check (float 0.0)) "other row untouched" 2.0
+    (Xdp_util.Tensor.get m [ 2; 2 ])
+
+let test_rejects_xdp () =
+  List.iter
+    (fun st ->
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore (Xdp_runtime.Seq.run (prog [ st ]));
+           false
+         with Invalid_argument _ -> true))
+    [
+      send (sec "A" [ at (i 1) ]);
+      recv_owner (sec "A" [ at (i 1) ]);
+      iown (sec "A" [ at (i 1) ]) @: [];
+    ]
+
+let test_unknown_kernel () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Xdp_runtime.Seq.run (prog [ apply "mystery" [ sec "A" [ all ] ] ]));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "seq"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "loop assign" `Quick test_loop_assign;
+          Alcotest.test_case "step and if" `Quick test_loop_step_and_if;
+          Alcotest.test_case "init and scalars" `Quick test_init_and_scalars;
+          Alcotest.test_case "apply kernel" `Quick test_apply_kernel;
+          Alcotest.test_case "2d kernel slice" `Quick test_2d_kernel_slice;
+          Alcotest.test_case "rejects XDP stmts" `Quick test_rejects_xdp;
+          Alcotest.test_case "unknown kernel" `Quick test_unknown_kernel;
+        ] );
+    ]

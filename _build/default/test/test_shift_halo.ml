@@ -1,0 +1,256 @@
+(* Automatic shift-communication vectorization tests. *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let grid n = Xdp_dist.Grid.linear n
+
+let decls ?(names = [ "A"; "B" ]) n nprocs =
+  List.map
+    (fun name ->
+      decl ~name ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Block ] ~grid:(grid nprocs)
+        ())
+    names
+
+let iv = var "i"
+
+let compile_both ~nprocs p =
+  (* the auto pipeline and the plain pipeline *)
+  let auto =
+    Xdp.Elim_comm.run
+      (Xdp.Lower.run ~allow_xdp:true ~nprocs (Xdp.Shift_halo.run ~nprocs p))
+  in
+  let plain = Xdp.Elim_comm.run (Xdp.Lower.run ~nprocs p) in
+  (auto, plain)
+
+let count_msgs r = r.Exec.stats.messages
+
+let run_both ~nprocs ~init p arrays =
+  let auto, plain = compile_both ~nprocs p in
+  let seq = Xdp_runtime.Seq.run ~init p in
+  let ra = Exec.run ~init ~nprocs auto in
+  let rp = Exec.run ~init ~nprocs plain in
+  List.iter
+    (fun arr ->
+      let expected = Xdp_runtime.Seq.array seq arr in
+      Alcotest.(check bool)
+        (arr ^ " auto matches sequential")
+        true
+        (Xdp_util.Tensor.max_diff (Exec.array ra arr) expected < 1e-9);
+      Alcotest.(check bool)
+        (arr ^ " plain matches sequential")
+        true
+        (Xdp_util.Tensor.max_diff (Exec.array rp arr) expected < 1e-9))
+    arrays;
+  (ra, rp)
+
+let init _ idx = float_of_int (List.hd idx * 3) +. 0.25
+
+let test_three_point () =
+  let n = 16 and nprocs = 4 in
+  let p =
+    program ~name:"p" ~decls:(decls n nprocs)
+      [
+        loop "i" (i 2)
+          (i (n - 1))
+          [
+            set "A" [ iv ]
+              ((f 0.25 *: elem "B" [ iv -: i 1 ])
+              +: (f 0.5 *: elem "B" [ iv ])
+              +: (f 0.25 *: elem "B" [ iv +: i 1 ]));
+          ];
+      ]
+  in
+  let ra, rp = run_both ~nprocs ~init p [ "A" ] in
+  Alcotest.(check int) "2 per neighbour pair" (2 * (nprocs - 1))
+    (count_msgs ra);
+  Alcotest.(check bool) "far fewer than plain" true
+    (count_msgs ra * 4 < count_msgs rp)
+
+let test_five_point_width_two () =
+  let n = 24 and nprocs = 4 in
+  let p =
+    program ~name:"p" ~decls:(decls n nprocs)
+      [
+        loop "i" (i 3)
+          (i (n - 2))
+          [
+            set "A" [ iv ]
+              (elem "B" [ iv -: i 2 ] +: elem "B" [ iv -: i 1 ]
+              +: elem "B" [ iv ] +: elem "B" [ iv +: i 1 ]
+              +: elem "B" [ iv +: i 2 ]);
+          ];
+      ]
+  in
+  let ra, _ = run_both ~nprocs ~init p [ "A" ] in
+  (* still one strip per neighbour per direction *)
+  Alcotest.(check int) "strips not elements" (2 * (nprocs - 1))
+    (count_msgs ra)
+
+let test_asymmetric_and_multi_array () =
+  let n = 16 and nprocs = 4 in
+  let p =
+    program ~name:"p" ~decls:(decls ~names:[ "A"; "B"; "C" ] n nprocs)
+      [
+        (* B needs a left halo, C a right halo of width 2 *)
+        loop "i" (i 3)
+          (i (n - 2))
+          [
+            set "A" [ iv ]
+              (elem "B" [ iv -: i 2 ] +: elem "C" [ iv +: i 2 ]
+              +: elem "A" [ iv ]);
+          ];
+      ]
+  in
+  let ra, _ = run_both ~nprocs ~init p [ "A" ] in
+  (* one strip per neighbour pair per array-direction: B left + C right *)
+  Alcotest.(check int) "two exchanges" (2 * (nprocs - 1)) (count_msgs ra)
+
+let test_multi_sweep_in_time_loop () =
+  let n = 16 and nprocs = 4 in
+  let p =
+    program ~name:"p" ~decls:(decls n nprocs)
+      [
+        loop "t" (i 1) (i 3)
+          [
+            loop "i" (i 2)
+              (i (n - 1))
+              [ set "A" [ iv ] (elem "B" [ iv +: i 1 ]) ];
+            loop "i" (i 2)
+              (i (n - 1))
+              [ set "B" [ iv ] (elem "A" [ iv ]) ];
+          ];
+      ]
+  in
+  let ra, _ = run_both ~nprocs ~init p [ "A"; "B" ] in
+  Alcotest.(check int) "one strip per sweep" (3 * (nprocs - 1))
+    (count_msgs ra)
+
+let not_transformed ~nprocs p =
+  let q = Xdp.Shift_halo.run ~nprocs p in
+  Alcotest.(check bool) "left untouched" true (q.body = p.body)
+
+let test_loop_carried_dependence_refused () =
+  (* A[i] = A[i-1] is sequential; vectorizing it would be wrong *)
+  let n = 16 and nprocs = 4 in
+  not_transformed ~nprocs
+    (program ~name:"p" ~decls:(decls n nprocs)
+       [ loop "i" (i 2) (i n) [ set "A" [ iv ] (elem "A" [ iv -: i 1 ]) ] ])
+
+let test_cyclic_layout_refused () =
+  let n = 16 and nprocs = 4 in
+  let ds =
+    [
+      decl ~name:"A" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Cyclic ]
+        ~grid:(grid nprocs) ();
+      decl ~name:"B" ~shape:[ n ] ~dist:[ Xdp_dist.Dist.Cyclic ]
+        ~grid:(grid nprocs) ();
+    ]
+  in
+  not_transformed ~nprocs
+    (program ~name:"p" ~decls:ds
+       [ loop "i" (i 2) (i (n - 1)) [ set "A" [ iv ] (elem "B" [ iv +: i 1 ]) ] ])
+
+let test_small_block_refused () =
+  (* halo width 3 > block size 2 *)
+  let n = 8 and nprocs = 4 in
+  not_transformed ~nprocs
+    (program ~name:"p" ~decls:(decls n nprocs)
+       [
+         loop "i" (i 4)
+           (i (n - 3))
+           [ set "A" [ iv ] (elem "B" [ iv -: i 3 ] +: elem "B" [ iv +: i 3 ]) ];
+       ])
+
+let test_symbolic_bounds_refused () =
+  let n = 16 and nprocs = 4 in
+  not_transformed ~nprocs
+    (program ~name:"p" ~decls:(decls n nprocs)
+       [
+         setv "m" (i 10);
+         loop "i" (i 2) (var "m") [ set "A" [ iv ] (elem "B" [ iv +: i 1 ]) ];
+       ])
+
+let test_non_affine_ref_refused () =
+  let n = 16 and nprocs = 4 in
+  not_transformed ~nprocs
+    (program ~name:"p" ~decls:(decls n nprocs)
+       [
+         loop "i" (i 2)
+           (i 4)
+           [ set "A" [ iv ] (elem "B" [ iv *: i 2 ]) ];
+       ])
+
+let test_send_recv_balance () =
+  let n = 16 and nprocs = 4 in
+  let p =
+    program ~name:"p" ~decls:(decls n nprocs)
+      [
+        loop "i" (i 2)
+          (i (n - 1))
+          [ set "A" [ iv ] (elem "B" [ iv -: i 1 ] +: elem "B" [ iv +: i 1 ]) ];
+      ]
+  in
+  let auto, _ = compile_both ~nprocs p in
+  match Xdp.Match_check.check auto with
+  | Xdp.Match_check.Balanced -> ()
+  | Xdp.Match_check.Unbalanced m -> Alcotest.failf "unbalanced: %s" m
+  | Xdp.Match_check.Unknown m -> Alcotest.failf "unknown: %s" m
+
+let prop_random_shift_patterns =
+  QCheck.Test.make ~name:"random shift sets verify" ~count:25
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 3) (int_range (-2) 2))
+        (int_range 1 4))
+    (fun (shifts, nprocs) ->
+      let n = 8 * nprocs in
+      let rhs =
+        List.fold_left
+          (fun acc c ->
+            acc +: elem "B" [ Xdp.Simplify.expr (iv +: i c) ])
+          (f 0.0) shifts
+      in
+      let glo = 1 + max 0 (-List.fold_left min 0 shifts) in
+      let ghi = n - max 0 (List.fold_left max 0 shifts) in
+      let p =
+        program ~name:"p" ~decls:(decls n nprocs)
+          [ loop "i" (i glo) (i ghi) [ set "A" [ iv ] rhs ] ]
+      in
+      let auto =
+        Xdp.Elim_comm.run
+          (Xdp.Lower.run ~allow_xdp:true ~nprocs
+             (Xdp.Shift_halo.run ~nprocs p))
+      in
+      let expected =
+        Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init p) "A"
+      in
+      let r = Exec.run ~init ~nprocs auto in
+      Xdp_util.Tensor.max_diff (Exec.array r "A") expected < 1e-9)
+
+let () =
+  Alcotest.run "shift_halo"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "3-point" `Quick test_three_point;
+          Alcotest.test_case "5-point width 2" `Quick
+            test_five_point_width_two;
+          Alcotest.test_case "asymmetric multi-array" `Quick
+            test_asymmetric_and_multi_array;
+          Alcotest.test_case "time loop" `Quick test_multi_sweep_in_time_loop;
+          Alcotest.test_case "loop-carried refused" `Quick
+            test_loop_carried_dependence_refused;
+          Alcotest.test_case "cyclic refused" `Quick test_cyclic_layout_refused;
+          Alcotest.test_case "small block refused" `Quick
+            test_small_block_refused;
+          Alcotest.test_case "symbolic bounds refused" `Quick
+            test_symbolic_bounds_refused;
+          Alcotest.test_case "non-affine refused" `Quick
+            test_non_affine_ref_refused;
+          Alcotest.test_case "balance check" `Quick test_send_recv_balance;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_shift_patterns ] );
+    ]

@@ -1,0 +1,103 @@
+(* Await-sinking tests (§4's second transformation). *)
+
+open Xdp.Ir
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+
+let iv = var "i"
+
+let paper_shape () =
+  (* await(A[*,mypid,*]) : { do i = 1,4 fft1D(A[i,mypid,*]) } *)
+  await (sec "A" [ all; at mypid; all ])
+  @: [
+       loop "i" (i 1) (i 4)
+         [ apply "fft1D" [ sec "A" [ at iv; at mypid; all ] ] ];
+     ]
+
+let test_paper_shape_sinks () =
+  let p = program ~name:"p" ~decls:[] [ paper_shape () ] in
+  match (Xdp.Sink_await.run p).body with
+  | [ For { body = [ Guard (Await s, _) ]; _ } ] ->
+      Alcotest.(check string) "narrowed await" "A[i,mypid,*]"
+        (Xdp.Pp.section_to_string s)
+  | body -> Alcotest.failf "got:\n%s" (Xdp.Pp.stmts_to_string body)
+
+let test_mismatched_refs_not_sunk () =
+  (* body reads a slice unrelated to the loop variable *)
+  let st =
+    await (sec "A" [ all; at mypid; all ])
+    @: [
+         loop "i" (i 1) (i 4)
+           [ apply "fft1D" [ sec "A" [ at (i 1); at mypid; all ] ] ];
+       ]
+  in
+  let p = program ~name:"p" ~decls:[] [ st ] in
+  match (Xdp.Sink_await.run p).body with
+  | [ Guard (Await _, _) ] -> ()
+  | body -> Alcotest.failf "should not sink:\n%s" (Xdp.Pp.stmts_to_string body)
+
+let test_inconsistent_refs_not_sunk () =
+  (* two refs narrowing different dimensions *)
+  let st =
+    await (sec "A" [ all; all; all ])
+    @: [
+         loop "i" (i 1) (i 4)
+           [
+             apply "fft1D" [ sec "A" [ at iv; all; all ] ];
+             apply "fft1D" [ sec "A" [ all; at iv; all ] ];
+           ];
+       ]
+  in
+  let p = program ~name:"p" ~decls:[] [ st ] in
+  match (Xdp.Sink_await.run p).body with
+  | [ Guard (Await _, _) ] -> ()
+  | body -> Alcotest.failf "should not sink:\n%s" (Xdp.Pp.stmts_to_string body)
+
+let test_other_arrays_ignored () =
+  (* body references to other arrays don't matter *)
+  let st =
+    await (sec "A" [ all; at mypid ])
+    @: [
+         loop "i" (i 1) (i 4)
+           [ set "B" [ iv ] (elem "A" [ iv; mypid ]) ];
+       ]
+  in
+  let p = program ~name:"p" ~decls:[] [ st ] in
+  match (Xdp.Sink_await.run p).body with
+  | [ For { body = [ Guard (Await s, _) ]; _ } ] ->
+      Alcotest.(check string) "narrowed" "A[i,mypid]"
+        (Xdp.Pp.section_to_string s)
+  | body -> Alcotest.failf "got:\n%s" (Xdp.Pp.stmts_to_string body)
+
+let test_sunk_fft_verifies () =
+  let n = 4 and nprocs = 4 in
+  let expected =
+    Xdp_runtime.Seq.array
+      (Xdp_runtime.Seq.run ~init:Xdp_apps.Fft3d.init
+         (Xdp_apps.Fft3d.sequential ~n ~nprocs))
+      "A"
+  in
+  let localized =
+    Xdp_apps.Fft3d.build ~n ~nprocs ~stage:Xdp_apps.Fft3d.Localized ()
+  in
+  let sunk = Xdp.Sink_await.run localized in
+  Alcotest.(check bool) "program changed" true (sunk.body <> localized.body);
+  let r = Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs sunk in
+  Alcotest.(check bool) "matches sequential" true
+    (Xdp_util.Tensor.max_diff (Exec.array r "A") expected < 1e-9)
+
+let () =
+  Alcotest.run "sink_await"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "paper shape sinks" `Quick test_paper_shape_sinks;
+          Alcotest.test_case "mismatched refs" `Quick
+            test_mismatched_refs_not_sunk;
+          Alcotest.test_case "inconsistent dims" `Quick
+            test_inconsistent_refs_not_sunk;
+          Alcotest.test_case "other arrays ignored" `Quick
+            test_other_arrays_ignored;
+          Alcotest.test_case "sunk FFT verifies" `Quick test_sunk_fft_verifies;
+        ] );
+    ]

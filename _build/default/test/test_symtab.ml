@@ -1,0 +1,266 @@
+(* Run-time symbol table tests (paper §3.1): segment states, the
+   intersect-and-union iown() algorithm, ownership transfer at segment
+   granularity, storage accounting, and the Figure 2 rendering. *)
+
+open Xdp_dist
+open Xdp_symtab
+open Xdp_util
+
+let layout shape dist grid = Layout.make ~shape ~dist ~grid
+
+let mk_fig2 pid =
+  let st = Symtab.create ~pid () in
+  Symtab.declare st ~name:"A"
+    ~layout:(layout [ 4; 8 ] [ Dist.Star; Dist.Block ] (Grid.linear 2))
+    ~seg_shape:[ 2; 1 ];
+  Symtab.declare st ~name:"B"
+    ~layout:(layout [ 16; 16 ] [ Dist.Block; Dist.Cyclic ] (Grid.make [ 2; 2 ]))
+    ~seg_shape:[ 4; 2 ];
+  st
+
+let box2 (r1, r2) (c1, c2) =
+  Box.make [ Triplet.range r1 r2; Triplet.range c1 c2 ]
+
+let test_declare_and_query () =
+  let st = mk_fig2 0 in
+  Alcotest.(check bool) "declared" true (Symtab.declared st "A");
+  Alcotest.(check (list string)) "names" [ "A"; "B" ] (Symtab.names st);
+  Alcotest.(check (list int)) "shape" [ 4; 8 ] (Symtab.global_shape st "A");
+  Alcotest.(check bool) "undeclared raises" true
+    (try
+       ignore (Symtab.iown st "Z" (Box.of_shape [ 1 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "double declare raises" true
+    (try
+       Symtab.declare st ~name:"A"
+         ~layout:(layout [ 4 ] [ Dist.Block ] (Grid.linear 2))
+         ~seg_shape:[ 2 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_iown_initial () =
+  let st0 = mk_fig2 0 and st1 = mk_fig2 1 in
+  (* P0 owns A columns 1..4 *)
+  Alcotest.(check bool) "own left" true (Symtab.iown st0 "A" (box2 (1, 4) (1, 4)));
+  Alcotest.(check bool) "not right" false
+    (Symtab.iown st0 "A" (box2 (1, 4) (5, 8)));
+  Alcotest.(check bool) "straddling false" false
+    (Symtab.iown st0 "A" (box2 (1, 4) (4, 5)));
+  Alcotest.(check bool) "P1 right" true
+    (Symtab.iown st1 "A" (box2 (1, 4) (5, 8)));
+  Alcotest.(check bool) "element" true
+    (Symtab.iown st0 "A" (Box.point [ 2; 3 ]))
+
+let test_iown_matches_layout_bruteforce () =
+  (* The symbol-table algorithm must agree elementwise with the static
+     layout at declaration time, for every processor. *)
+  let l = layout [ 16; 16 ] [ Dist.Block; Dist.Cyclic ] (Grid.make [ 2; 2 ]) in
+  List.iter
+    (fun pid ->
+      let st = Symtab.create ~pid () in
+      Symtab.declare st ~name:"B" ~layout:l ~seg_shape:[ 4; 2 ];
+      Box.iter
+        (fun idx ->
+          Alcotest.(check bool)
+            (Printf.sprintf "P%d %s" pid
+               (String.concat "," (List.map string_of_int idx)))
+            (Layout.owns l pid idx)
+            (Symtab.iown st "B" (Box.point idx)))
+        (Box.make [ Triplet.range 1 16; Triplet.range 1 16 ]))
+    [ 0; 1; 2; 3 ]
+
+let test_states_and_receive () =
+  let st = mk_fig2 0 in
+  let mine = box2 (1, 2) (1, 1) in
+  Alcotest.(check bool) "accessible initially" true
+    (Symtab.accessible st "A" mine);
+  Symtab.mark_recv_init st "A" mine;
+  Alcotest.(check bool) "transitional" true
+    (Symtab.section_state st "A" mine = State.Transitional);
+  Alcotest.(check bool) "still owned" true (Symtab.iown st "A" mine);
+  Alcotest.(check bool) "not accessible" false (Symtab.accessible st "A" mine);
+  Symtab.mark_recv_complete st "A" mine;
+  Alcotest.(check bool) "accessible again" true (Symtab.accessible st "A" mine);
+  (* receive into unowned raises *)
+  Alcotest.(check bool) "recv unowned raises" true
+    (try
+       Symtab.mark_recv_init st "A" (box2 (1, 2) (8, 8));
+       false
+     with Invalid_argument _ -> true)
+
+let test_segment_granularity_of_recv_state () =
+  (* Marking a sub-element transitional taints its whole segment: the
+     implementation's coarsening, documented in DESIGN.md. *)
+  let st = mk_fig2 0 in
+  Symtab.mark_recv_init st "A" (Box.point [ 1; 1 ]);
+  Alcotest.(check bool) "segment-mate transitional" true
+    (Symtab.section_state st "A" (Box.point [ 2; 1 ]) = State.Transitional);
+  Alcotest.(check bool) "other segment untouched" true
+    (Symtab.accessible st "A" (Box.point [ 1; 2 ]))
+
+let test_release_accept_roundtrip () =
+  let src = mk_fig2 0 and dst = mk_fig2 1 in
+  let piece = box2 (1, 2) (1, 1) in
+  (* fill with data *)
+  Symtab.set src "A" [ 1; 1 ] 3.5;
+  Symtab.set src "A" [ 2; 1 ] 4.5;
+  let released = Symtab.release src "A" piece in
+  Alcotest.(check int) "one segment" 1 (List.length released);
+  Alcotest.(check bool) "unowned after" false (Symtab.iown src "A" piece);
+  (* transfer to P1 *)
+  Symtab.expect_ownership dst "A" piece;
+  Alcotest.(check bool) "owned (transitional) on init" true
+    (Symtab.iown dst "A" piece);
+  Alcotest.(check bool) "transitional on init" true
+    (Symtab.section_state dst "A" piece = State.Transitional);
+  let _, payload = List.hd released in
+  Symtab.accept_ownership dst "A" piece (Some payload);
+  Alcotest.(check bool) "accessible after" true (Symtab.accessible dst "A" piece);
+  Alcotest.(check (float 0.0)) "value moved" 4.5 (Symtab.get dst "A" [ 2; 1 ])
+
+let test_release_partial_segment_rejected () =
+  let st = mk_fig2 0 in
+  Alcotest.(check bool) "partial segment raises" true
+    (try
+       ignore (Symtab.release st "A" (Box.point [ 1; 1 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unowned release raises" true
+    (try
+       ignore (Symtab.release st "A" (box2 (1, 2) (8, 8)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_release_transitional_rejected () =
+  let st = mk_fig2 0 in
+  let piece = box2 (1, 2) (1, 1) in
+  Symtab.mark_recv_init st "A" piece;
+  Alcotest.(check bool) "transitional release raises" true
+    (try
+       ignore (Symtab.release st "A" piece);
+       false
+     with Invalid_argument _ -> true)
+
+let test_expect_ownership_conflicts () =
+  let st = mk_fig2 0 in
+  Alcotest.(check bool) "already owned raises" true
+    (try
+       Symtab.expect_ownership st "A" (box2 (1, 2) (1, 1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unexpected accept raises" true
+    (try
+       Symtab.accept_ownership st "A" (box2 (1, 2) (8, 8)) None;
+       false
+     with Invalid_argument _ -> true)
+
+let test_storage_accounting () =
+  let st = mk_fig2 0 in
+  let before = Symtab.allocated_elements st in
+  Alcotest.(check int) "initial = local partitions" (16 + 64) before;
+  let piece = box2 (1, 2) (1, 1) in
+  ignore (Symtab.release st "A" piece);
+  Alcotest.(check int) "freed on release" (before - 2)
+    (Symtab.allocated_elements st);
+  Alcotest.(check int) "peak unchanged" before (Symtab.peak_elements st);
+  (* re-acquire: allocate again *)
+  Symtab.expect_ownership st "A" piece;
+  Symtab.accept_ownership st "A" piece None;
+  Alcotest.(check int) "reallocated" before (Symtab.allocated_elements st)
+
+let test_no_reuse_mode () =
+  let st = Symtab.create ~pid:0 ~free_on_release:false () in
+  Symtab.declare st ~name:"A"
+    ~layout:(layout [ 8 ] [ Dist.Block ] (Grid.linear 2))
+    ~seg_shape:[ 2 ];
+  let before = Symtab.allocated_elements st in
+  ignore (Symtab.release st "A" (Box.make [ Triplet.range 1 2 ]));
+  Alcotest.(check int) "not freed" before (Symtab.allocated_elements st)
+
+let test_read_write_box_across_segments () =
+  let st = mk_fig2 0 in
+  (* A's P0 partition is 4x4 with 2x1 segments; a 4x2 box spans 4 segs *)
+  let b = box2 (1, 4) (1, 2) in
+  Symtab.write_box st "A" b (Array.init 8 float_of_int);
+  let back = Symtab.read_box st "A" b in
+  Alcotest.(check (array (float 0.0))) "roundtrip"
+    (Array.init 8 float_of_int) back;
+  Alcotest.(check (float 0.0)) "placed row-major" 3.0
+    (Symtab.get st "A" [ 2; 2 ])
+
+let test_mylb_myub () =
+  let st = mk_fig2 1 in
+  let whole = Box.of_shape [ 4; 8 ] in
+  Alcotest.(check (option int)) "mylb" (Some 5) (Symtab.mylb st "A" whole 2);
+  Alcotest.(check (option int)) "myub" (Some 8) (Symtab.myub st "A" whole 2);
+  Alcotest.(check (option int)) "none" None
+    (Symtab.mylb st "A" (box2 (1, 4) (1, 4)) 2)
+
+let test_fig2_rendering () =
+  let st = mk_fig2 0 in
+  let s = Format.asprintf "%a" Symtab.pp_table st in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains needle))
+    [ "A"; "B"; "(4,8)"; "(16,16)"; "BLOCK"; "CYCLIC"; "segdesc"; "accessible" ]
+
+(* Property: after any sequence of whole-segment releases, iown agrees
+   with a model set of owned elements. *)
+let prop_release_model =
+  QCheck.Test.make ~name:"release tracks a model of owned elements"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 4) (int_range 0 3))
+    (fun seg_ids ->
+      let l = layout [ 8 ] [ Dist.Block ] (Grid.linear 2) in
+      let st = Symtab.create ~pid:0 () in
+      Symtab.declare st ~name:"A" ~layout:l ~seg_shape:[ 1 ];
+      (* P0 owns 1..4 as four 1-element segments *)
+      let owned = Array.make 4 true in
+      List.iter
+        (fun s ->
+          if owned.(s) then begin
+            ignore (Symtab.release st "A" (Box.point [ s + 1 ]));
+            owned.(s) <- false
+          end)
+        seg_ids;
+      List.for_all
+        (fun i -> Symtab.iown st "A" (Box.point [ i + 1 ]) = owned.(i))
+        [ 0; 1; 2; 3 ])
+
+let () =
+  Alcotest.run "symtab"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "declare/query" `Quick test_declare_and_query;
+          Alcotest.test_case "initial iown" `Quick test_iown_initial;
+          Alcotest.test_case "iown vs layout brute force" `Quick
+            test_iown_matches_layout_bruteforce;
+          Alcotest.test_case "receive state machine" `Quick
+            test_states_and_receive;
+          Alcotest.test_case "segment-granular states" `Quick
+            test_segment_granularity_of_recv_state;
+          Alcotest.test_case "release/accept roundtrip" `Quick
+            test_release_accept_roundtrip;
+          Alcotest.test_case "partial release rejected" `Quick
+            test_release_partial_segment_rejected;
+          Alcotest.test_case "transitional release rejected" `Quick
+            test_release_transitional_rejected;
+          Alcotest.test_case "ownership conflicts" `Quick
+            test_expect_ownership_conflicts;
+          Alcotest.test_case "storage accounting" `Quick
+            test_storage_accounting;
+          Alcotest.test_case "no-reuse mode" `Quick test_no_reuse_mode;
+          Alcotest.test_case "read/write box" `Quick
+            test_read_write_box_across_segments;
+          Alcotest.test_case "mylb/myub" `Quick test_mylb_myub;
+          Alcotest.test_case "Figure 2 rendering" `Quick test_fig2_rendering;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_release_model ]);
+    ]

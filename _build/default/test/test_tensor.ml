@@ -1,0 +1,91 @@
+(* Tests for dense tensors (sequential reference storage and message
+   payload packing). *)
+
+open Xdp_util
+
+let test_create_get_set () =
+  let t = Tensor.create [ 3; 4 ] in
+  Alcotest.(check int) "size" 12 (Tensor.size t);
+  Alcotest.(check (list int)) "shape" [ 3; 4 ] (Tensor.shape t);
+  Tensor.set t [ 2; 3 ] 42.0;
+  Alcotest.(check (float 0.0)) "get back" 42.0 (Tensor.get t [ 2; 3 ]);
+  Alcotest.(check (float 0.0)) "zero elsewhere" 0.0 (Tensor.get t [ 1; 1 ])
+
+let test_bounds () =
+  let t = Tensor.create [ 2; 2 ] in
+  List.iter
+    (fun idx ->
+      Alcotest.(check bool)
+        "raises" true
+        (try
+           ignore (Tensor.get t idx);
+           false
+         with Invalid_argument _ -> true))
+    [ [ 0; 1 ]; [ 3; 1 ]; [ 1; 0 ]; [ 1 ]; [ 1; 1; 1 ] ]
+
+let test_init () =
+  let t = Tensor.init [ 2; 3 ] (function [ i; j ] -> float_of_int ((10 * i) + j) | _ -> 0.0) in
+  Alcotest.(check (float 0.0)) "init value" 23.0 (Tensor.get t [ 2; 3 ])
+
+let test_extract_blit_roundtrip () =
+  let t =
+    Tensor.init [ 4; 4 ] (function [ i; j ] -> float_of_int ((i * 4) + j) | _ -> 0.0)
+  in
+  let b =
+    Box.make [ Triplet.make ~lo:1 ~hi:4 ~stride:2; Triplet.range 2 3 ]
+  in
+  let buf = Tensor.extract t b in
+  Alcotest.(check int) "payload size" 4 (Array.length buf);
+  (* row-major box order: (1,2)(1,3)(3,2)(3,3) *)
+  Alcotest.(check (array (float 0.0))) "packing order"
+    [| 6.0; 7.0; 14.0; 15.0 |] buf;
+  let t2 = Tensor.create [ 4; 4 ] in
+  Tensor.blit t2 b buf;
+  Alcotest.(check (float 0.0)) "blit lands" 14.0 (Tensor.get t2 [ 3; 2 ]);
+  Alcotest.(check (float 0.0)) "untouched" 0.0 (Tensor.get t2 [ 2; 2 ])
+
+let test_equal_max_diff () =
+  let a = Tensor.init [ 3 ] (fun _ -> 1.0) in
+  let b = Tensor.init [ 3 ] (fun _ -> 1.0 +. 1e-12) in
+  Alcotest.(check bool) "within eps" true (Tensor.equal a b);
+  Tensor.set b [ 2 ] 2.0;
+  Alcotest.(check bool) "beyond eps" false (Tensor.equal a b);
+  Alcotest.(check (float 1e-9)) "max_diff" 1.0 (Tensor.max_diff a b)
+
+let test_map_box_copy () =
+  let t = Tensor.init [ 4 ] (function [ i ] -> float_of_int i | _ -> 0.0) in
+  let c = Tensor.copy t in
+  Tensor.map_box t (Box.of_shape [ 4 ]) (fun _ x -> x *. 2.0);
+  Alcotest.(check (float 0.0)) "mapped" 8.0 (Tensor.get t [ 4 ]);
+  Alcotest.(check (float 0.0)) "copy untouched" 4.0 (Tensor.get c [ 4 ])
+
+let prop_extract_blit_identity =
+  QCheck.Test.make ~name:"extract then blit restores region" ~count:200
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (r, c) ->
+      let t =
+        Tensor.init [ r; c ] (function
+          | [ i; j ] -> float_of_int ((i * 100) + j)
+          | _ -> 0.0)
+      in
+      let b = Tensor.full_box t in
+      let buf = Tensor.extract t b in
+      let t2 = Tensor.create [ r; c ] in
+      Tensor.blit t2 b buf;
+      Tensor.equal t t2)
+
+let () =
+  Alcotest.run "tensor"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "create/get/set" `Quick test_create_get_set;
+          Alcotest.test_case "bounds checking" `Quick test_bounds;
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "extract/blit" `Quick test_extract_blit_roundtrip;
+          Alcotest.test_case "equal/max_diff" `Quick test_equal_max_diff;
+          Alcotest.test_case "map_box/copy" `Quick test_map_box_copy;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_extract_blit_identity ] );
+    ]

@@ -1,0 +1,161 @@
+(* Unit and property tests for F90 triplets — the 1-D foundation of
+   section algebra. *)
+
+open Xdp_util
+
+let tr lo hi stride = Triplet.make ~lo ~hi ~stride
+
+let check_list msg expected t =
+  Alcotest.(check (list int)) msg expected (Triplet.to_list t)
+
+let test_make_normalizes () =
+  (* hi clamped to the last member. *)
+  Alcotest.(check int) "hi clamp" 7 (Triplet.last (tr 1 8 2));
+  Alcotest.(check bool) "equal after clamp" true
+    (Triplet.equal (tr 1 8 2) (tr 1 7 2));
+  (* singleton stride normalized to 1 *)
+  Alcotest.(check bool) "single member" true
+    (Triplet.equal (tr 5 6 17) (Triplet.point 5));
+  (* empty *)
+  Alcotest.(check bool) "empty" true (Triplet.is_empty (tr 5 4 1));
+  Alcotest.(check int) "empty count" 0 (Triplet.count (tr 10 2 3))
+
+let test_make_rejects_bad_stride () =
+  Alcotest.check_raises "zero stride" (Invalid_argument
+    "Triplet.make: stride must be positive") (fun () ->
+      ignore (tr 1 5 0));
+  Alcotest.check_raises "negative stride" (Invalid_argument
+    "Triplet.make: stride must be positive") (fun () ->
+      ignore (tr 1 5 (-2)))
+
+let test_members () =
+  check_list "contiguous" [ 2; 3; 4; 5 ] (Triplet.range 2 5);
+  check_list "strided" [ 1; 4; 7; 10 ] (tr 1 10 3);
+  check_list "point" [ 9 ] (Triplet.point 9);
+  check_list "negative indices" [ -3; -1; 1 ] (tr (-3) 1 2)
+
+let test_mem () =
+  let t = tr 3 11 4 in
+  List.iter
+    (fun (i, want) ->
+      Alcotest.(check bool) (Printf.sprintf "mem %d" i) want (Triplet.mem i t))
+    [ (3, true); (7, true); (11, true); (4, false); (15, false); (2, false) ]
+
+let test_count_matches_list () =
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "count = |to_list|"
+        (List.length (Triplet.to_list t))
+        (Triplet.count t))
+    [ tr 1 10 1; tr 1 10 3; tr 5 5 1; tr 10 1 1; tr (-5) 20 7 ]
+
+let test_inter_examples () =
+  (* evens ∩ multiples-of-3 within 1..30 = multiples of 6 *)
+  let evens = tr 2 30 2 and threes = tr 3 30 3 in
+  (match Triplet.inter evens threes with
+  | Some t -> check_list "6k" [ 6; 12; 18; 24; 30 ] t
+  | None -> Alcotest.fail "expected intersection");
+  (* disjoint residues *)
+  Alcotest.(check bool) "odd/even disjoint" true
+    (Triplet.disjoint (tr 1 99 2) (tr 2 100 2));
+  (* nested ranges *)
+  (match Triplet.inter (Triplet.range 1 100) (tr 7 50 5) with
+  | Some t -> Alcotest.(check bool) "subset inter" true (Triplet.equal t (tr 7 50 5))
+  | None -> Alcotest.fail "expected intersection");
+  (* empty input *)
+  Alcotest.(check bool) "empty inter" true
+    (Triplet.inter (tr 5 4 1) (tr 1 10 1) = None)
+
+let test_subset () =
+  Alcotest.(check bool) "strided subset" true
+    (Triplet.subset (tr 4 16 4) (tr 2 20 2));
+  Alcotest.(check bool) "offset not subset" false
+    (Triplet.subset (tr 3 15 4) (tr 2 20 2));
+  Alcotest.(check bool) "range not subset of shorter" false
+    (Triplet.subset (Triplet.range 1 10) (Triplet.range 1 9));
+  Alcotest.(check bool) "empty subset of anything" true
+    (Triplet.subset (tr 5 4 1) (Triplet.point 42))
+
+let test_of_sorted_list () =
+  (match Triplet.of_sorted_list [ 3; 6; 9 ] with
+  | Some t -> Alcotest.(check bool) "AP recognized" true (Triplet.equal t (tr 3 9 3))
+  | None -> Alcotest.fail "expected AP");
+  Alcotest.(check bool) "non-AP rejected" true
+    (Triplet.of_sorted_list [ 1; 2; 4 ] = None);
+  Alcotest.(check bool) "descending rejected" true
+    (Triplet.of_sorted_list [ 4; 2 ] = None);
+  (match Triplet.of_sorted_list [ 7 ] with
+  | Some t -> Alcotest.(check bool) "singleton" true (Triplet.equal t (Triplet.point 7))
+  | None -> Alcotest.fail "expected singleton")
+
+let test_pp () =
+  Alcotest.(check string) "point" "5" (Triplet.to_string (Triplet.point 5));
+  Alcotest.(check string) "range" "1:8" (Triplet.to_string (Triplet.range 1 8));
+  Alcotest.(check string) "strided" "1:7:2" (Triplet.to_string (tr 1 8 2))
+
+(* --- properties --- *)
+
+let gen_triplet =
+  QCheck.Gen.(
+    let* lo = int_range (-20) 40 in
+    let* len = int_range 0 30 in
+    let* stride = int_range 1 7 in
+    return (Triplet.make ~lo ~hi:(lo + len) ~stride))
+
+let arb_triplet =
+  QCheck.make ~print:Triplet.to_string gen_triplet
+
+let prop_inter_correct =
+  QCheck.Test.make ~name:"inter agrees with list intersection" ~count:500
+    (QCheck.pair arb_triplet arb_triplet) (fun (a, b) ->
+      let by_list =
+        List.filter (fun i -> Triplet.mem i b) (Triplet.to_list a)
+      in
+      match Triplet.inter a b with
+      | None -> by_list = []
+      | Some t -> Triplet.to_list t = by_list)
+
+let prop_subset_consistent =
+  QCheck.Test.make ~name:"subset agrees with membership" ~count:500
+    (QCheck.pair arb_triplet arb_triplet) (fun (a, b) ->
+      Triplet.subset a b
+      = List.for_all (fun i -> Triplet.mem i b) (Triplet.to_list a))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_sorted_list inverts to_list" ~count:500
+    arb_triplet (fun t ->
+      match Triplet.of_sorted_list (Triplet.to_list t) with
+      | Some t' -> Triplet.to_list t = Triplet.to_list t'
+      | None -> false)
+
+let prop_fold_iter_agree =
+  QCheck.Test.make ~name:"fold and iter traverse identically" ~count:200
+    arb_triplet (fun t ->
+      let via_iter = ref [] in
+      Triplet.iter (fun i -> via_iter := i :: !via_iter) t;
+      Triplet.fold (fun acc i -> i :: acc) [] t = !via_iter)
+
+let () =
+  Alcotest.run "triplet"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_make_normalizes;
+          Alcotest.test_case "bad stride" `Quick test_make_rejects_bad_stride;
+          Alcotest.test_case "members" `Quick test_members;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "count" `Quick test_count_matches_list;
+          Alcotest.test_case "intersection" `Quick test_inter_examples;
+          Alcotest.test_case "subset" `Quick test_subset;
+          Alcotest.test_case "of_sorted_list" `Quick test_of_sorted_list;
+          Alcotest.test_case "printing" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_inter_correct;
+            prop_subset_consistent;
+            prop_roundtrip;
+            prop_fold_iter_agree;
+          ] );
+    ]

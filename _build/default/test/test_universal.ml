@@ -1,0 +1,171 @@
+(* Universally owned arrays (paper §2.1): every processor holds its
+   own copy, values may diverge, ownership intrinsics are always true,
+   and transfers must go through an exclusive section (§2.6). *)
+
+open Xdp.Build
+module Exec = Xdp_runtime.Exec
+module Symtab = Xdp_symtab.Symtab
+
+let grid = Xdp_dist.Grid.linear 2
+
+let decls =
+  [
+    decl ~name:"U" ~shape:[ 4 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid
+      ~universal:true ();
+    decl ~name:"E" ~shape:[ 2 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid
+      ~seg_shape:[ 1 ] ();
+    decl ~name:"OUT" ~shape:[ 2 ] ~dist:[ Xdp_dist.Dist.Block ] ~grid
+      ~seg_shape:[ 1 ] ();
+  ]
+
+let prog body = program ~name:"universal" ~decls body
+
+let test_every_processor_owns_it () =
+  let p =
+    prog
+      [
+        (* both processors read and write U without guards *)
+        set "U" [ i 3 ] (mypid *: f 10.0);
+        iown (sec "U" [ all ]) @: [ set "OUT" [ mypid ] (elem "U" [ i 3 ]) ];
+        accessible (sec "U" [ all ])
+        @: [ set "OUT" [ mypid ] (elem "OUT" [ mypid ] +: f 0.5) ];
+        await (sec "U" [ all ])
+        @: [ set "OUT" [ mypid ] (elem "OUT" [ mypid ] +: f 0.25) ];
+      ]
+  in
+  let r = Exec.run ~nprocs:2 p in
+  let out = Exec.array r "OUT" in
+  (* each processor saw its own copy: 10*mypid, plus both guards true *)
+  Alcotest.(check (float 0.0)) "P1 copy" 10.75 (Xdp_util.Tensor.get out [ 1 ]);
+  Alcotest.(check (float 0.0)) "P2 copy" 20.75 (Xdp_util.Tensor.get out [ 2 ])
+
+let test_copies_diverge_and_gather_takes_p1 () =
+  let p = prog [ set "U" [ i 1 ] (mypid *: f 100.0) ] in
+  let r = Exec.run ~nprocs:2 p in
+  (* gathered result is P1's copy by convention *)
+  Alcotest.(check (float 0.0)) "P1's value" 100.0
+    (Xdp_util.Tensor.get (Exec.array r "U") [ 1 ]);
+  (* but P2's table really holds its own diverged copy *)
+  Alcotest.(check (float 0.0)) "P2 diverged" 200.0
+    (Symtab.get r.symtabs.(1) "U" [ 1 ]);
+  Alcotest.(check bool) "symtab reports universal" true
+    (Symtab.universal r.symtabs.(0) "U")
+
+let test_mylb_full_extent () =
+  let p =
+    prog
+      [
+        set "OUT" [ mypid ]
+          ((mylb (sec "U" [ all ]) 1 *: i 10) +: myub (sec "U" [ all ]) 1);
+      ]
+  in
+  let r = Exec.run ~nprocs:2 p in
+  Alcotest.(check (float 0.0)) "1..4 everywhere" 14.0
+    (Xdp_util.Tensor.get (Exec.array r "OUT") [ 2 ])
+
+let test_transfers_rejected_statically () =
+  List.iter
+    (fun body ->
+      let errs = Xdp.Wf.check (prog body) in
+      Alcotest.(check bool) "wf error" true
+        (List.exists
+           (fun (e : Xdp.Wf.error) ->
+             let has sub =
+               let n = String.length e.what and m = String.length sub in
+               let rec go i =
+                 i + m <= n && (String.sub e.what i m = sub || go (i + 1))
+               in
+               go 0
+             in
+             has "universally owned")
+           errs))
+    [
+      [ send (sec "U" [ at (i 1) ]) ];
+      [ send_owner_value (sec "U" [ all ]) ];
+      [ recv_owner (sec "U" [ all ]) ];
+      [ recv ~into:(sec "U" [ at (i 1) ]) ~from:(sec "E" [ at (i 1) ]) ];
+      [ recv ~into:(sec "E" [ at (i 1) ]) ~from:(sec "U" [ at (i 1) ]) ];
+    ]
+
+let test_symtab_rejects_dynamically () =
+  let st = Symtab.create ~pid:0 () in
+  Symtab.declare_universal st ~name:"U" ~shape:[ 4 ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "raises" true
+        (try
+           f ();
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> ignore (Symtab.release st "U" (Xdp_util.Box.of_shape [ 4 ])));
+      (fun () -> Symtab.expect_ownership st "U" (Xdp_util.Box.of_shape [ 4 ]));
+      (fun () -> Symtab.mark_recv_init st "U" (Xdp_util.Box.of_shape [ 4 ]));
+    ]
+
+let test_staging_through_exclusive () =
+  (* the paper's prescription: to communicate a universal value, copy
+     it into an exclusive section and send that *)
+  let p =
+    prog
+      [
+        (* each processor's U diverges *)
+        set "U" [ i 2 ] (mypid *: f 7.0);
+        (* P2 stages its copy into its exclusive slot and sends it *)
+        (mypid =: i 2)
+        @: [
+             set "E" [ mypid ] (elem "U" [ i 2 ]);
+             send_to (sec "E" [ at (i 2) ]) [ i 1 ];
+           ];
+        (mypid =: i 1)
+        @: [
+             recv ~into:(sec "E" [ at mypid ]) ~from:(sec "E" [ at (i 2) ]);
+             await (sec "E" [ at mypid ])
+             @: [ set "OUT" [ mypid ] (elem "E" [ mypid ]) ];
+           ];
+      ]
+  in
+  let r = Exec.run ~nprocs:2 p in
+  Alcotest.(check (float 0.0)) "P1 received P2's universal value" 14.0
+    (Xdp_util.Tensor.get (Exec.array r "OUT") [ 1 ])
+
+let test_parser_universal_decl () =
+  let p =
+    Xdp.Parse.program ~name:"u"
+      {|array universal U[4] dist (BLOCK) grid (2)
+        U[1] = 1.0|}
+  in
+  Alcotest.(check bool) "parsed universal" true (List.hd p.decls).universal;
+  let r = Exec.run ~nprocs:2 p in
+  Alcotest.(check (float 0.0)) "runs" 1.0
+    (Xdp_util.Tensor.get (Exec.array r "U") [ 1 ])
+
+let test_pp_marks_universal () =
+  let s = Xdp.Pp.program_to_string (prog []) in
+  let has sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "comment marks it" true (has "universally owned")
+
+let () =
+  Alcotest.run "universal"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "owned everywhere" `Quick
+            test_every_processor_owns_it;
+          Alcotest.test_case "copies diverge" `Quick
+            test_copies_diverge_and_gather_takes_p1;
+          Alcotest.test_case "mylb full extent" `Quick test_mylb_full_extent;
+          Alcotest.test_case "wf rejects transfers" `Quick
+            test_transfers_rejected_statically;
+          Alcotest.test_case "symtab rejects transitions" `Quick
+            test_symtab_rejects_dynamically;
+          Alcotest.test_case "staging via exclusive" `Quick
+            test_staging_through_exclusive;
+          Alcotest.test_case "parser" `Quick test_parser_universal_decl;
+          Alcotest.test_case "pp" `Quick test_pp_marks_universal;
+        ] );
+    ]
