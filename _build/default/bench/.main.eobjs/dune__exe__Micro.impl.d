@@ -1,1 +1,1 @@
-bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Instance List Measure Printf Staged Test Time Toolkit Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_symtab Xdp_util
+bench/micro.ml: Analyze Array Bechamel Benchmark Float Gc Hashtbl Instance List Measure Printf Staged String Test Time Toolkit Unix Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_symtab Xdp_util

@@ -28,7 +28,10 @@ let items : (string * (unit -> unit)) list =
     ("t8", Experiments.t8);
     ("t9", Experiments.t9);
     ("t10", Experiments.t10);
-    ("micro", Micro.run);
+    ("micro", (fun () -> Micro.run ()));
+    (* tiny sizes, same code paths: the `bench-smoke` dune alias runs
+       this under `dune runtest` so the harness cannot bit-rot *)
+    ("micro-smoke", (fun () -> Micro.run ~smoke:true ()));
   ]
 
 let () =

@@ -71,6 +71,202 @@ let bench_interpreter () =
          ignore
            (Xdp_runtime.Exec.run ~init:Xdp_apps.Vecadd.init ~nprocs:4 p)))
 
+(* ---- MB-board: board scaling and marshalling macro-benchmarks ----
+
+   Wall-clock and allocation measurements of the two simulator hot
+   paths this repo optimized (heap-based message board, offset-based
+   extract/blit), each against the preserved seed implementation
+   (Board_reference / Box.iter loops). Results go to stdout and to
+   BENCH_board.json in the working directory so successive PRs can
+   track the trajectory. *)
+
+module Board_reference = Xdp_sim.Board_reference
+module Tensor = Xdp_util.Tensor
+module Box = Xdp_util.Box
+module Triplet = Xdp_util.Triplet
+
+module type BOARD = sig
+  type t
+
+  val create : Xdp_sim.Costmodel.t -> t
+
+  val post_send :
+    t ->
+    time:float ->
+    src:int ->
+    name:string ->
+    kind:Board.kind ->
+    payload:float array ->
+    directed:int list option ->
+    unit
+
+  val post_recv :
+    t -> time:float -> dst:int -> name:string -> kind:Board.kind -> token:int -> unit
+
+  val pop_delivery : t -> Board.delivery option
+end
+
+(* The farm-like stress pattern: many sends of a few section names pile
+   up undirected, then receives drain them; every delivery stays in
+   flight until the end, so the delivery queue reaches [nmsgs]. This is
+   quadratic on the seed board (list append + pending scan + sorted
+   insert) and O(n log n) on the heap board. *)
+let board_workload (type a) (module B : BOARD with type t = a) ~nprocs ~nmsgs
+    () =
+  let b = B.create Xdp_sim.Costmodel.message_passing in
+  let nnames = 8 in
+  let names = Array.init nnames (Printf.sprintf "SEC[%d]") in
+  for i = 0 to nmsgs - 1 do
+    B.post_send b ~time:(float_of_int i) ~src:(i mod nprocs)
+      ~name:names.(i mod nnames) ~kind:Board.Value
+      ~payload:[| float_of_int i |] ~directed:None
+  done;
+  for i = 0 to nmsgs - 1 do
+    B.post_recv b ~time:(float_of_int i) ~dst:(i mod nprocs)
+      ~name:names.(i mod nnames) ~kind:Board.Value ~token:i
+  done;
+  let popped = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match B.pop_delivery b with
+    | Some _ -> incr popped
+    | None -> continue := false
+  done;
+  if !popped <> nmsgs then
+    failwith
+      (Printf.sprintf "board workload: expected %d deliveries, got %d" nmsgs
+         !popped)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+(* best-of-n with one warmup run; a full major collection before each
+   timed run keeps earlier runs' garbage (e.g. 8 MB result buffers)
+   from being collected on someone else's clock *)
+let time_best ?(runs = 3) f =
+  f ();
+  let best = ref infinity in
+  for _ = 1 to runs do
+    Gc.full_major ();
+    best := Float.min !best (time_it f)
+  done;
+  !best
+
+(* Minor-heap words allocated by [f] — the per-element [int list]
+   allocations of the old marshalling loops land here. *)
+let minor_words_of f =
+  let before = Gc.minor_words () in
+  f ();
+  Gc.minor_words () -. before
+
+let reference_extract t box =
+  let buf = Array.make (Box.count box) 0.0 in
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      buf.(!i) <- Tensor.get t idx;
+      incr i)
+    box;
+  buf
+
+let reference_blit t box buf =
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      Tensor.set t idx buf.(!i);
+      incr i)
+    box
+
+let json_escape = String.map (fun c -> if c = '"' then '\'' else c)
+
+let scaling_run ~smoke =
+  let nprocs = if smoke then 4 else 64 in
+  let nmsgs = if smoke then 400 else 50_000 in
+  Printf.printf "board matchmaking + delivery queue, %d processors, %d \
+                 messages:\n%!" nprocs nmsgs;
+  let heap_s = time_it (board_workload (module Board) ~nprocs ~nmsgs) in
+  let list_s =
+    time_it (board_workload (module Board_reference) ~nprocs ~nmsgs)
+  in
+  let speedup = list_s /. Float.max heap_s 1e-9 in
+  Printf.printf "  seed list board:  %8.3f s\n  heap board:       %8.3f s\n\
+                 \  speedup:          %8.1fx\n" list_s heap_s speedup;
+  let side = if smoke then 64 else 1024 in
+  let t =
+    Tensor.init [ side; side ] (function
+      | [ i; j ] -> float_of_int ((i * side) + j)
+      | _ -> 0.0)
+  in
+  let full = Tensor.full_box t in
+  let strided =
+    Box.make
+      [ Triplet.make ~lo:1 ~hi:side ~stride:2; Triplet.range 1 side ]
+  in
+  let elems = Box.count full in
+  Printf.printf "extract/blit of a contiguous %dx%d box (%d elements):\n%!"
+    side side elems;
+  let buf = ref [||] in
+  let fast_extract_s = time_best (fun () -> buf := Tensor.extract t full) in
+  let fast_extract_w = minor_words_of (fun () -> ignore (Tensor.extract t full)) in
+  let ref_extract_s = time_best (fun () -> ignore (reference_extract t full)) in
+  let ref_extract_w =
+    minor_words_of (fun () -> ignore (reference_extract t full))
+  in
+  let fast_blit_s = time_best (fun () -> Tensor.blit t full !buf) in
+  let fast_blit_w = minor_words_of (fun () -> Tensor.blit t full !buf) in
+  let ref_blit_s = time_best (fun () -> reference_blit t full !buf) in
+  let ref_blit_w = minor_words_of (fun () -> reference_blit t full !buf) in
+  let strided_ok =
+    Tensor.extract t strided = reference_extract t strided
+  in
+  let per x = x /. float_of_int elems in
+  Printf.printf
+    "  extract: seed %.4f s (%.1f minor words/elem) -> fast %.4f s (%.4f \
+     minor words/elem)\n\
+    \  blit:    seed %.4f s (%.1f minor words/elem) -> fast %.4f s (%.4f \
+     minor words/elem)\n\
+    \  strided differential vs seed loop: %s\n%!"
+    ref_extract_s (per ref_extract_w) fast_extract_s (per fast_extract_w)
+    ref_blit_s (per ref_blit_w) fast_blit_s (per fast_blit_w)
+    (if strided_ok then "identical" else "MISMATCH");
+  let oc = open_out "BENCH_board.json" in
+  Printf.fprintf oc
+    {|{
+  "schema": "xdp-bench-board/1",
+  "smoke": %b,
+  "board": {
+    "nprocs": %d,
+    "messages": %d,
+    "list_seconds": %.6f,
+    "heap_seconds": %.6f,
+    "speedup": %.2f
+  },
+  "extract": {
+    "elements": %d,
+    "seed_seconds": %.6f,
+    "seed_minor_words_per_elem": %.4f,
+    "fast_seconds": %.6f,
+    "fast_minor_words_per_elem": %.6f
+  },
+  "blit": {
+    "elements": %d,
+    "seed_seconds": %.6f,
+    "seed_minor_words_per_elem": %.4f,
+    "fast_seconds": %.6f,
+    "fast_minor_words_per_elem": %.6f
+  },
+  "strided_differential": "%s"
+}
+|}
+    smoke nprocs nmsgs list_s heap_s speedup elems ref_extract_s
+    (per ref_extract_w) fast_extract_s (per fast_extract_w) elems ref_blit_s
+    (per ref_blit_w) fast_blit_s (per fast_blit_w)
+    (json_escape (if strided_ok then "identical" else "MISMATCH"));
+  close_out oc;
+  Printf.printf "  wrote BENCH_board.json\n%!"
+
 let all_tests () =
   Test.make_grouped ~name:"xdp" ~fmt:"%s %s"
     [
@@ -84,7 +280,7 @@ let all_tests () =
       bench_interpreter ();
     ]
 
-let run () =
+let run ?(smoke = false) () =
   Printf.printf
     "\n============ MB: run-time structure micro-benchmarks (Bechamel) \
      ============\n\n%!";
@@ -93,7 +289,9 @@ let run () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if smoke then 0.02 else 0.25))
+      ~kde:(Some 1000) ()
   in
   let raw_results = Benchmark.all cfg instances (all_tests ()) in
   let results =
@@ -117,4 +315,8 @@ let run () =
     results;
   Xdp_util.Table.print ~title:"MB: nanoseconds per operation (OLS estimate)"
     ~header:[ "operation"; "ns/run" ]
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  Printf.printf
+    "\n============ MB-board: hot-path scaling vs seed implementation \
+     ============\n\n%!";
+  scaling_run ~smoke

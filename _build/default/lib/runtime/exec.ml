@@ -508,12 +508,9 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
                 match (s.status, s.data) with
                 | State.Unowned, _ | _, None -> ()
                 | _, Some data ->
-                    let i = ref 0 in
-                    Box.iter
-                      (fun idx ->
-                        Tensor.set t idx data.(!i);
-                        incr i)
-                      s.seg_box)
+                    (* segment storage is the row-major packing of its
+                       box: unpack with the allocation-free blit *)
+                    Tensor.blit t s.seg_box data)
               (Symtab.segments pr.st d.arr_name))
           sources;
         (d.arr_name, t))

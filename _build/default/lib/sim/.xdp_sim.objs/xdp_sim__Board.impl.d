@@ -1,1 +1,1 @@
-lib/sim/board.ml: Array Costmodel Float Hashtbl List Option Printf
+lib/sim/board.ml: Array Costmodel Float Hashtbl Int List Option Printf Queue Xdp_util

@@ -1,0 +1,1 @@
+lib/sim/board_reference.ml: Array Board Costmodel Float Hashtbl List Option Printf

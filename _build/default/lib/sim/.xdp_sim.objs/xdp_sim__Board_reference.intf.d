@@ -1,0 +1,1 @@
+lib/sim/board_reference.mli: Board Costmodel

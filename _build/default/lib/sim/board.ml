@@ -1,3 +1,5 @@
+module Heap = Xdp_util.Heap
+
 type kind = Value | Owner | Owner_value
 
 exception Mismatch of string
@@ -36,23 +38,52 @@ type recv = {
   r_token : int;
 }
 
+(* Pending sends for one name. A send is directed to at most one
+   destination (broadcasts are expanded before posting), so it lives
+   in exactly one FIFO: [s_any] for undirected sends, [s_to.(dst)] for
+   directed ones. A receive by [dst] considers only the two queue
+   fronts — the earliest undirected send and the earliest send
+   directed at [dst] — and takes the lower [s_seq]: amortized O(1)
+   where the seed scanned the whole pending list. *)
+type send_q = {
+  s_any : send Queue.t;
+  s_to : (int, send Queue.t) Hashtbl.t;
+}
+
+(* Pending receives for one name. An undirected send matches the
+   earliest receive of the name anywhere; a directed send matches the
+   earliest receive by its destination. Each receive is therefore
+   enqueued in both [r_all] and [r_by.(dst)], and removal from one
+   index marks the [r_seq] in [r_gone] so the stale copy is discarded
+   lazily when it surfaces at the other front (each receive is marked
+   once and skipped once — amortized O(1)). *)
+type recv_q = {
+  r_all : recv Queue.t;
+  r_by : (int, recv Queue.t) Hashtbl.t;
+  r_gone : (int, unit) Hashtbl.t;
+}
+
 type t = {
   cost : Costmodel.t;
-  sends : (string, send list ref) Hashtbl.t; (* pending, ascending seq *)
-  recvs : (string, recv list ref) Hashtbl.t;
-  mutable deliveries : delivery list; (* sorted by (arrival, seq) *)
+  sends : (string, send_q) Hashtbl.t;
+  recvs : (string, recv_q) Hashtbl.t;
+  deliveries : delivery Heap.t; (* min-heap on (arrival, seq) *)
   mutable seq : int;
   mutable matched : int;
   mutable bytes : int;
   nic_free : (int, float) Hashtbl.t; (* per-src NIC availability *)
 }
 
+let cmp_delivery a b =
+  let c = Float.compare a.arrival b.arrival in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
 let create cost =
   {
     cost;
     sends = Hashtbl.create 64;
     recvs = Hashtbl.create 64;
-    deliveries = [];
+    deliveries = Heap.create ~cmp:cmp_delivery ();
     seq = 0;
     matched = 0;
     bytes = 0;
@@ -64,13 +95,80 @@ let next_seq t =
   t.seq <- s + 1;
   s
 
-let queue tbl name =
-  match Hashtbl.find_opt tbl name with
+let send_queue t name =
+  match Hashtbl.find_opt t.sends name with
   | Some q -> q
   | None ->
-      let q = ref [] in
-      Hashtbl.add tbl name q;
+      let q = { s_any = Queue.create (); s_to = Hashtbl.create 4 } in
+      Hashtbl.add t.sends name q;
       q
+
+let recv_queue t name =
+  match Hashtbl.find_opt t.recvs name with
+  | Some q -> q
+  | None ->
+      let q =
+        {
+          r_all = Queue.create ();
+          r_by = Hashtbl.create 4;
+          r_gone = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.add t.recvs name q;
+      q
+
+
+let sub_queue tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add tbl key q;
+      q
+
+(* Drop receives already consumed through the other index, then peek. *)
+let rec live_front rq q =
+  match Queue.peek_opt q with
+  | Some r when Hashtbl.mem rq.r_gone r.r_seq ->
+      ignore (Queue.pop q);
+      Hashtbl.remove rq.r_gone r.r_seq;
+      live_front rq q
+  | front -> front
+
+(* Earliest pending receive eligible for a send with destination
+   [dst]; removes it from the queues. *)
+let take_recv rq ~dst =
+  let take q =
+    match live_front rq q with
+    | None -> None
+    | Some r ->
+        ignore (Queue.pop q);
+        Hashtbl.add rq.r_gone r.r_seq ();
+        Some r
+  in
+  match dst with
+  | None -> take rq.r_all
+  | Some d -> (
+      match Hashtbl.find_opt rq.r_by d with
+      | None -> None
+      | Some q -> take q)
+
+let push_recv rq r =
+  Queue.push r rq.r_all;
+  Queue.push r (sub_queue rq.r_by r.r_dst)
+
+(* Earliest pending send eligible for a receive by [dst]: the lower
+   [s_seq] of the undirected front and the front directed at [dst]. *)
+let take_send sq ~dst =
+  let directed = Hashtbl.find_opt sq.s_to dst in
+  let front q = Queue.peek_opt q in
+  match (front sq.s_any, Option.bind directed front) with
+  | None, None -> None
+  | Some _, None -> Some (Queue.pop sq.s_any)
+  | None, Some _ -> Some (Queue.pop (Option.get directed))
+  | Some a, Some d ->
+      if a.s_seq < d.s_seq then Some (Queue.pop sq.s_any)
+      else Some (Queue.pop (Option.get directed))
 
 let check_kind name expected actual =
   if expected <> actual then
@@ -81,14 +179,7 @@ let check_kind name expected actual =
              generate matching pairs)"
             name (kind_to_string expected) (kind_to_string actual)))
 
-let insert_delivery t d =
-  let rec ins = function
-    | [] -> [ d ]
-    | x :: rest ->
-        if (d.arrival, d.seq) < (x.arrival, x.seq) then d :: x :: rest
-        else x :: ins rest
-  in
-  t.deliveries <- ins t.deliveries
+let insert_delivery t d = Heap.push t.deliveries d
 
 let make_delivery t ~name (s : send) (r : recv) =
   check_kind name s.s_kind r.r_kind;
@@ -143,18 +234,14 @@ let post_one_send t ~time ~src ~name ~kind ~payload ~dst =
     { s_seq = next_seq t; s_time = depart; s_src = src; s_kind = kind;
       s_payload = payload; s_dst = dst }
   in
-  let rq = queue t.recvs name in
-  (* Earliest pending receive eligible for this send. *)
-  let eligible r =
-    match dst with None -> true | Some d -> r.r_dst = d
-  in
-  match List.find_opt eligible !rq with
-  | Some r ->
-      rq := List.filter (fun x -> x.r_seq <> r.r_seq) !rq;
-      make_delivery t ~name s r
+  let rq = recv_queue t name in
+  match take_recv rq ~dst with
+  | Some r -> make_delivery t ~name s r
   | None ->
-      let sq = queue t.sends name in
-      sq := !sq @ [ s ]
+      let sq = send_queue t name in
+      (match dst with
+      | None -> Queue.push s sq.s_any
+      | Some d -> Queue.push s (sub_queue sq.s_to d))
 
 let post_send t ~time ~src ~name ~kind ~payload ~directed =
   match directed with
@@ -172,37 +259,40 @@ let post_recv t ~time ~dst ~name ~kind ~token =
     { r_seq = next_seq t; r_time = time; r_dst = dst; r_kind = kind;
       r_token = token }
   in
-  let sq = queue t.sends name in
-  let eligible s = match s.s_dst with None -> true | Some d -> d = dst in
-  match List.find_opt eligible !sq with
-  | Some s ->
-      sq := List.filter (fun x -> x.s_seq <> s.s_seq) !sq;
-      make_delivery t ~name s r
-  | None ->
-      let rq = queue t.recvs name in
-      rq := !rq @ [ r ]
+  let sq = send_queue t name in
+  match take_send sq ~dst with
+  | Some s -> make_delivery t ~name s r
+  | None -> push_recv (recv_queue t name) r
 
-let peek_delivery t =
-  match t.deliveries with [] -> None | d :: _ -> Some d
+let peek_delivery t = Heap.peek t.deliveries
+let pop_delivery t = Heap.pop t.deliveries
 
-let pop_delivery t =
-  match t.deliveries with
-  | [] -> None
-  | d :: rest ->
-      t.deliveries <- rest;
-      Some d
-
-let pending_of tbl extract =
+(* Pending queries preserve the seed's output exactly: every waiting
+   operation, projected and sorted by [compare]. Linear in the number
+   of pending operations — diagnostics only, never on the hot path. *)
+let pending_sends t =
   Hashtbl.fold
-    (fun name q acc -> List.map (extract name) !q @ acc)
-    tbl []
+    (fun name sq acc ->
+      let proj (s : send) acc = (name, s.s_kind, s.s_src) :: acc in
+      let acc = Queue.fold (fun acc s -> proj s acc) acc sq.s_any in
+      Hashtbl.fold
+        (fun _ q acc -> Queue.fold (fun acc s -> proj s acc) acc q)
+        sq.s_to acc)
+    t.sends []
   |> List.sort compare
 
-let pending_sends t =
-  pending_of t.sends (fun name s -> (name, s.s_kind, s.s_src))
-
 let pending_recvs t =
-  pending_of t.recvs (fun name r -> (name, r.r_kind, r.r_dst))
+  Hashtbl.fold
+    (fun name rq acc ->
+      (* [r_all] holds every live receive (plus lazily-discarded
+         duplicates, filtered by [r_gone]). *)
+      Queue.fold
+        (fun acc (r : recv) ->
+          if Hashtbl.mem rq.r_gone r.r_seq then acc
+          else (name, r.r_kind, r.r_dst) :: acc)
+        acc rq.r_all)
+    t.recvs []
+  |> List.sort compare
 
 let messages_matched t = t.matched
 let bytes_matched t = t.bytes

@@ -20,7 +20,15 @@
     A matched pair becomes a {e delivery} with arrival time
     [max(send_time + alpha + beta*bytes, recv_time)]; deliveries are
     consumed by the executor in (arrival, sequence) order, which keeps
-    simulation deterministic. *)
+    simulation deterministic.
+
+    Complexity: matchmaking is amortized O(1) per operation
+    (destination-indexed FIFO queues with lazy deletion) and the
+    delivery queue is a binary min-heap keyed on [(arrival, seq)], so
+    posting and popping are O(log n) in the number of in-flight
+    messages. See DESIGN.md "Run-time structure complexity" for the
+    invariants; {!Board_reference} preserves the original linear-scan
+    implementation as the executable specification. *)
 
 type kind = Value | Owner | Owner_value
 

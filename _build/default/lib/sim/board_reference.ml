@@ -1,0 +1,216 @@
+(* The original sorted-list / linear-scan rendezvous board, preserved
+   verbatim as the executable specification of {!Board}'s semantics.
+   Differential tests drive both implementations with identical
+   operation sequences and require identical deliveries and pending
+   sets; the micro-benchmark harness measures {!Board}'s speedup
+   against it. O(n) insertion and matching — do not use in the
+   executor. *)
+
+type kind = Board.kind = Value | Owner | Owner_value
+
+exception Mismatch of string
+
+let kind_to_string = function
+  | Value -> "value"
+  | Owner -> "ownership"
+  | Owner_value -> "ownership+value"
+
+type delivery = Board.delivery = {
+  arrival : float;
+  seq : int;
+  src : int;
+  dst : int;
+  name : string;
+  kind : kind;
+  payload : float array;
+  bytes : int;
+  token : int;
+}
+
+type send = {
+  s_seq : int;
+  s_time : float; (* departure time: initiation, plus NIC queueing *)
+  s_src : int;
+  s_kind : kind;
+  s_payload : float array;
+  s_dst : int option; (* None = unspecified destination *)
+}
+
+type recv = {
+  r_seq : int;
+  r_time : float;
+  r_dst : int;
+  r_kind : kind;
+  r_token : int;
+}
+
+type t = {
+  cost : Costmodel.t;
+  sends : (string, send list ref) Hashtbl.t; (* pending, ascending seq *)
+  recvs : (string, recv list ref) Hashtbl.t;
+  mutable deliveries : delivery list; (* sorted by (arrival, seq) *)
+  mutable seq : int;
+  mutable matched : int;
+  mutable bytes : int;
+  nic_free : (int, float) Hashtbl.t; (* per-src NIC availability *)
+}
+
+let create cost =
+  {
+    cost;
+    sends = Hashtbl.create 64;
+    recvs = Hashtbl.create 64;
+    deliveries = [];
+    seq = 0;
+    matched = 0;
+    bytes = 0;
+    nic_free = Hashtbl.create 16;
+  }
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+let queue tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some q -> q
+  | None ->
+      let q = ref [] in
+      Hashtbl.add tbl name q;
+      q
+
+let check_kind name expected actual =
+  if expected <> actual then
+    raise
+      (Mismatch
+         (Printf.sprintf
+            "section %s: %s send matched against %s receive (compiler must \
+             generate matching pairs)"
+            name (kind_to_string expected) (kind_to_string actual)))
+
+let insert_delivery t d =
+  let rec ins = function
+    | [] -> [ d ]
+    | x :: rest ->
+        if (d.arrival, d.seq) < (x.arrival, x.seq) then d :: x :: rest
+        else x :: ins rest
+  in
+  t.deliveries <- ins t.deliveries
+
+let make_delivery t ~name (s : send) (r : recv) =
+  check_kind name s.s_kind r.r_kind;
+  let elems = Array.length s.s_payload in
+  (* Directed sends were bound at compile time, so the name tag need
+     not travel (paper, footnote 2): no header on the wire. *)
+  let header =
+    match s.s_dst with
+    | Some _ -> 0
+    | None -> t.cost.Costmodel.header_bytes
+  in
+  let payload = if s.s_kind = Owner then 0 else elems * t.cost.Costmodel.elem_bytes in
+  let bytes = payload + header in
+  let arrival =
+    Float.max (s.s_time +. Costmodel.transfer_time t.cost ~bytes) r.r_time
+  in
+  t.matched <- t.matched + 1;
+  t.bytes <- t.bytes + bytes;
+  insert_delivery t
+    {
+      arrival;
+      seq = next_seq t;
+      src = s.s_src;
+      dst = r.r_dst;
+      name;
+      kind = s.s_kind;
+      payload = s.s_payload;
+      bytes;
+      token = r.r_token;
+    }
+
+let post_one_send t ~time ~src ~name ~kind ~payload ~dst =
+  (* With a serializing NIC the message departs only when the sender's
+     interface is free, and occupies it for its transmission time. *)
+  let depart =
+    if not t.cost.Costmodel.nic_serialize then time
+    else begin
+      let payload_bytes =
+        if kind = Owner then 0
+        else Array.length payload * t.cost.Costmodel.elem_bytes
+      in
+      let free =
+        Option.value (Hashtbl.find_opt t.nic_free src) ~default:0.0
+      in
+      let start = Float.max time free in
+      Hashtbl.replace t.nic_free src
+        (start +. (t.cost.Costmodel.beta *. float_of_int payload_bytes));
+      start
+    end
+  in
+  let s =
+    { s_seq = next_seq t; s_time = depart; s_src = src; s_kind = kind;
+      s_payload = payload; s_dst = dst }
+  in
+  let rq = queue t.recvs name in
+  (* Earliest pending receive eligible for this send. *)
+  let eligible r =
+    match dst with None -> true | Some d -> r.r_dst = d
+  in
+  match List.find_opt eligible !rq with
+  | Some r ->
+      rq := List.filter (fun x -> x.r_seq <> r.r_seq) !rq;
+      make_delivery t ~name s r
+  | None ->
+      let sq = queue t.sends name in
+      sq := !sq @ [ s ]
+
+let post_send t ~time ~src ~name ~kind ~payload ~directed =
+  match directed with
+  | None -> post_one_send t ~time ~src ~name ~kind ~payload ~dst:None
+  | Some [] -> invalid_arg "Board.post_send: empty destination set"
+  | Some dsts ->
+      List.iter
+        (fun d ->
+          post_one_send t ~time ~src ~name ~kind
+            ~payload:(Array.copy payload) ~dst:(Some d))
+        dsts
+
+let post_recv t ~time ~dst ~name ~kind ~token =
+  let r =
+    { r_seq = next_seq t; r_time = time; r_dst = dst; r_kind = kind;
+      r_token = token }
+  in
+  let sq = queue t.sends name in
+  let eligible s = match s.s_dst with None -> true | Some d -> d = dst in
+  match List.find_opt eligible !sq with
+  | Some s ->
+      sq := List.filter (fun x -> x.s_seq <> s.s_seq) !sq;
+      make_delivery t ~name s r
+  | None ->
+      let rq = queue t.recvs name in
+      rq := !rq @ [ r ]
+
+let peek_delivery t =
+  match t.deliveries with [] -> None | d :: _ -> Some d
+
+let pop_delivery t =
+  match t.deliveries with
+  | [] -> None
+  | d :: rest ->
+      t.deliveries <- rest;
+      Some d
+
+let pending_of tbl extract =
+  Hashtbl.fold
+    (fun name q acc -> List.map (extract name) !q @ acc)
+    tbl []
+  |> List.sort compare
+
+let pending_sends t =
+  pending_of t.sends (fun name s -> (name, s.s_kind, s.s_src))
+
+let pending_recvs t =
+  pending_of t.recvs (fun name r -> (name, r.r_kind, r.r_dst))
+
+let messages_matched t = t.matched
+let bytes_matched t = t.bytes

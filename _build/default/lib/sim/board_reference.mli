@@ -1,0 +1,50 @@
+(** The original sorted-list rendezvous board, kept as the executable
+    specification of {!Board}'s matching semantics.
+
+    Same interface and behaviour as {!Board} (the types are shared, so
+    deliveries compare structurally), but with the seed's O(n)
+    sorted-list delivery insertion and linear pending-queue scans.
+    Used only by the differential tests ([test_board_scale]) and the
+    micro-benchmark baseline ([bench/micro.ml]); the executor always
+    uses {!Board}. *)
+
+type kind = Board.kind = Value | Owner | Owner_value
+
+exception Mismatch of string
+
+type delivery = Board.delivery = {
+  arrival : float;
+  seq : int;
+  src : int;
+  dst : int;
+  name : string;
+  kind : kind;
+  payload : float array;
+  bytes : int;
+  token : int;
+}
+
+type t
+
+val create : Costmodel.t -> t
+
+val post_send :
+  t ->
+  time:float ->
+  src:int ->
+  name:string ->
+  kind:kind ->
+  payload:float array ->
+  directed:int list option ->
+  unit
+
+val post_recv :
+  t -> time:float -> dst:int -> name:string -> kind:kind -> token:int -> unit
+
+val peek_delivery : t -> delivery option
+val pop_delivery : t -> delivery option
+val pending_sends : t -> (string * kind * int) list
+val pending_recvs : t -> (string * kind * int) list
+val messages_matched : t -> int
+val bytes_matched : t -> int
+val kind_to_string : kind -> string

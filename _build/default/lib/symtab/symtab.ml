@@ -322,41 +322,42 @@ let set t name idx v =
   let s = seg_with_data t name idx in
   (Option.get s.data).(Box.position s.seg_box idx) <- v
 
-let read_box t name box =
-  let out = Array.make (Box.count box) 0.0 in
-  let segs =
-    segments_covering t name box |> List.filter (fun s -> s.data <> None)
-  in
+(* Marshalling between the packed row-major order of [box] (the wire
+   format of a message payload) and segment-chunked storage. The copy
+   loops are offset-based (Box.affine_in + Box.iter_runs2): no
+   per-element index lists or position recomputation, and pieces that
+   are contiguous in both the payload and the segment lower to
+   Array.blit. *)
+let iter_pieces t name box f =
   List.iter
     (fun s ->
-      match Box.inter s.seg_box box with
+      match s.data with
       | None -> ()
-      | Some piece ->
-          let data = Option.get s.data in
-          Box.iter
-            (fun idx ->
-              out.(Box.position box idx) <- data.(Box.position s.seg_box idx))
-            piece)
-    segs;
+      | Some data -> (
+          match Box.inter s.seg_box box with
+          | None -> ()
+          | Some piece ->
+              if not (Box.is_empty piece) then
+                let seg_view = Box.affine_in ~outer:s.seg_box piece in
+                let box_view = Box.affine_in ~outer:box piece in
+                f data piece ~seg_view ~box_view))
+    (segments_covering t name box)
+
+let read_box t name box =
+  let out = Array.make (Box.count box) 0.0 in
+  iter_pieces t name box (fun data piece ~seg_view ~box_view ->
+      Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun src dst len ->
+          if len = 1 then out.(dst) <- data.(src)
+          else Array.blit data src out dst len));
   out
 
 let write_box t name box buf =
   if Array.length buf < Box.count box then
     invalid_arg "Symtab.write_box: buffer too small";
-  let segs =
-    segments_covering t name box |> List.filter (fun s -> s.data <> None)
-  in
-  List.iter
-    (fun s ->
-      match Box.inter s.seg_box box with
-      | None -> ()
-      | Some piece ->
-          let data = Option.get s.data in
-          Box.iter
-            (fun idx ->
-              data.(Box.position s.seg_box idx) <- buf.(Box.position box idx))
-            piece)
-    segs
+  iter_pieces t name box (fun data piece ~seg_view ~box_view ->
+      Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun dst src len ->
+          if len = 1 then data.(dst) <- buf.(src)
+          else Array.blit buf src data dst len))
 
 let allocated_elements t = t.allocated
 let peak_elements t = t.peak

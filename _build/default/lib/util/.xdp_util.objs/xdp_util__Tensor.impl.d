@@ -1,1 +1,1 @@
-lib/util/tensor.ml: Array Box Float Format Printf
+lib/util/tensor.ml: Array Box Float Format Printf Triplet

@@ -85,21 +85,127 @@ let fold f init t =
 
 let to_list t = List.rev (fold (fun acc idx -> idx :: acc) [] t)
 
+let weights t =
+  let n = Array.length t in
+  let w = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    w.(d) <- w.(d + 1) * Triplet.count t.(d + 1)
+  done;
+  w
+
 let position t idx =
   if not (mem idx t) then invalid_arg "Box.position: not a member";
+  let w = weights t in
+  let pos = ref 0 and d = ref 0 in
+  List.iter
+    (fun i ->
+      let tr = t.(!d) in
+      pos := !pos + ((i - tr.Triplet.lo) / tr.Triplet.stride * w.(!d));
+      incr d)
+    idx;
+  !pos
+
+let affine_in ~outer sub =
+  let n = Array.length outer in
+  if Array.length sub <> n then invalid_arg "Box.affine_in: rank mismatch";
+  let w = weights outer in
+  let base = ref 0 in
+  let steps = Array.make n 0 in
+  Array.iteri
+    (fun d (trs : Triplet.t) ->
+      if not (Triplet.is_empty trs) then begin
+        let tro = outer.(d) in
+        let ok =
+          Triplet.mem trs.Triplet.lo tro
+          && (Triplet.count trs <= 1
+              || (trs.Triplet.stride mod tro.Triplet.stride = 0
+                  && Triplet.mem trs.Triplet.hi tro))
+        in
+        if not ok then invalid_arg "Box.affine_in: not a sub-progression";
+        base :=
+          !base
+          + ((trs.Triplet.lo - tro.Triplet.lo) / tro.Triplet.stride * w.(d));
+        if Triplet.count trs > 1 then
+          steps.(d) <- trs.Triplet.stride / tro.Triplet.stride * w.(d)
+      end)
+    sub;
+  (!base, steps)
+
+let iter_offsets ?(base = 0) ~steps t f =
   let n = Array.length t in
-  let counts = Array.map Triplet.count t in
-  let weight = Array.make n 1 in
-  for d = n - 2 downto 0 do
-    weight.(d) <- weight.(d + 1) * counts.(d + 1)
-  done;
-  List.fold_left
-    (fun acc (d, i) ->
-      let tr = t.(d) in
-      let pos = (i - Triplet.first tr) / tr.Triplet.stride in
-      acc + (pos * weight.(d)))
-    0
-    (List.mapi (fun d i -> (d, i)) idx)
+  if Array.length steps <> n then invalid_arg "Box.iter_offsets: rank mismatch";
+  if not (is_empty t) then begin
+    let counts = Array.map Triplet.count t in
+    let k = Array.make n 0 in
+    let off = ref base in
+    let continue = ref true in
+    while !continue do
+      f !off;
+      let rec bump d =
+        if d < 0 then continue := false
+        else if k.(d) + 1 < counts.(d) then begin
+          k.(d) <- k.(d) + 1;
+          off := !off + steps.(d)
+        end
+        else begin
+          off := !off - (k.(d) * steps.(d));
+          k.(d) <- 0;
+          bump (d - 1)
+        end
+      in
+      bump (n - 1)
+    done
+  end
+
+let fold_offsets ?(base = 0) ~steps f init t =
+  let acc = ref init in
+  iter_offsets ~base ~steps t (fun off -> acc := f !acc off);
+  !acc
+
+(* Joint odometer over the first [nd] dimensions of [counts], keeping
+   two affine offset accumulators in lock-step. *)
+let odometer2 counts nd offa0 sa offb0 sb f =
+  if nd = 0 then f offa0 offb0
+  else begin
+    let k = Array.make nd 0 in
+    let offa = ref offa0 and offb = ref offb0 in
+    let continue = ref true in
+    while !continue do
+      f !offa !offb;
+      let rec bump d =
+        if d < 0 then continue := false
+        else if k.(d) + 1 < counts.(d) then begin
+          k.(d) <- k.(d) + 1;
+          offa := !offa + sa.(d);
+          offb := !offb + sb.(d)
+        end
+        else begin
+          offa := !offa - (k.(d) * sa.(d));
+          offb := !offb - (k.(d) * sb.(d));
+          k.(d) <- 0;
+          bump (d - 1)
+        end
+      in
+      bump (nd - 1)
+    done
+  end
+
+let iter_runs2 t ~a:(base_a, steps_a) ~b:(base_b, steps_b) f =
+  let n = Array.length t in
+  if Array.length steps_a <> n || Array.length steps_b <> n then
+    invalid_arg "Box.iter_runs2: rank mismatch";
+  if not (is_empty t) then begin
+    let counts = Array.map Triplet.count t in
+    let inner = counts.(n - 1) in
+    if steps_a.(n - 1) = 1 && steps_b.(n - 1) = 1 then
+      (* both views are contiguous along the innermost dimension:
+         hand out whole rows so callers can Array.blit/fill *)
+      odometer2 counts (n - 1) base_a steps_a base_b steps_b (fun oa ob ->
+          f oa ob inner)
+    else
+      odometer2 counts n base_a steps_a base_b steps_b (fun oa ob ->
+          f oa ob 1)
+  end
 
 let covered_by ~parts t =
   let covered =

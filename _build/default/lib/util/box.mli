@@ -54,6 +54,50 @@ val to_list : t -> int list list
     @raise Invalid_argument if [idx] is not a member. *)
 val position : t -> int list -> int
 
+(** {1 Allocation-free offset iteration}
+
+    The fast path for packing/unpacking sections: instead of
+    enumerating index {e vectors} (one [int list] per element, as
+    {!iter} does), these walk the box's row-major enumeration while
+    maintaining affine linear offsets — no per-element allocation.
+    They apply whenever the target address is an affine function of
+    the box's per-dimension counters, which covers positions in a
+    row-major buffer ({!weights}), positions within an enclosing box
+    ({!affine_in}), and offsets into dense tensor storage. When the
+    address is not affine (e.g. a user callback needs the index vector
+    itself), fall back to the list-index {!iter}. *)
+
+(** [weights t] — row-major weights of the box's own enumeration:
+    element with per-dimension counters [k] has position
+    [sum_d k_d * (weights t).(d)]. The innermost weight is always 1. *)
+val weights : t -> int array
+
+(** [affine_in ~outer sub] = [(base, steps)] such that the element of
+    [sub] with per-dimension counters [k] (0-based, row-major) has
+    {!position} [base + sum_d k_d * steps_d] in [outer]. Dimensions of
+    [sub] with fewer than two members get step 0.
+    @raise Invalid_argument if ranks differ or some dimension of [sub]
+    is not a sub-progression of [outer]'s. *)
+val affine_in : outer:t -> t -> int * int array
+
+(** [iter_offsets ?base ~steps t f] — apply [f] to
+    [base + sum_d k_d * steps_d] for each member of [t] in row-major
+    order. With [steps = weights t] and [base = 0] this enumerates
+    [0 .. count t - 1]. *)
+val iter_offsets : ?base:int -> steps:int array -> t -> (int -> unit) -> unit
+
+val fold_offsets :
+  ?base:int -> steps:int array -> ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [iter_runs2 t ~a:(ba, sa) ~b:(bb, sb) f] — walk two affine views
+    of [t] in lock-step, calling [f offa offb len]. When both views
+    are unit-stride along the innermost dimension the whole innermost
+    row is coalesced into a single call ([len] = innermost count), so
+    callers can lower the copy to [Array.blit]/[Array.fill]; otherwise
+    [f] is called once per element with [len = 1]. *)
+val iter_runs2 :
+  t -> a:int * int array -> b:int * int array -> (int -> int -> int -> unit) -> unit
+
 (** [covered_by ~parts t]: do the {e pairwise-disjoint} boxes [parts]
     jointly cover every element of [t]?  Implements the union test of
     the paper's [iown()] algorithm by cardinality; the caller must

@@ -1,0 +1,69 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array; (* slots [0, size) are live *)
+  mutable size : int;
+}
+
+let create ~cmp () = { cmp; data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.size >= cap then begin
+    let data = Array.make (max 16 (2 * cap)) x in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let push t x =
+  grow t x;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if t.cmp t.data.(!i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(!i) in
+      t.data.(!i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      i := parent
+    end
+    else continue := false
+  done
+
+let peek t = if t.size = 0 then None else Some t.data.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size = 0 then t.data <- [||]
+    else begin
+      t.data.(0) <- t.data.(t.size);
+      (* release the vacated slot so the GC can reclaim its element *)
+      t.data.(t.size) <- t.data.(0);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then
+          smallest := l;
+        if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then
+          smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end

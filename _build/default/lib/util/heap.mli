@@ -1,0 +1,28 @@
+(** Array-based binary min-heap.
+
+    The workhorse behind the simulator's delivery queue: [push] and
+    [pop] are O(log n) with no per-element allocation beyond the
+    doubling backing array, and — unlike the sorted-list insertion it
+    replaced — no recursion, so a run with hundreds of thousands of
+    in-flight messages cannot overflow the stack.
+
+    Ties are not broken by insertion order; callers needing
+    deterministic order must make [cmp] a total order (the board keys
+    deliveries on [(arrival, seq)] where [seq] is unique). *)
+
+type 'a t
+
+(** [create ~cmp ()] — an empty heap ordered by [cmp] (minimum first). *)
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** O(log n), amortized over backing-array doubling. *)
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, if any; O(1). *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element; O(log n). *)
+val pop : 'a t -> 'a option

@@ -50,27 +50,81 @@ let init shape_l f =
   Box.iter (fun idx -> set t idx (f idx)) (full_box t);
   t
 
+(* Affine view of [box]'s row-major enumeration as offsets into
+   [t.data]: (base, steps) with the innermost step equal to the
+   triplet's stride (tensor storage is row-major, innermost tensor
+   stride 1), so contiguous sections coalesce into Array.blit runs.
+   [None] for an empty box. *)
+let box_affine t box =
+  let n = Array.length t.shape in
+  if Box.rank box <> n then invalid_arg "Tensor: rank mismatch";
+  if Box.is_empty box then None
+  else begin
+    let steps = Array.make n 0 in
+    let base = ref 0 in
+    for d = 0 to n - 1 do
+      let tr = Box.dim box (d + 1) in
+      let lo = Triplet.first tr and hi = Triplet.last tr in
+      if lo < 1 || hi > t.shape.(d) then
+        invalid_arg
+          (Printf.sprintf "Tensor: section %d:%d out of bounds 1..%d in dim %d"
+             lo hi t.shape.(d) (d + 1));
+      base := !base + ((lo - 1) * t.strides.(d));
+      steps.(d) <- tr.Triplet.stride * t.strides.(d)
+    done;
+    Some (!base, steps)
+  end
+
 let extract t box =
   let buf = Array.make (Box.count box) 0.0 in
-  let i = ref 0 in
-  Box.iter
-    (fun idx ->
-      buf.(!i) <- get t idx;
-      incr i)
-    box;
+  (match box_affine t box with
+  | None -> ()
+  | Some view ->
+      let data = t.data in
+      Box.iter_runs2 box ~a:view ~b:(0, Box.weights box) (fun src dst len ->
+          if len = 1 then buf.(dst) <- data.(src)
+          else Array.blit data src buf dst len));
   buf
 
 let blit t box buf =
   if Array.length buf < Box.count box then
     invalid_arg "Tensor.blit: buffer too small";
-  let i = ref 0 in
-  Box.iter
-    (fun idx ->
-      set t idx buf.(!i);
-      incr i)
-    box
+  match box_affine t box with
+  | None -> ()
+  | Some view ->
+      let data = t.data in
+      Box.iter_runs2 box ~a:view ~b:(0, Box.weights box) (fun dst src len ->
+          if len = 1 then data.(dst) <- buf.(src)
+          else Array.blit buf src data dst len)
 
-let map_box t box f = Box.iter (fun idx -> set t idx (f idx (get t idx))) box
+let fill_box t box v =
+  match box_affine t box with
+  | None -> ()
+  | Some view ->
+      let data = t.data in
+      Box.iter_runs2 box ~a:view ~b:view (fun off _ len ->
+          if len = 1 then data.(off) <- v else Array.fill data off len v)
+
+let map_box t box f =
+  match box_affine t box with
+  | None -> ()
+  | Some (base, steps) ->
+      (* [f] consumes the index vector, so the list-index iteration is
+         inherent; but the data offset advances affinely alongside it,
+         saving the per-element bounds-checked [offset] recomputation. *)
+      let offs = Array.make (Box.count box) 0 in
+      let i = ref 0 in
+      Box.iter_offsets ~base ~steps box (fun off ->
+          offs.(!i) <- off;
+          incr i);
+      let data = t.data in
+      i := 0;
+      Box.iter
+        (fun idx ->
+          let off = offs.(!i) in
+          incr i;
+          data.(off) <- f idx data.(off))
+        box
 
 let max_diff a b =
   if a.shape <> b.shape then invalid_arg "Tensor.max_diff: shape mismatch";

@@ -29,11 +29,18 @@ val fill : t -> float -> unit
 val copy : t -> t
 
 (** [extract t box] packs the elements of [box] (row-major box order)
-    into a fresh flat buffer. *)
+    into a fresh flat buffer. Allocation-free per element: the walk is
+    offset-based ({!Box.iter_offsets}), and contiguous innermost runs
+    are lowered to [Array.blit]. *)
 val extract : t -> Box.t -> float array
 
-(** [blit t box buf] unpacks [buf] (row-major box order) into [box]. *)
+(** [blit t box buf] unpacks [buf] (row-major box order) into [box].
+    Same fast path as {!extract}. *)
 val blit : t -> Box.t -> float array -> unit
+
+(** [fill_box t box v] sets every element of [box] to [v]; contiguous
+    innermost runs are lowered to [Array.fill]. *)
+val fill_box : t -> Box.t -> float -> unit
 
 (** [map_box t box f] replaces each element [x] of [box] by [f idx x]. *)
 val map_box : t -> Box.t -> (int list -> float -> float) -> unit

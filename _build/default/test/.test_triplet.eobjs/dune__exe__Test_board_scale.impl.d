@@ -1,0 +1,1 @@
+test/test_board_scale.ml: Alcotest Array Board Board_reference Costmodel List Printf QCheck QCheck_alcotest String Xdp_sim

@@ -1,0 +1,1 @@
+test/test_board_scale.mli:

@@ -1,1 +1,1 @@
-test/test_golden.ml: Alcotest Array Printf String Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_symtab Xdp_util
+test/test_golden.ml: Alcotest Array Buffer Digest List Printf String Xdp Xdp_apps Xdp_dist Xdp_runtime Xdp_sim Xdp_symtab Xdp_util

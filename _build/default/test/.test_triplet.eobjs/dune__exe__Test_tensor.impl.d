@@ -1,1 +1,1 @@
-test/test_tensor.ml: Alcotest Array Box List QCheck QCheck_alcotest Tensor Triplet Xdp_util
+test/test_tensor.ml: Alcotest Array Box List Printf QCheck QCheck_alcotest String Tensor Triplet Xdp_util

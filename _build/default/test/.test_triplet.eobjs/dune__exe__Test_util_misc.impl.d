@@ -1,1 +1,1 @@
-test/test_util_misc.ml: Alcotest Fun Gen List Prng QCheck QCheck_alcotest Stats String Table Xdp_util
+test/test_util_misc.ml: Alcotest Fun Gen Heap Int List Prng QCheck QCheck_alcotest Stats String Table Xdp_util

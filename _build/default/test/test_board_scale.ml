@@ -1,0 +1,213 @@
+(* Scaling and differential tests for the heap/queue rendezvous board.
+
+   The seed board kept deliveries in a sorted list with a
+   non-tail-recursive insert (stack overflow on large runs, O(n) per
+   insert) and pending sends/receives in plain lists (O(n) append and
+   scan). These tests pin down (a) that the heap board survives and
+   correctly orders very large in-flight populations, and (b) that it
+   is observationally identical to the preserved seed implementation
+   [Board_reference] — same deliveries, same pending sets, same
+   statistics — on randomized operation sequences. *)
+
+open Xdp_sim
+
+let cm = Costmodel.message_passing
+
+let pop_all pop b =
+  let rec go acc =
+    match pop b with Some d -> go (d :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* The seed's recursive sorted-list insert overflowed the stack (or
+   took quadratic time) at this scale: 120k matched pairs all in
+   flight at once, with arrival times that force mid-queue inserts. *)
+let test_large_in_flight () =
+  let n = 120_000 in
+  let b = Board.create cm in
+  let prng = ref 123456789 in
+  let next_rand () =
+    (* xorshift; deterministic across runs *)
+    let x = !prng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    prng := x land max_int;
+    !prng
+  in
+  for i = 0 to n - 1 do
+    let name = Printf.sprintf "S[%d]" i in
+    let time = float_of_int (next_rand () mod 1_000_000) in
+    Board.post_recv b ~time:0.0 ~dst:(i mod 64) ~name ~kind:Board.Value
+      ~token:i;
+    Board.post_send b ~time ~src:((i + 1) mod 64) ~name ~kind:Board.Value
+      ~payload:[| float_of_int i |] ~directed:None
+  done;
+  Alcotest.(check int) "all matched" n (Board.messages_matched b);
+  let ds = pop_all Board.pop_delivery b in
+  Alcotest.(check int) "all delivered" n (List.length ds);
+  let keys = List.map (fun (d : Board.delivery) -> (d.arrival, d.seq)) ds in
+  Alcotest.(check bool) "pop order is (arrival, seq)" true
+    (keys = List.sort compare keys)
+
+(* Amortized O(1) matching: a farm-like run at 64 processors with 50k
+   messages through a handful of names finishes instantly (the seed
+   implementation takes minutes on this workload — see bench/micro.ml,
+   which measures both and records the speedup in BENCH_board.json). *)
+let test_matching_throughput () =
+  let n = 50_000 and nprocs = 64 in
+  let b = Board.create cm in
+  let names = Array.init 8 (Printf.sprintf "SEC[%d]") in
+  for i = 0 to n - 1 do
+    Board.post_send b ~time:(float_of_int i) ~src:(i mod nprocs)
+      ~name:names.(i mod 8) ~kind:Board.Value ~payload:[| 1.0 |]
+      ~directed:None
+  done;
+  for i = 0 to n - 1 do
+    Board.post_recv b ~time:(float_of_int i) ~dst:(i mod nprocs)
+      ~name:names.(i mod 8) ~kind:Board.Value ~token:i
+  done;
+  Alcotest.(check int) "all matched" n (Board.messages_matched b);
+  Alcotest.(check int) "no pending" 0
+    (List.length (Board.pending_sends b)
+    + List.length (Board.pending_recvs b));
+  Alcotest.(check int) "all pop" n (List.length (pop_all Board.pop_delivery b))
+
+(* ---- differential: Board vs Board_reference ---- *)
+
+type op =
+  | Send of { time : float; src : int; name : int; directed : int list option }
+  | Recv of { time : float; dst : int; name : int }
+  | Pop
+
+let op_print = function
+  | Send { time; src; name; directed } ->
+      Printf.sprintf "Send(t=%.0f,src=%d,N%d,%s)" time src name
+        (match directed with
+        | None -> "undir"
+        | Some ds -> String.concat "+" (List.map string_of_int ds))
+  | Recv { time; dst; name } -> Printf.sprintf "Recv(t=%.0f,dst=%d,N%d)" time dst name
+  | Pop -> "Pop"
+
+let gen_op =
+  QCheck.Gen.(
+    let* time = float_bound_inclusive 100.0 in
+    let* name = int_range 0 2 in
+    let* pid = int_range 0 3 in
+    frequency
+      [
+        ( 4,
+          let* directed =
+            oneof
+              [
+                return None;
+                (let* d = int_range 0 3 in
+                 return (Some [ d ]));
+                (let* d1 = int_range 0 3 in
+                 let* d2 = int_range 0 3 in
+                 return (Some [ d1; d2 ]));
+              ]
+          in
+          return (Send { time; src = pid; name; directed }) );
+        (4, return (Recv { time; dst = pid; name }));
+        (2, return Pop);
+      ])
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 60) gen_op)
+
+(* Drive both boards through the same operations; interleaved pops must
+   agree too (the heap must order partial drains identically). All
+   operations use kind Value so no Mismatch interferes. *)
+let run_ops ~create ~post_send ~post_recv ~pop_delivery ~pending_sends
+    ~pending_recvs ~messages_matched ~bytes_matched (ops : op list) =
+  let b = create cm in
+  let token = ref 0 in
+  let popped = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Send { time; src; name; directed } ->
+          post_send b ~time ~src ~name:(Printf.sprintf "N%d" name)
+            ~kind:Board.Value
+            ~payload:[| float_of_int src; time |]
+            ~directed
+      | Recv { time; dst; name } ->
+          incr token;
+          post_recv b ~time ~dst ~name:(Printf.sprintf "N%d" name)
+            ~kind:Board.Value ~token:!token
+      | Pop -> (
+          match pop_delivery b with
+          | Some d -> popped := d :: !popped
+          | None -> ()))
+    ops;
+  let rec drain () =
+    match pop_delivery b with
+    | Some d ->
+        popped := d :: !popped;
+        drain ()
+    | None -> ()
+  in
+  (* record the pending sets before the final drain *)
+  let pend = (pending_sends b, pending_recvs b) in
+  drain ();
+  (List.rev !popped, (pend, messages_matched b, bytes_matched b))
+
+let prop_differential =
+  QCheck.Test.make ~name:"Board = Board_reference on random op sequences"
+    ~count:500 arb_ops (fun ops ->
+      let fast =
+        run_ops ~create:Board.create ~post_send:Board.post_send
+          ~post_recv:Board.post_recv ~pop_delivery:Board.pop_delivery
+          ~pending_sends:Board.pending_sends
+          ~pending_recvs:Board.pending_recvs
+          ~messages_matched:Board.messages_matched
+          ~bytes_matched:Board.bytes_matched ops
+      in
+      let slow =
+        run_ops ~create:Board_reference.create
+          ~post_send:Board_reference.post_send
+          ~post_recv:Board_reference.post_recv
+          ~pop_delivery:Board_reference.pop_delivery
+          ~pending_sends:Board_reference.pending_sends
+          ~pending_recvs:Board_reference.pending_recvs
+          ~messages_matched:Board_reference.messages_matched
+          ~bytes_matched:Board_reference.bytes_matched ops
+      in
+      (* Board.delivery and Board_reference.delivery are the same type,
+         so structural equality compares every field including payload *)
+      fast = slow)
+
+(* Equal-arrival ties must break by sequence number: several sends
+   arriving at exactly the same simulated time pop in posting order. *)
+let test_tie_break () =
+  let b = Board.create cm in
+  for i = 0 to 9 do
+    Board.post_recv b ~time:1000.0 ~dst:i ~name:"T" ~kind:Board.Value
+      ~token:i
+  done;
+  for i = 0 to 9 do
+    Board.post_send b ~time:0.0 ~src:0 ~name:"T" ~kind:Board.Value
+      ~payload:[| float_of_int i |] ~directed:None
+  done;
+  let ds = pop_all Board.pop_delivery b in
+  Alcotest.(check (list int)) "arrival ties pop in seq order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.map (fun (d : Board.delivery) -> d.dst) ds)
+
+let () =
+  Alcotest.run "board_scale"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "120k in-flight deliveries" `Quick
+            test_large_in_flight;
+          Alcotest.test_case "50k messages, 64 procs, O(1) match" `Quick
+            test_matching_throughput;
+          Alcotest.test_case "equal-arrival tie break" `Quick test_tie_break;
+        ] );
+      ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_differential ] );
+    ]

@@ -135,6 +135,62 @@ let prop_position_bijective =
       let positions = List.map (Box.position b) (Box.to_list b) in
       positions = List.init (Box.count b) Fun.id)
 
+(* --- offset-iteration fast path: differential vs the list-index
+       reference (iter + position) --- *)
+
+let prop_iter_offsets_is_position_order =
+  QCheck.Test.make
+    ~name:"iter_offsets(weights) enumerates positions 0..count-1" ~count:300
+    arb_box (fun b ->
+      let offs = ref [] in
+      Box.iter_offsets ~steps:(Box.weights b) b (fun o -> offs := o :: !offs);
+      List.rev !offs = List.init (Box.count b) Fun.id)
+
+let prop_affine_in_matches_position =
+  QCheck.Test.make
+    ~name:"affine_in offsets = Box.position of members" ~count:300
+    same_rank_pair (fun (a, b) ->
+      match Box.inter a b with
+      | None -> true
+      | Some piece ->
+          Box.is_empty piece
+          ||
+          let base, steps = Box.affine_in ~outer:a piece in
+          let offs = ref [] in
+          Box.iter_offsets ~base ~steps piece (fun o -> offs := o :: !offs);
+          let expect = List.map (Box.position a) (Box.to_list piece) in
+          List.rev !offs = expect)
+
+let prop_fold_offsets_agrees =
+  QCheck.Test.make ~name:"fold_offsets = fold over positions" ~count:200
+    arb_box (fun b ->
+      let w = Box.weights b in
+      Box.fold_offsets ~steps:w (fun acc o -> acc + o) 0 b
+      = Box.fold (fun acc idx -> acc + Box.position b idx) 0 b)
+
+let prop_iter_runs2_covers_elements =
+  QCheck.Test.make
+    ~name:"iter_runs2 expands to the per-element offset pairs" ~count:300
+    same_rank_pair (fun (a, b) ->
+      match Box.inter a b with
+      | None -> true
+      | Some piece ->
+          Box.is_empty piece
+          ||
+          let va = Box.affine_in ~outer:a piece in
+          let vb = Box.affine_in ~outer:b piece in
+          let pairs = ref [] in
+          Box.iter_runs2 piece ~a:va ~b:vb (fun oa ob len ->
+              for k = 0 to len - 1 do
+                pairs := (oa + k, ob + k) :: !pairs
+              done);
+          let expect =
+            List.map
+              (fun idx -> (Box.position a idx, Box.position b idx))
+              (Box.to_list piece)
+          in
+          List.rev !pairs = expect)
+
 let prop_covered_by_self_partition =
   QCheck.Test.make ~name:"box covered by its row slices" ~count:200 arb_box
     (fun b ->
@@ -167,5 +223,9 @@ let () =
             prop_inter;
             prop_position_bijective;
             prop_covered_by_self_partition;
+            prop_iter_offsets_is_position_order;
+            prop_affine_in_matches_position;
+            prop_fold_offsets_agrees;
+            prop_iter_runs2_covers_elements;
           ] );
     ]

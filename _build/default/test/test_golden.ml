@@ -198,9 +198,81 @@ let test_ex22_ownership_variant_executes () =
          (Xdp_util.Box.point [ idx ]))
   done
 
+(* ---- determinism regression: simulator observables vs the seed ----
+
+   The golden numbers below were captured from the seed implementation
+   (sorted-list board, list-index marshalling) before the heap/queue
+   board and offset-based extract/blit landed. The rewrite must be
+   observationally identical: same makespan, message/byte counts, and
+   the same delivery sequence — order, timestamps, endpoints, sizes —
+   digest over the full trace. Equal-arrival ties must still break by
+   global sequence number, or these digests change. *)
+
+let digest_deliveries (tr : Xdp_sim.Trace.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Xdp_sim.Trace.event) ->
+      match e with
+      | Xdp_sim.Trace.Delivered { time; src; dst; name; kind; bytes } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.6f|%d|%d|%s|%s|%d\n" time src dst name kind
+               bytes)
+      | _ -> ())
+    (Xdp_sim.Trace.events tr);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let check_run_golden name ~makespan ~messages ~bytes ~own ~digest
+    (r : Xdp_runtime.Exec.result) =
+  Alcotest.(check (float 1e-6)) (name ^ ": makespan") makespan r.stats.makespan;
+  Alcotest.(check int) (name ^ ": messages") messages r.stats.messages;
+  Alcotest.(check int) (name ^ ": bytes") bytes r.stats.bytes;
+  Alcotest.(check int) (name ^ ": ownership transfers") own
+    r.stats.ownership_transfers;
+  Alcotest.(check int) (name ^ ": unmatched sends") 0 r.stats.unmatched_sends;
+  Alcotest.(check int) (name ^ ": unmatched recvs") 0 r.stats.unmatched_recvs;
+  Alcotest.(check string) (name ^ ": delivery trace digest") digest
+    (digest_deliveries r.trace)
+
+let test_determinism_fft3d_baseline () =
+  let p =
+    Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~stage:Xdp_apps.Fft3d.Baseline ()
+  in
+  check_run_golden "fft3d baseline n=8 P=4" ~makespan:12092.0 ~messages:32
+    ~bytes:4608 ~own:32 ~digest:"d3f3271aefffa368cc7fe5340ce9c909"
+    (Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 ~trace:true p)
+
+let test_determinism_fft3d_pipelined () =
+  let p =
+    Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~seg_rows:2
+      ~stage:Xdp_apps.Fft3d.Pipelined ()
+  in
+  check_run_golden "fft3d pipelined n=8 P=4 seg_rows=2" ~makespan:26746.0
+    ~messages:128 ~bytes:6144 ~own:128
+    ~digest:"34aaae6d61bdc0170d026525e3000572"
+    (Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 ~trace:true p)
+
+let test_determinism_farm_dynamic () =
+  let p =
+    Xdp_apps.Farm.build ~ntasks:24 ~nprocs:4 ~variant:Xdp_apps.Farm.Dynamic ()
+  in
+  check_run_golden "farm dynamic ntasks=24 P=4" ~makespan:7818.5 ~messages:28
+    ~bytes:672 ~own:0 ~digest:"4da667f68045df714fdf8dc947fd8a2a"
+    (Xdp_runtime.Exec.run
+       ~init:(Xdp_apps.Farm.init ~skew:(Xdp_apps.Farm.Random 7) ~ntasks:24)
+       ~nprocs:4 ~trace:true p)
+
 let () =
   Alcotest.run "golden"
     [
+      ( "determinism vs seed",
+        [
+          Alcotest.test_case "fft3d baseline stats+trace" `Quick
+            test_determinism_fft3d_baseline;
+          Alcotest.test_case "fft3d pipelined stats+trace" `Quick
+            test_determinism_fft3d_pipelined;
+          Alcotest.test_case "farm dynamic stats+trace" `Quick
+            test_determinism_farm_dynamic;
+        ] );
       ( "paper listings",
         [
           Alcotest.test_case "§2.2 naive" `Quick test_ex22_naive;

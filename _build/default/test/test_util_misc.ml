@@ -64,6 +64,29 @@ let test_table_cells () =
   Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
   Alcotest.(check string) "int" "42" (Table.cell_int 42)
 
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (option int)) "pop min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "pop duplicate" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Alcotest.(check (option int)) "push after pop" (Some 0) (Heap.pop h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list int) (fun xs ->
+      let h = Heap.create ~cmp:Int.compare () in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs && Heap.is_empty h)
+
 let prop_percentile_bounded =
   QCheck.Test.make ~name:"percentile within min..max" ~count:200
     QCheck.(pair (list_of_size Gen.(int_range 1 20) (float_bound_exclusive 100.0)) (float_bound_inclusive 100.0))
@@ -90,5 +113,10 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_renders;
           Alcotest.test_case "cells" `Quick test_table_cells;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
         ] );
     ]

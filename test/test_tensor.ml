@@ -59,6 +59,85 @@ let test_map_box_copy () =
   Alcotest.(check (float 0.0)) "mapped" 8.0 (Tensor.get t [ 4 ]);
   Alcotest.(check (float 0.0)) "copy untouched" 4.0 (Tensor.get c [ 4 ])
 
+let test_fill_box () =
+  let t = Tensor.create [ 4; 6 ] in
+  let b = Box.make [ Triplet.make ~lo:1 ~hi:4 ~stride:3; Triplet.range 2 5 ] in
+  Tensor.fill_box t b 9.0;
+  Alcotest.(check (float 0.0)) "inside" 9.0 (Tensor.get t [ 4; 3 ]);
+  Alcotest.(check (float 0.0)) "outside row" 0.0 (Tensor.get t [ 2; 3 ]);
+  Alcotest.(check (float 0.0)) "outside col" 0.0 (Tensor.get t [ 1; 1 ]);
+  let total = Tensor.extract t (Tensor.full_box t) in
+  Alcotest.(check (float 0.0)) "exactly the box filled"
+    (9.0 *. float_of_int (Box.count b))
+    (Array.fold_left ( +. ) 0.0 total)
+
+(* ---- differential: offset-based extract/blit vs the seed's
+        list-index loops, on random strided boxes of rank 1-4 ---- *)
+
+let seed_extract t box =
+  let buf = Array.make (Box.count box) 0.0 in
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      buf.(!i) <- Tensor.get t idx;
+      incr i)
+    box;
+  buf
+
+let seed_blit t box buf =
+  let i = ref 0 in
+  Box.iter
+    (fun idx ->
+      Tensor.set t idx buf.(!i);
+      incr i)
+    box
+
+(* a random tensor together with a random in-bounds strided box *)
+let gen_tensor_box =
+  QCheck.Gen.(
+    let* rank = int_range 1 4 in
+    let* shape = list_repeat rank (int_range 1 6) in
+    let* ts =
+      List.fold_right
+        (fun n acc ->
+          let* rest = acc in
+          let* lo = int_range 1 n in
+          let* hi = int_range 1 n in
+          let* stride = int_range 1 3 in
+          return (Triplet.make ~lo ~hi ~stride :: rest))
+        shape (return [])
+    in
+    let* seed = int_range 0 10_000 in
+    let t =
+      Tensor.init shape (fun idx ->
+          float_of_int
+            (List.fold_left (fun acc i -> (acc * 31) + i) seed idx))
+    in
+    return (t, Box.make ts))
+
+let arb_tensor_box =
+  QCheck.make
+    ~print:(fun (t, b) ->
+      Printf.sprintf "tensor%s %s"
+        (String.concat "x" (List.map string_of_int (Tensor.shape t)))
+        (Box.to_string b))
+    gen_tensor_box
+
+let prop_extract_differential =
+  QCheck.Test.make ~name:"extract bit-identical to seed loop" ~count:500
+    arb_tensor_box (fun (t, b) -> Tensor.extract t b = seed_extract t b)
+
+let prop_blit_differential =
+  QCheck.Test.make ~name:"blit bit-identical to seed loop" ~count:500
+    arb_tensor_box (fun (t, b) ->
+      let buf =
+        Array.init (Box.count b) (fun i -> float_of_int ((i * 7) + 1))
+      in
+      let t1 = Tensor.copy t and t2 = Tensor.copy t in
+      Tensor.blit t1 b buf;
+      seed_blit t2 b buf;
+      Tensor.max_diff t1 t2 = 0.0)
+
 let prop_extract_blit_identity =
   QCheck.Test.make ~name:"extract then blit restores region" ~count:200
     QCheck.(pair (int_range 1 5) (int_range 1 5))
@@ -85,7 +164,13 @@ let () =
           Alcotest.test_case "extract/blit" `Quick test_extract_blit_roundtrip;
           Alcotest.test_case "equal/max_diff" `Quick test_equal_max_diff;
           Alcotest.test_case "map_box/copy" `Quick test_map_box_copy;
+          Alcotest.test_case "fill_box" `Quick test_fill_box;
         ] );
       ( "properties",
-        [ QCheck_alcotest.to_alcotest prop_extract_blit_identity ] );
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_extract_blit_identity;
+            prop_extract_differential;
+            prop_blit_differential;
+          ] );
     ]
