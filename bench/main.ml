@@ -29,9 +29,11 @@ let items : (string * (unit -> unit)) list =
     ("t9", Experiments.t9);
     ("t10", Experiments.t10);
     ("micro", (fun () -> Micro.run ()));
+    ("net", (fun () -> Netbench.run ()));
     (* tiny sizes, same code paths: the `bench-smoke` dune alias runs
-       this under `dune runtest` so the harness cannot bit-rot *)
+       these under `dune runtest` so the harness cannot bit-rot *)
     ("micro-smoke", (fun () -> Micro.run ~smoke:true ()));
+    ("net-smoke", (fun () -> Netbench.run ~smoke:true ()));
   ]
 
 let () =

@@ -1,0 +1,143 @@
+(* NET: retransmit overhead vs drop rate (experiment for the
+   unreliable-network subsystem).
+
+   Sweeps the per-packet drop probability on two transfer-heavy apps —
+   the misaligned §2.2 vector add (directed value messages) and the §4
+   3-D FFT ownership-transfer pipeline — and measures what reliability
+   costs: retransmits, ack/retransmit bytes beyond the fault-free
+   payload, and the makespan inflation.  Every faulty run is verified
+   bit-identical to its fault-free tensors (the transport's headline
+   property) before its numbers are reported.  Results go to stdout
+   and BENCH_net.json in the working directory, alongside
+   BENCH_board.json, so the perf trajectory covers the subsystem. *)
+
+module Exec = Xdp_runtime.Exec
+module Faultplan = Xdp_net.Faultplan
+
+type app = {
+  label : string;
+  prog : Xdp.Ir.program;
+  init : string -> int list -> float;
+  arrays : string list;
+  nprocs : int;
+}
+
+let apps ~smoke =
+  let nprocs = 4 in
+  let n_vec = if smoke then 16 else 64 in
+  let n_fft = if smoke then 4 else 8 in
+  [
+    {
+      label = Printf.sprintf "vecadd naive misaligned n=%d" n_vec;
+      prog =
+        Xdp_apps.Vecadd.build ~n:n_vec ~nprocs ~dist_b:Xdp_dist.Dist.Cyclic
+          ~stage:Xdp_apps.Vecadd.Naive ();
+      init = Xdp_apps.Vecadd.init;
+      arrays = [ "A" ];
+      nprocs;
+    };
+    {
+      label = Printf.sprintf "fft3d pipelined n=%d" n_fft;
+      prog =
+        Xdp_apps.Fft3d.build ~n:n_fft ~nprocs ~seg_rows:2
+          ~stage:Xdp_apps.Fft3d.Pipelined ();
+      init = Xdp_apps.Fft3d.init;
+      arrays = [ "A" ];
+      nprocs;
+    };
+  ]
+
+let drops = [ 0.0; 0.05; 0.1; 0.2; 0.4 ]
+
+type point = {
+  p_drop : float;
+  p_makespan : float;
+  p_retransmits : int;
+  p_acks : int;
+  p_dups : int;
+  p_overhead : int;
+  p_identical : bool;
+}
+
+let sweep_app app =
+  let clean = Exec.run ~init:app.init ~nprocs:app.nprocs app.prog in
+  List.map
+    (fun drop ->
+      let fault =
+        if drop = 0.0 then Faultplan.none
+        else Faultplan.make ~seed:1302 ~drop ~dup:0.05 ~jitter:0.25 ()
+      in
+      let r = Exec.run ~init:app.init ~nprocs:app.nprocs ~fault app.prog in
+      let identical =
+        List.for_all
+          (fun a ->
+            Xdp_util.Tensor.equal (Exec.array r a) (Exec.array clean a))
+          app.arrays
+        && Exec.ownership_defects r app.prog = (0, 0)
+      in
+      {
+        p_drop = drop;
+        p_makespan = r.stats.makespan;
+        p_retransmits = r.stats.retransmits;
+        p_acks = r.stats.acks;
+        p_dups = r.stats.dup_suppressed;
+        p_overhead = r.stats.net_overhead_bytes;
+        p_identical = identical;
+      })
+    drops
+
+let run ?(smoke = false) () =
+  Printf.printf
+    "\n============ NET: retransmit overhead vs drop rate ============\n\n%!";
+  let results = List.map (fun app -> (app, sweep_app app)) (apps ~smoke) in
+  List.iter
+    (fun (app, points) ->
+      let base =
+        match points with p :: _ -> p.p_makespan | [] -> 0.0
+      in
+      Xdp_util.Table.print ~title:app.label
+        ~header:
+          [ "drop"; "makespan"; "slowdown"; "rexmit"; "acks"; "dups";
+            "overhead B"; "tensors" ]
+        (List.map
+           (fun p ->
+             [
+               Printf.sprintf "%.0f%%" (100.0 *. p.p_drop);
+               Printf.sprintf "%.0f" p.p_makespan;
+               Printf.sprintf "%.2fx" (p.p_makespan /. Float.max base 1e-9);
+               string_of_int p.p_retransmits;
+               string_of_int p.p_acks;
+               string_of_int p.p_dups;
+               string_of_int p.p_overhead;
+               (if p.p_identical then "identical" else "MISMATCH");
+             ])
+           points))
+    results;
+  let ok =
+    List.for_all
+      (fun (_, points) -> List.for_all (fun p -> p.p_identical) points)
+      results
+  in
+  if not ok then failwith "NET sweep: faulty run diverged from fault-free run";
+  let oc = open_out "BENCH_net.json" in
+  Printf.fprintf oc "{\n  \"schema\": \"xdp-bench-net/1\",\n  \"smoke\": %b,\n  \"apps\": [" smoke;
+  List.iteri
+    (fun i (app, points) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n    {\n      \"label\": \"%s\",\n      \"sweep\": ["
+        app.label;
+      List.iteri
+        (fun j p ->
+          if j > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "\n        {\"drop\": %.2f, \"makespan\": %.1f, \"retransmits\": \
+             %d, \"acks\": %d, \"dup_suppressed\": %d, \"overhead_bytes\": \
+             %d, \"identical\": %b}"
+            p.p_drop p.p_makespan p.p_retransmits p.p_acks p.p_dups
+            p.p_overhead p.p_identical)
+        points;
+      output_string oc "\n      ]\n    }")
+    results;
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "  wrote BENCH_net.json\n%!"

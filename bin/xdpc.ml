@@ -141,8 +141,19 @@ let farm_job ~ntasks ~nprocs ~stage =
     check = "ACC";
   }
 
-let run app stage n nprocs sweeps seg misaligned cost dump trace gantt =
+let run app stage n nprocs sweeps seg misaligned cost dump trace gantt drop
+    dup jitter fault_seed timeout =
   try
+    let fault =
+      if drop = 0.0 && dup = 0.0 && jitter = 0.0 then
+        Xdp_net.Faultplan.none
+      else Xdp_net.Faultplan.make ~seed:fault_seed ~drop ~dup ~jitter ()
+    in
+    let net =
+      match timeout with
+      | None -> Xdp_net.Transport.default_config
+      | Some t -> { Xdp_net.Transport.default_config with timeout = t }
+    in
     let job =
       match app with
       | "vecadd" -> vecadd_job ~n ~nprocs ~stage ~misaligned
@@ -157,9 +168,11 @@ let run app stage n nprocs sweeps seg misaligned cost dump trace gantt =
       print_string (Xdp.Pp.program_to_string job.prog);
       print_string (Xdp.Match_check.report job.prog)
     end;
+    if not (Xdp_net.Faultplan.is_none fault) then
+      Format.printf "network: %s@." (Xdp_net.Faultplan.describe fault);
     let r =
       Xdp_runtime.Exec.run ~cost ~init:job.init ~trace:(trace || gantt)
-        ~nprocs job.prog
+        ~fault ~net ~nprocs job.prog
     in
     Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
     if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
@@ -187,9 +200,13 @@ let run app stage n nprocs sweeps seg misaligned cost dump trace gantt =
           (Xdp_util.Tensor.full_box acc);
         Format.printf "sum(%s) = %.1f@." job.check !sum);
     0
-  with Failure msg | Invalid_argument msg ->
-    Format.eprintf "xdpc: %s@." msg;
-    1
+  with
+  | Failure msg | Invalid_argument msg ->
+      Format.eprintf "xdpc: %s@." msg;
+      1
+  | Xdp_net.Transport.Link_failed msg ->
+      Format.eprintf "xdpc: link failure@.%s@." msg;
+      1
 
 let app_t =
   Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm.")
@@ -213,12 +230,38 @@ let dump_t = Arg.(value & flag & info [ "dump-ir"; "d" ] ~doc:"Print the IL+XDP 
 let trace_t = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event trace.")
 let gantt_t = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Print an ASCII Gantt chart.")
 
+let drop_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~doc:"Per-packet drop probability (0..1); enables the reliable transport.")
+
+let dup_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~doc:"Per-packet duplication probability (0..1).")
+
+let jitter_t =
+  Arg.(
+    value & opt float 0.0
+    & info [ "jitter" ] ~doc:"Delivery jitter as a fraction of wire time (reorders messages).")
+
+let fault_seed_t =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~doc:"Seed of the deterministic fault schedule.")
+
+let timeout_t =
+  Arg.(
+    value & opt (some float) None
+    & info [ "timeout" ] ~doc:"Retransmit timeout of the reliable transport.")
+
 let cmd =
   let doc = "run a bundled XDP application on the simulated SPMD machine" in
   Cmd.v
     (Cmd.info "xdpc" ~doc)
     Term.(
       const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
-      $ cost_t $ dump_t $ trace_t $ gantt_t)
+      $ cost_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t $ jitter_t
+      $ fault_seed_t $ timeout_t)
 
 let () = exit (Cmd.eval' cmd)

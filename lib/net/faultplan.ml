@@ -1,0 +1,109 @@
+module Prng = Xdp_util.Prng
+
+type link = {
+  drop : float;
+  dup : float;
+  jitter : float;
+  slowdown : float;
+}
+
+let reliable = { drop = 0.0; dup = 0.0; jitter = 0.0; slowdown = 1.0 }
+
+type t = {
+  seed : int;
+  default_link : link;
+  links : ((int * int) * link) list;
+  stalls : (int * float * float) list;
+  crashes : (int * float) list;
+  deliver_after : int;
+}
+
+let none =
+  {
+    seed = 0;
+    default_link = reliable;
+    links = [];
+    stalls = [];
+    crashes = [];
+    deliver_after = 0;
+  }
+
+let make ?(seed = 1) ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0.0)
+    ?(slowdown = 1.0) ?(links = []) ?(stalls = []) ?(crashes = [])
+    ?(deliver_after = 8) () =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Faultplan.make: drop not in [0,1]";
+  if dup < 0.0 || dup > 1.0 then invalid_arg "Faultplan.make: dup not in [0,1]";
+  if jitter < 0.0 then invalid_arg "Faultplan.make: negative jitter";
+  if slowdown < 1.0 then invalid_arg "Faultplan.make: slowdown < 1";
+  if deliver_after < 0 then invalid_arg "Faultplan.make: negative deliver_after";
+  {
+    seed;
+    default_link = { drop; dup; jitter; slowdown };
+    links;
+    stalls;
+    crashes;
+    deliver_after;
+  }
+
+let is_none t =
+  t.links = [] && t.stalls = [] && t.crashes = []
+  && t.default_link = reliable
+
+let link t ~src ~dst =
+  match List.assoc_opt (src, dst) t.links with
+  | Some l -> l
+  | None -> t.default_link
+
+(* Every fate decision draws from a keyed substream so it is a pure
+   function of (plan seed, link, message, attempt, purpose) — the
+   simulator may evaluate decisions in any order without perturbing
+   them.  Purpose tags keep the three decision kinds independent. *)
+let drop_salt = 0
+let dup_salt = 1
+let jitter_salt = 2
+
+let rng t ~src ~dst ~msg ~attempt ~salt =
+  Prng.stream t.seed [ src; dst; msg; attempt; salt ]
+
+let crashed t ~pid ~time =
+  List.exists (fun (p, at) -> p = pid && time >= at) t.crashes
+
+let drops_packet t ~src ~dst ~msg ~attempt ~ack =
+  (* Attempts at or past [deliver_after] are never dropped: bounded
+     consecutive loss is the "eventual delivery" class of plans under
+     which the transport guarantees completion.  Crashed endpoints
+     black-hole everything regardless. *)
+  let l = link t ~src ~dst in
+  if l.drop <= 0.0 then false
+  else if attempt >= t.deliver_after then false
+  else
+    let salt = if ack then drop_salt + 16 else drop_salt in
+    Prng.float (rng t ~src ~dst ~msg ~attempt ~salt) < l.drop
+
+let duplicates t ~src ~dst ~msg ~attempt =
+  let l = link t ~src ~dst in
+  l.dup > 0.0
+  && Prng.float (rng t ~src ~dst ~msg ~attempt ~salt:dup_salt) < l.dup
+
+let jitter_delay t ~src ~dst ~msg ~attempt ~scale =
+  let l = link t ~src ~dst in
+  if l.jitter <= 0.0 then 0.0
+  else
+    Prng.float (rng t ~src ~dst ~msg ~attempt ~salt:jitter_salt)
+    *. l.jitter *. scale
+
+let stall_release t ~pid time =
+  List.fold_left
+    (fun time (p, t0, t1) ->
+      if p = pid && time >= t0 && time < t1 then Float.max time t1 else time)
+    time t.stalls
+
+let describe t =
+  if is_none t then "reliable network"
+  else
+    let l = t.default_link in
+    Printf.sprintf
+      "faults(seed=%d drop=%g dup=%g jitter=%g slowdown=%g links=%d \
+       stalls=%d crashes=%d deliver_after=%d)"
+      t.seed l.drop l.dup l.jitter l.slowdown (List.length t.links)
+      (List.length t.stalls) (List.length t.crashes) t.deliver_after

@@ -5,6 +5,8 @@ module State = Xdp_symtab.State
 module Board = Xdp_sim.Board
 module Costmodel = Xdp_sim.Costmodel
 module Trace = Xdp_sim.Trace
+module Faultplan = Xdp_net.Faultplan
+module Transport = Xdp_net.Transport
 
 exception Deadlock of string
 exception Xdp_misuse of string
@@ -52,7 +54,8 @@ let section_name arr box = arr ^ Box.to_string box
 
 let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
     ?(init = fun _ _ -> 0.0) ?(scalars = []) ?(trace = false)
-    ?(free_on_release = true) ?(max_steps = 20_000_000) ~nprocs
+    ?(free_on_release = true) ?(max_steps = 20_000_000)
+    ?(fault = Faultplan.none) ?(net = Transport.default_config) ~nprocs
     (p : program) =
   if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
   List.iter
@@ -68,6 +71,34 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
   Xdp.Wf.check_exn p;
   let tr = Trace.create ~enabled:trace in
   let board = Board.create cost in
+  (* A fault plan interposes the reliable transport between the
+     executor and the board; with the default (no-fault) plan the
+     board is used directly and the fault-free code path is exact. *)
+  let transport =
+    if Faultplan.is_none fault then None
+    else Some (Transport.create ~config:net ~plan:fault ~trace:tr board ~cost)
+  in
+  let post_send ~time ~src ~name ~kind ~payload ~directed =
+    match transport with
+    | None -> Board.post_send board ~time ~src ~name ~kind ~payload ~directed
+    | Some n ->
+        Transport.post_send n ~time ~src ~name ~kind ~payload ~directed
+  in
+  let post_recv ~time ~dst ~name ~kind ~token =
+    match transport with
+    | None -> Board.post_recv board ~time ~dst ~name ~kind ~token
+    | Some n -> Transport.post_recv n ~time ~dst ~name ~kind ~token
+  in
+  let peek_delivery () =
+    match transport with
+    | None -> Board.peek_delivery board
+    | Some n -> Transport.peek_delivery n
+  in
+  let pop_delivery () =
+    match transport with
+    | None -> Board.pop_delivery board
+    | Some n -> Transport.pop_delivery n
+  in
   let ownership_transfers = ref 0 in
   let total_steps = ref 0 in
   let pending : (int, int * pending) Hashtbl.t = Hashtbl.create 64 in
@@ -191,8 +222,7 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
            name;
            kind = Board.kind_to_string kind;
          });
-    Board.post_send board ~time:pr.clock ~src:pr.pid ~name ~kind ~payload
-      ~directed:None
+    post_send ~time:pr.clock ~src:pr.pid ~name ~kind ~payload ~directed:None
   in
   let recv_ownership pr (s : section) ~with_value =
     let h = hooks_of pr in
@@ -219,7 +249,7 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
            name;
            kind = Board.kind_to_string kind;
          });
-    Board.post_recv board ~time:pr.clock ~dst:pr.pid ~name ~kind ~token
+    post_recv ~time:pr.clock ~dst:pr.pid ~name ~kind ~token
   in
   (* Execute one statement; raises Evalexpr.Blocked_on to request a
      retry once the named section becomes accessible. *)
@@ -296,8 +326,8 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
         Trace.emit tr
           (Trace.Send_init
              { time = pr.clock; pid = pr.pid; name; kind = "value" });
-        Board.post_send board ~time:pr.clock ~src:pr.pid ~name
-          ~kind:Board.Value ~payload ~directed
+        post_send ~time:pr.clock ~src:pr.pid ~name ~kind:Board.Value ~payload
+          ~directed
     | Send_owner s -> send_ownership pr s ~with_value:false
     | Send_owner_value s -> send_ownership pr s ~with_value:true
     | Recv_value { into; from } ->
@@ -322,8 +352,7 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
         Trace.emit tr
           (Trace.Recv_init
              { time = pr.clock; pid = pr.pid; name; kind = "value" });
-        Board.post_recv board ~time:pr.clock ~dst:pr.pid ~name
-          ~kind:Board.Value ~token
+        post_recv ~time:pr.clock ~dst:pr.pid ~name ~kind:Board.Value ~token
     | Recv_owner s -> recv_ownership pr s ~with_value:false
     | Recv_owner_value s -> recv_ownership pr s ~with_value:true
     | Apply { fn; args } -> (
@@ -447,21 +476,23 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
           | _ -> acc)
         None procs
     in
-    let next_delivery = Board.peek_delivery board in
+    let next_delivery = peek_delivery () in
     match (ready, next_delivery) with
     | Some pr, Some d when d.arrival <= pr.clock ->
-        ignore (Board.pop_delivery board);
+        ignore (pop_delivery ());
         apply_delivery d;
         loop ()
     | Some pr, _ ->
         step_proc pr;
         loop ()
     | None, Some d ->
-        ignore (Board.pop_delivery board);
+        ignore (pop_delivery ());
         apply_delivery d;
         loop ()
     | None, None ->
-        let blocked =
+        (* The waiting (pid, section) set, reported by every stuck-run
+           diagnostic so the blocked rendezvous is always named. *)
+        let waiting =
           Array.to_list procs
           |> List.filter_map (fun pr ->
                  match pr.status with
@@ -471,14 +502,35 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
                           (section_name b.on_name b.on_box))
                  | _ -> None)
         in
-        if blocked <> [] then
+        let failed =
+          match transport with
+          | Some n -> Transport.failures n
+          | None -> []
+        in
+        if failed <> [] then
+          (* Not a compiler bug: the wire ate a matched message and the
+             transport ran out of retries.  Name the dead links. *)
+          raise
+            (Transport.Link_failed
+               (Printf.sprintf
+                  "%s: blocked on messages dropped past max retries:\n\
+                   %s\nwaiting:\n%s"
+                  p.prog_name
+                  (String.concat "\n"
+                     (List.map
+                        (fun f -> Format.asprintf "  %a" Transport.pp_failure f)
+                        failed))
+                  (String.concat "\n" waiting)))
+        else if waiting <> [] then
           raise
             (Deadlock
                (Printf.sprintf
-                  "%s: all processors blocked or done with no messages in \
-                   flight:\n%s\npending sends: %d, pending recvs: %d"
+                  "%s: all processors blocked or done with nothing in \
+                   flight (no messages lost — the program is missing a \
+                   matching send or receive):\n%s\npending sends: %d, \
+                   pending recvs: %d"
                   p.prog_name
-                  (String.concat "\n" blocked)
+                  (String.concat "\n" waiting)
                   (List.length (Board.pending_sends board))
                   (List.length (Board.pending_recvs board))
                ^ Printf.sprintf "\nsends: %s\nrecvs: %s"
@@ -492,6 +544,19 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
                          (Board.pending_recvs board)))))
   in
   loop ();
+  (* A lost message with no blocked waiter would otherwise end the run
+     with silently-wrong tensors; surface it. *)
+  (match transport with
+  | Some n when Transport.failures n <> [] ->
+      raise
+        (Transport.Link_failed
+           (Printf.sprintf "%s: run completed but messages were lost:\n%s"
+              p.prog_name
+              (String.concat "\n"
+                 (List.map
+                    (fun f -> Format.asprintf "  %a" Transport.pp_failure f)
+                    (Transport.failures n)))))
+  | _ -> ());
   (* Gather distributed arrays into global tensors. *)
   let arrays =
     List.map
@@ -535,6 +600,25 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
       statements = !total_steps;
       unmatched_sends = List.length (Board.pending_sends board);
       unmatched_recvs = List.length (Board.pending_recvs board);
+      retransmits =
+        (match transport with Some n -> Transport.retransmits n | None -> 0);
+      acks = (match transport with Some n -> Transport.acks n | None -> 0);
+      dup_suppressed =
+        (match transport with
+        | Some n -> Transport.dup_suppressed n
+        | None -> 0);
+      packets_dropped =
+        (match transport with
+        | Some n -> Transport.packets_dropped n
+        | None -> 0);
+      net_overhead_bytes =
+        (match transport with
+        | Some n -> Transport.overhead_bytes n
+        | None -> 0);
+      link_failures =
+        (match transport with
+        | Some n -> List.length (Transport.failures n)
+        | None -> 0);
     }
   in
   { arrays; stats; trace = tr; symtabs = Array.map (fun pr -> pr.st) procs }

@@ -21,7 +21,17 @@
     ownership of a partial segment are diagnosed as {!Xdp_misuse} —
     these are exactly the obligations the paper places on the
     compiler.  If every processor is blocked and nothing is in flight,
-    {!Deadlock} is raised with a description of who waits on what. *)
+    {!Deadlock} is raised with a description of who waits on what.
+
+    An optional {!Xdp_net.Faultplan} interposes the reliable
+    transport ({!Xdp_net.Transport}) between the executor and the
+    board: the wire may then drop, duplicate, reorder and slow
+    messages, the transport recovers by ack/retransmit, and a message
+    lost past the retry budget raises
+    {!Xdp_net.Transport.Link_failed} naming the dead (src, dst,
+    section) links — a stuck run is always diagnosed as either a
+    program bug ({!Deadlock}: nothing was ever in flight) or a
+    network failure ({!Link_failed}), never a silent hang. *)
 
 open Xdp_util
 
@@ -43,6 +53,8 @@ val run :
   ?trace:bool ->
   ?free_on_release:bool ->
   ?max_steps:int ->
+  ?fault:Xdp_net.Faultplan.t ->
+  ?net:Xdp_net.Transport.config ->
   nprocs:int ->
   Xdp.Ir.program ->
   result
@@ -52,7 +64,11 @@ val run :
     every processor; [trace] records an event log; [free_on_release]
     (default true) controls storage reuse on ownership sends
     (experiment T6); [max_steps] bounds total executed statements
-    (default 20,000,000). *)
+    (default 20,000,000); [fault] (default {!Xdp_net.Faultplan.none})
+    injects network faults and routes every message through the
+    reliable transport configured by [net].
+    @raise Xdp_net.Transport.Link_failed when a message is lost past
+    the transport's retry budget. *)
 
 val array : result -> string -> Tensor.t
 

@@ -36,6 +36,7 @@ exception Mismatch of string
 
 type delivery = {
   arrival : float;
+  depart : float;    (** send departure time (post time plus NIC queueing) *)
   seq : int;         (** global tie-break sequence *)
   src : int;
   dst : int;

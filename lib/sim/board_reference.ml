@@ -17,6 +17,7 @@ let kind_to_string = function
 
 type delivery = Board.delivery = {
   arrival : float;
+  depart : float;
   seq : int;
   src : int;
   dst : int;
@@ -118,6 +119,7 @@ let make_delivery t ~name (s : send) (r : recv) =
   insert_delivery t
     {
       arrival;
+      depart = s.s_time;
       seq = next_seq t;
       src = s.s_src;
       dst = r.r_dst;

@@ -14,6 +14,7 @@ exception Mismatch of string
 
 type delivery = Board.delivery = {
   arrival : float;
+  depart : float;
   seq : int;
   src : int;
   dst : int;

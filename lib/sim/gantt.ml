@@ -14,6 +14,10 @@ let render ~nprocs ~makespan ?(width = 72) events =
       done
     in
     let last_seen = Array.make nprocs 0.0 in
+    (* Retransmit spans: from the first resend headed at a processor to
+       the delivery that finally lands there, its lane shows 'r' — the
+       window in which the transport was recovering a lost message. *)
+    let rexmit_start = Array.make nprocs None in
     List.iter
       (fun (e : Trace.event) ->
         match e with
@@ -30,7 +34,20 @@ let render ~nprocs ~makespan ?(width = 72) events =
             mark pid last_seen.(pid) time '#';
             last_seen.(pid) <- time
         | Trace.Delivered { time; dst; _ } ->
+            (match rexmit_start.(dst) with
+            | Some t0 ->
+                for x = bucket t0 to bucket time do
+                  if buckets.(dst).(x) = ' ' || buckets.(dst).(x) = '.' then
+                    buckets.(dst).(x) <- 'r'
+                done;
+                rexmit_start.(dst) <- None
+            | None -> ());
             buckets.(dst).(bucket time) <- 'v'
+        | Trace.Dropped { time; src; _ } ->
+            buckets.(src).(bucket time) <- 'x'
+        | Trace.Retransmit { time; dst; _ } ->
+            if rexmit_start.(dst) = None then rexmit_start.(dst) <- Some time
+        | Trace.Ack _ | Trace.Duped _ -> ()
         | Trace.Note { time; pid; _ } -> last_seen.(pid) <- time)
       events;
     let buf = Buffer.create ((nprocs + 2) * (width + 8)) in
@@ -42,5 +59,7 @@ let render ~nprocs ~makespan ?(width = 72) events =
       Array.iter (Buffer.add_char buf) buckets.(pid);
       Buffer.add_string buf "|\n"
     done;
-    Buffer.add_string buf "     ('#' busy  '.' blocked  'v' delivery)\n";
+    Buffer.add_string buf
+      "     ('#' busy  '.' blocked  'v' delivery  'x' drop  'r' retransmit \
+       window)\n";
     Buffer.contents buf

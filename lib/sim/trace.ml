@@ -12,6 +12,23 @@ type event =
   | Blocked of { time : float; pid : int; on : string }
   | Unblocked of { time : float; pid : int }
   | Note of { time : float; pid : int; msg : string }
+  | Dropped of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      attempt : int;
+      what : string; (* "data" or "ack" *)
+    }
+  | Retransmit of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      attempt : int;
+    }
+  | Ack of { time : float; src : int; dst : int; name : string }
+  | Duped of { time : float; src : int; dst : int; name : string }
 
 type t = { enabled : bool; mutable events : event list (* reversed *) }
 
@@ -36,6 +53,18 @@ let pp_event ppf = function
       Format.fprintf ppf "[%10.1f] P%d unblocked" time (pid + 1)
   | Note { time; pid; msg } ->
       Format.fprintf ppf "[%10.1f] P%d %s" time (pid + 1) msg
+  | Dropped { time; src; dst; name; attempt; what } ->
+      Format.fprintf ppf "[%10.1f] P%d -> P%d DROPPED %s %s (attempt %d)"
+        time (src + 1) (dst + 1) what name attempt
+  | Retransmit { time; src; dst; name; attempt } ->
+      Format.fprintf ppf "[%10.1f] P%d -> P%d retransmit %s (attempt %d)"
+        time (src + 1) (dst + 1) name attempt
+  | Ack { time; src; dst; name } ->
+      Format.fprintf ppf "[%10.1f] P%d ack -> P%d %s" time (dst + 1)
+        (src + 1) name
+  | Duped { time; src; dst; name } ->
+      Format.fprintf ppf "[%10.1f] P%d -> P%d duplicate suppressed %s" time
+        (src + 1) (dst + 1) name
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
@@ -53,6 +82,12 @@ type stats = {
   statements : int;
   unmatched_sends : int;
   unmatched_recvs : int;
+  retransmits : int;
+  acks : int;
+  dup_suppressed : int;
+  packets_dropped : int;
+  net_overhead_bytes : int;
+  link_failures : int;
 }
 
 let idle_fraction s =
@@ -73,4 +108,14 @@ let pp_stats ppf s =
     (if s.unmatched_sends > 0 || s.unmatched_recvs > 0 then
        Printf.sprintf " UNMATCHED(s=%d,r=%d)" s.unmatched_sends
          s.unmatched_recvs
-     else "")
+     else "");
+  if
+    s.retransmits > 0 || s.acks > 0 || s.dup_suppressed > 0
+    || s.packets_dropped > 0 || s.link_failures > 0
+  then
+    Format.fprintf ppf
+      " net(rexmit=%d acks=%d dups=%d drops=%d +%dB%s)" s.retransmits
+      s.acks s.dup_suppressed s.packets_dropped s.net_overhead_bytes
+      (if s.link_failures > 0 then
+         Printf.sprintf " LINK_FAILURES=%d" s.link_failures
+       else "")

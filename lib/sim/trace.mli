@@ -21,6 +21,25 @@ type event =
   | Blocked of { time : float; pid : int; on : string }
   | Unblocked of { time : float; pid : int }
   | Note of { time : float; pid : int; msg : string }
+  | Dropped of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      attempt : int;
+      what : string;  (** ["data"] or ["ack"] *)
+    }  (** the fault plan dropped a packet on the wire *)
+  | Retransmit of {
+      time : float;
+      src : int;
+      dst : int;
+      name : string;
+      attempt : int;
+    }  (** sender timed out waiting for an ack and resent *)
+  | Ack of { time : float; src : int; dst : int; name : string }
+      (** receiver acknowledged; [src]/[dst] are the {e data} endpoints *)
+  | Duped of { time : float; src : int; dst : int; name : string }
+      (** receiver suppressed a duplicate by sequence-number dedup *)
 
 type t
 
@@ -52,6 +71,12 @@ type stats = {
   statements : int;        (** interpreter steps executed *)
   unmatched_sends : int;
   unmatched_recvs : int;
+  retransmits : int;       (** transport-layer resends after timeout *)
+  acks : int;              (** acknowledgements put on the wire *)
+  dup_suppressed : int;    (** duplicate deliveries deduplicated at the receiver *)
+  packets_dropped : int;   (** data + ack packets the fault plan dropped *)
+  net_overhead_bytes : int;(** retransmitted payload + ack bytes, beyond [bytes] *)
+  link_failures : int;     (** messages abandoned after max retries *)
 }
 
 (** Idle fraction: 1 - sum(busy)/(nprocs * makespan). *)

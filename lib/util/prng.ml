@@ -12,6 +12,20 @@ let next t =
 
 let split t = { state = next t }
 
+let stream seed path =
+  (* Absorb each key with a golden-ratio multiply, then run the
+     splitmix finalizer once so nearby paths decorrelate; the result
+     depends only on (seed, path), never on draw order elsewhere. *)
+  let t = { state = Int64.of_int seed } in
+  List.iter
+    (fun k ->
+      t.state <-
+        Int64.logxor t.state
+          (Int64.mul (Int64.of_int (k + 1)) 0x9E3779B97F4A7C15L);
+      ignore (next t))
+    path;
+  t
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
   Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)

@@ -11,6 +11,13 @@ val of_seed : int -> t
 (** Independent child stream; the parent advances. *)
 val split : t -> t
 
+(** [stream seed path] — keyed substream: a generator that depends
+    only on [seed] and the integer key path, independent of any other
+    stream's draw order.  The fault-injection layer keys one stream
+    per (link, message, attempt) so that fate decisions are stable no
+    matter when the simulator happens to evaluate them. *)
+val stream : int -> int list -> t
+
 (** Uniform in [0, bound) ; @raise Invalid_argument if [bound <= 0]. *)
 val int : t -> int -> int
 

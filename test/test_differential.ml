@@ -150,6 +150,47 @@ let prop_differential =
     (QCheck.make ~print:print_cfg gen_cfg)
     check_cfg
 
+(* Same property under an unreliable network: the fully optimized
+   program, run through the reliable transport with a fault plan
+   derived from the configuration, must still match the sequential
+   reference bit for bit.  Plans stay in the eventual-delivery class
+   (small deliver_after), so termination is guaranteed. *)
+let fault_of_cfg cfg =
+  let g = Xdp_util.Prng.stream 0x0DD5 [ Hashtbl.hash cfg ] in
+  Xdp_net.Faultplan.make
+    ~seed:(Xdp_util.Prng.int g 1_000_000)
+    ~drop:(Xdp_util.Prng.float_in g 0.0 0.4)
+    ~dup:(Xdp_util.Prng.float_in g 0.0 0.25)
+    ~jitter:(Xdp_util.Prng.float_in g 0.0 0.5)
+    ~deliver_after:(Xdp_util.Prng.int_in g 0 4)
+    ()
+
+let check_cfg_faulty cfg =
+  let p = build_program cfg in
+  let reference = Xdp_runtime.Seq.run ~init p in
+  let compiled = (Xdp.Compile.optimize ~nprocs:cfg.nprocs p).compiled in
+  let fault = fault_of_cfg cfg in
+  let r = Exec.run ~init ~nprocs:cfg.nprocs ~fault compiled in
+  List.for_all
+    (fun arr ->
+      let ok =
+        Xdp_util.Tensor.equal ~eps:1e-9
+          (Exec.array r arr)
+          (Xdp_runtime.Seq.array reference arr)
+      in
+      if not ok then
+        QCheck.Test.fail_reportf "faulty run (%s): array %s differs\n%s"
+          (Xdp_net.Faultplan.describe fault)
+          arr (print_cfg cfg);
+      ok)
+    arrays
+
+let prop_differential_faulty =
+  QCheck.Test.make
+    ~name:"compiled stage matches the reference under fault plans" ~count:40
+    (QCheck.make ~print:print_cfg gen_cfg)
+    check_cfg_faulty
+
 (* A couple of fixed regression seeds that exercise every spec form. *)
 let test_fixed_cases () =
   List.iter
@@ -190,5 +231,6 @@ let () =
         [
           Alcotest.test_case "fixed cases" `Quick test_fixed_cases;
           QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_differential_faulty;
         ] );
     ]

@@ -251,6 +251,68 @@ let test_determinism_fft3d_pipelined () =
     ~digest:"34aaae6d61bdc0170d026525e3000572"
     (Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 ~trace:true p)
 
+(* ---- fault-injection golden: the unreliable network is part of the
+   deterministic surface too.  Same plan seed, same drops, same
+   retransmit schedule, same digest over the full network trace
+   (deliveries + drops + retransmits + acks + dedups).  Captured from
+   the first implementation of lib/net. *)
+
+let digest_net_events (tr : Xdp_sim.Trace.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Xdp_sim.Trace.event) ->
+      let add = Buffer.add_string buf in
+      match e with
+      | Xdp_sim.Trace.Delivered { time; src; dst; name; kind; bytes } ->
+          add
+            (Printf.sprintf "D|%.6f|%d|%d|%s|%s|%d\n" time src dst name kind
+               bytes)
+      | Xdp_sim.Trace.Dropped { time; src; dst; name; attempt; what } ->
+          add
+            (Printf.sprintf "X|%.6f|%d|%d|%s|%d|%s\n" time src dst name
+               attempt what)
+      | Xdp_sim.Trace.Retransmit { time; src; dst; name; attempt } ->
+          add (Printf.sprintf "R|%.6f|%d|%d|%s|%d\n" time src dst name attempt)
+      | Xdp_sim.Trace.Ack { time; src; dst; name } ->
+          add (Printf.sprintf "A|%.6f|%d|%d|%s\n" time src dst name)
+      | Xdp_sim.Trace.Duped { time; src; dst; name } ->
+          add (Printf.sprintf "U|%.6f|%d|%d|%s\n" time src dst name)
+      | _ -> ())
+    (Xdp_sim.Trace.events tr);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_determinism_fft3d_faulty () =
+  let p =
+    Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~seg_rows:2
+      ~stage:Xdp_apps.Fft3d.Pipelined ()
+  in
+  let fault =
+    Xdp_net.Faultplan.make ~seed:42 ~drop:0.15 ~dup:0.05 ~jitter:0.3 ()
+  in
+  let r =
+    Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 ~trace:true
+      ~fault p
+  in
+  let name = "fft3d pipelined n=8 P=4 drop=0.15" in
+  Alcotest.(check (float 1e-5)) (name ^ ": makespan") 71438.024377
+    r.stats.makespan;
+  Alcotest.(check int) (name ^ ": messages") 128 r.stats.messages;
+  Alcotest.(check int) (name ^ ": retransmits") 47 r.stats.retransmits;
+  Alcotest.(check int) (name ^ ": acks") 157 r.stats.acks;
+  Alcotest.(check int) (name ^ ": dups suppressed") 29 r.stats.dup_suppressed;
+  Alcotest.(check int) (name ^ ": packets dropped") 49 r.stats.packets_dropped;
+  Alcotest.(check int) (name ^ ": link failures") 0 r.stats.link_failures;
+  Alcotest.(check string)
+    (name ^ ": network trace digest")
+    "1e26f4c0870c0c15885169d0b11dc36f"
+    (digest_net_events r.trace);
+  (* and the tensors still match the fault-free run *)
+  let clean = Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 p in
+  Alcotest.(check bool) (name ^ ": tensors identical") true
+    (Xdp_util.Tensor.equal
+       (Xdp_runtime.Exec.array r "A")
+       (Xdp_runtime.Exec.array clean "A"))
+
 let test_determinism_farm_dynamic () =
   let p =
     Xdp_apps.Farm.build ~ntasks:24 ~nprocs:4 ~variant:Xdp_apps.Farm.Dynamic ()
@@ -272,6 +334,8 @@ let () =
             test_determinism_fft3d_pipelined;
           Alcotest.test_case "farm dynamic stats+trace" `Quick
             test_determinism_farm_dynamic;
+          Alcotest.test_case "fft3d pipelined under faults stats+trace" `Quick
+            test_determinism_fft3d_faulty;
         ] );
       ( "paper listings",
         [

@@ -50,6 +50,12 @@ let stats_zero n =
     statements = 0;
     unmatched_sends = 0;
     unmatched_recvs = 0;
+    retransmits = 0;
+    acks = 0;
+    dup_suppressed = 0;
+    packets_dropped = 0;
+    net_overhead_bytes = 0;
+    link_failures = 0;
   }
 
 let test_idle_fraction () =
