@@ -18,6 +18,18 @@ let cost_conv =
     ( cost_of_string,
       fun ppf (c : Xdp_sim.Costmodel.t) -> Format.fprintf ppf "%s" c.name )
 
+let engine_of_string = function
+  | "compiled" | "staged" -> Ok `Compiled
+  | "interp" | "interpreter" | "reference" -> Ok `Interp
+  | s -> Error (`Msg (Printf.sprintf "unknown engine %s" s))
+
+let engine_conv =
+  Arg.conv
+    ( engine_of_string,
+      fun ppf (e : Xdp_runtime.Exec.engine) ->
+        Format.fprintf ppf "%s"
+          (match e with `Compiled -> "compiled" | `Interp -> "interp") )
+
 type job = {
   prog : Xdp.Ir.program;
   init : string -> int list -> float;
@@ -141,8 +153,8 @@ let farm_job ~ntasks ~nprocs ~stage =
     check = "ACC";
   }
 
-let run app stage n nprocs sweeps seg misaligned cost dump trace gantt drop
-    dup jitter fault_seed timeout =
+let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
+    drop dup jitter fault_seed timeout =
   try
     let fault =
       if drop = 0.0 && dup = 0.0 && jitter = 0.0 then
@@ -171,8 +183,8 @@ let run app stage n nprocs sweeps seg misaligned cost dump trace gantt drop
     if not (Xdp_net.Faultplan.is_none fault) then
       Format.printf "network: %s@." (Xdp_net.Faultplan.describe fault);
     let r =
-      Xdp_runtime.Exec.run ~cost ~init:job.init ~trace:(trace || gantt)
-        ~fault ~net ~nprocs job.prog
+      Xdp_runtime.Exec.run ~engine ~cost ~init:job.init
+        ~trace:(trace || gantt) ~fault ~net ~nprocs job.prog
     in
     Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
     if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
@@ -226,6 +238,16 @@ let cost_t =
     & opt cost_conv Xdp_sim.Costmodel.message_passing
     & info [ "cost"; "c" ] ~doc:"Cost model: message_passing, shared_address, idealized.")
 
+let engine_t =
+  Arg.(
+    value
+    & opt engine_conv Xdp_runtime.Exec.default_engine
+    & info [ "engine"; "e" ]
+        ~doc:
+          "Execution engine: compiled (staged closures, the default) or \
+           interp (the reference tree-walker).  Both produce bit-identical \
+           results; the default can also be set with XDP_ENGINE.")
+
 let dump_t = Arg.(value & flag & info [ "dump-ir"; "d" ] ~doc:"Print the IL+XDP program.")
 let trace_t = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event trace.")
 let gantt_t = Arg.(value & flag & info [ "gantt"; "g" ] ~doc:"Print an ASCII Gantt chart.")
@@ -261,7 +283,7 @@ let cmd =
     (Cmd.info "xdpc" ~doc)
     Term.(
       const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
-      $ cost_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t $ jitter_t
-      $ fault_seed_t $ timeout_t)
+      $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
+      $ jitter_t $ fault_seed_t $ timeout_t)
 
 let () = exit (Cmd.eval' cmd)

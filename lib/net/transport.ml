@@ -275,6 +275,10 @@ let post_recv t ~time ~dst ~name ~kind ~token =
   Board.post_recv t.board ~time ~dst ~name ~kind ~token;
   intake t
 
+let has_delivery t =
+  settle t;
+  not (Heap.is_empty t.out)
+
 let peek_delivery t =
   settle t;
   Heap.peek t.out

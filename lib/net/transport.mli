@@ -78,6 +78,10 @@ val post_recv :
   token:int ->
   unit
 
+(** Whether any delivery is ready for the executor; settles the wire
+    first, like {!peek_delivery}, but never allocates. *)
+val has_delivery : t -> bool
+
 (** Earliest delivery the executor may consume; advances the internal
     wire simulation as far as needed to know it is earliest. *)
 val peek_delivery : t -> Xdp_sim.Board.delivery option

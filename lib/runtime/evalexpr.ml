@@ -6,11 +6,42 @@ exception Blocked_on of string * Box.t
 
 type env = (string, Value.t) Hashtbl.t
 
+(* Reusable index buffers for [Elem] evaluation: one exact-size
+   [int array] per (nesting depth, rank), grown lazily and reused for
+   every element access — the interpreter's per-access [List.map]
+   allocation removed.  Depth tracks Elem-inside-Elem nesting (e.g.
+   [A[B[i]]]) so an inner access never clobbers the buffer an outer
+   access is still filling. *)
+module Scratch = struct
+  type t = { mutable depth : int; mutable rows : int array array array }
+
+  let create () = { depth = 0; rows = [||] }
+
+  let buf t rank =
+    if t.depth >= Array.length t.rows then begin
+      let rows = Array.make (t.depth + 4) [||] in
+      Array.blit t.rows 0 rows 0 (Array.length t.rows);
+      t.rows <- rows
+    end;
+    let row = t.rows.(t.depth) in
+    let row =
+      if rank < Array.length row then row
+      else begin
+        let r = Array.make (rank + 4) [||] in
+        Array.blit row 0 r 0 (Array.length row);
+        t.rows.(t.depth) <- r;
+        r
+      end
+    in
+    if Array.length row.(rank) <> rank then row.(rank) <- Array.make rank 0;
+    row.(rank)
+end
+
 type hooks = {
   mypid1 : int;
   nprocs : int;
   shape_of : string -> int list;
-  elem : string -> int list -> float;
+  elem : string -> int array -> float;
   iown : string -> Box.t -> bool;
   accessible : string -> Box.t -> bool;
   await : string -> Box.t -> bool;
@@ -18,6 +49,7 @@ type hooks = {
   myub : string -> Box.t -> int -> int option;
   charge : float -> unit;
   cm : Xdp_sim.Costmodel.t;
+  scratch : Scratch.t;
 }
 
 let lookup env v =
@@ -34,9 +66,23 @@ let rec eval h env e =
   | Mypid -> Value.VInt h.mypid1
   | Nprocs -> Value.VInt h.nprocs
   | Elem (a, idxs) ->
-      let idx = List.map (eval_int h env) idxs in
-      h.charge h.cm.time_mem;
-      Value.VFloat (h.elem a idx)
+      let sc = h.scratch in
+      let d = sc.Scratch.depth in
+      let buf = Scratch.buf sc (List.length idxs) in
+      sc.Scratch.depth <- d + 1;
+      let v =
+        match
+          fill_idx h env buf 0 idxs;
+          h.charge h.cm.time_mem;
+          h.elem a buf
+        with
+        | v -> v
+        | exception e ->
+            sc.Scratch.depth <- d;
+            raise e
+      in
+      sc.Scratch.depth <- d;
+      Value.VFloat v
   | Bin (op, a, b) ->
       (* [&&]/[||] short-circuit so that guards like
          [iown(X) and accessible(X)] do not query past a failure. *)
@@ -71,6 +117,12 @@ let rec eval h env e =
   | Await s ->
       let box = resolve_section h env s in
       Value.VBool (h.await s.arr box)
+
+and fill_idx h env buf i = function
+  | [] -> ()
+  | e :: es ->
+      buf.(i) <- eval_int h env e;
+      fill_idx h env buf (i + 1) es
 
 and eval_int h env e =
   Value.to_int (eval h env e)
@@ -117,4 +169,5 @@ let sequential_hooks ~shape_of ~elem ~cm =
     myub = full_ub;
     charge = (fun _ -> ());
     cm;
+    scratch = Scratch.create ();
   }

@@ -24,11 +24,22 @@ exception Blocked_on of string * Box.t
 
 type env = (string, Value.t) Hashtbl.t
 
+(** Reusable per-(depth, rank) index buffers: [Elem] subscripts are
+    evaluated into these instead of allocating an [int list] per
+    access.  One pool per {!hooks} value; create with
+    {!Scratch.create}. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
 type hooks = {
   mypid1 : int;  (** 1-based pid of the evaluating processor *)
   nprocs : int;
   shape_of : string -> int list;
-  elem : string -> int list -> float;
+  elem : string -> int array -> float;
+      (** the index buffer is only valid for the duration of the call *)
   iown : string -> Box.t -> bool;
   accessible : string -> Box.t -> bool;
   await : string -> Box.t -> bool;
@@ -37,6 +48,7 @@ type hooks = {
   myub : string -> Box.t -> int -> int option;
   charge : float -> unit;  (** accumulate simulated cycles *)
   cm : Xdp_sim.Costmodel.t;
+  scratch : Scratch.t;
 }
 
 val eval : hooks -> env -> expr -> Value.t
@@ -56,6 +68,6 @@ val eval_guard : hooks -> env -> expr -> bool
     {!Seq} and available for testing). *)
 val sequential_hooks :
   shape_of:(string -> int list) ->
-  elem:(string -> int list -> float) ->
+  elem:(string -> int array -> float) ->
   cm:Xdp_sim.Costmodel.t ->
   hooks

@@ -11,6 +11,16 @@ module Transport = Xdp_net.Transport
 exception Deadlock of string
 exception Xdp_misuse of string
 
+type engine = [ `Interp | `Compiled ]
+
+(* The staged engine is the default; XDP_ENGINE=interp selects the
+   tree-walking reference interpreter process-wide (what the CI matrix
+   flips), read once at module initialization. *)
+let default_engine : engine =
+  match Sys.getenv_opt "XDP_ENGINE" with
+  | Some ("interp" | "interpreter" | "reference") -> `Interp
+  | _ -> `Compiled
+
 type frame =
   | Stmts of stmt list
   | Loop of {
@@ -20,8 +30,10 @@ type frame =
       step : int;
       body : stmt list;
     }
+  | Code of { codes : Precompile.code array; mutable ip : int }
+  | Cloop of { cl : Precompile.loop; mutable ccur : int }
 
-type blocked = { on_name : string; on_box : Box.t; retry : stmt }
+type blocked = { on_name : string; on_box : Box.t }
 
 type proc = {
   pid : int; (* 0-based *)
@@ -34,6 +46,7 @@ type proc = {
   mutable guard_evals : int;
   mutable guard_hits : int;
   mutable stmts_executed : int;
+  mutable mach : Precompile.machine option;
 }
 
 type pending = { p_kind : Board.kind; p_into : string * Box.t }
@@ -52,9 +65,9 @@ let array r name =
 
 let section_name arr box = arr ^ Box.to_string box
 
-let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
-    ?(init = fun _ _ -> 0.0) ?(scalars = []) ?(trace = false)
-    ?(free_on_release = true) ?(max_steps = 20_000_000)
+let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
+    ?(kernels = Xdp.Kernels.default) ?(init = fun _ _ -> 0.0) ?(scalars = [])
+    ?(trace = false) ?(free_on_release = true) ?(max_steps = 20_000_000)
     ?(fault = Faultplan.none) ?(net = Transport.default_config) ~nprocs
     (p : program) =
   if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
@@ -88,6 +101,11 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
     match transport with
     | None -> Board.post_recv board ~time ~dst ~name ~kind ~token
     | Some n -> Transport.post_recv n ~time ~dst ~name ~kind ~token
+  in
+  let has_delivery () =
+    match transport with
+    | None -> Board.has_delivery board
+    | Some n -> Transport.has_delivery n
   in
   let peek_delivery () =
     match transport with
@@ -144,14 +162,16 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
           guard_evals = 0;
           guard_hits = 0;
           stmts_executed = 0;
+          mach = None;
         })
   in
   let shape_of name = Xdp_dist.Layout.shape (decl_of p name).layout in
+  let charge_pr pr c =
+    pr.clock <- pr.clock +. c;
+    pr.busy <- pr.busy +. c
+  in
   let hooks_of pr =
-    let charge c =
-      pr.clock <- pr.clock +. c;
-      pr.busy <- pr.busy +. c
-    in
+    let charge = charge_pr pr in
     let charged_desc f name box =
       let before = Symtab.descriptor_visits pr.st in
       let r = f name box in
@@ -165,9 +185,11 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
       shape_of;
       elem =
         (fun name idx ->
-          if not (Symtab.iown pr.st name (Box.point idx)) then
-            raise (Evalexpr.Unowned_ref (section_name name (Box.point idx)))
-          else Symtab.get pr.st name idx);
+          if not (Symtab.owned_element pr.st name idx) then
+            raise
+              (Evalexpr.Unowned_ref
+                 (section_name name (Box.point (Array.to_list idx))))
+          else Symtab.get_a pr.st name idx);
       iown = charged_desc (Symtab.iown pr.st);
       accessible = charged_desc (Symtab.accessible pr.st);
       await =
@@ -180,40 +202,54 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
       myub = (fun name box d -> Symtab.myub pr.st name box d);
       charge;
       cm = cost;
+      scratch = Evalexpr.Scratch.create ();
     }
   in
-  let misuse pr fmt =
-    Printf.ksprintf
-      (fun s ->
-        raise
-          (Xdp_misuse
-             (Printf.sprintf "P%d at t=%.1f in %s: %s" (pr.pid + 1) pr.clock
-                p.prog_name s)))
-      fmt
+  (* One hooks value (and scratch pool) per processor for the whole
+     run — the interpreter used to rebuild this record per statement. *)
+  let hooks = Array.map hooks_of procs in
+  let misuse_exn pr s =
+    Xdp_misuse
+      (Printf.sprintf "P%d at t=%.1f in %s: %s" (pr.pid + 1) pr.clock
+         p.prog_name s)
   in
-  let send_ownership pr (s : section) ~with_value =
-    let h = hooks_of pr in
-    let box = Evalexpr.resolve_section h pr.env s in
-    (match Symtab.section_state pr.st s.arr box with
+  let misuse pr fmt = Printf.ksprintf (fun s -> raise (misuse_exn pr s)) fmt in
+  (* Transfer cores, shared verbatim by both engines: each takes a
+     processor and an already-resolved section and owns the exact
+     per-event charges and trace emissions. *)
+  let send_value_core pr ~arr ~box ~dests =
+    if not (Symtab.iown pr.st arr box) then
+      misuse pr "value send of unowned section %s" (section_name arr box);
+    let payload = Symtab.read_box pr.st arr box in
+    let directed = dests () in
+    charge_pr pr
+      (cost.time_send_init
+      +. (float_of_int (Array.length payload) *. cost.time_mem));
+    let name = section_name arr box in
+    Trace.emit tr
+      (Trace.Send_init { time = pr.clock; pid = pr.pid; name; kind = "value" });
+    post_send ~time:pr.clock ~src:pr.pid ~name ~kind:Board.Value ~payload
+      ~directed
+  in
+  let send_ownership_core pr ~with_value ~arr ~box =
+    (match Symtab.section_state pr.st arr box with
     | State.Unowned ->
         misuse pr "ownership send of unowned section %s"
-          (section_name s.arr box)
+          (section_name arr box)
     | State.Transitional ->
         (* Owner sends block until the section is accessible. *)
-        raise (Evalexpr.Blocked_on (s.arr, box))
+        raise (Evalexpr.Blocked_on (arr, box))
     | State.Accessible -> ());
-    let payload =
-      if with_value then Symtab.read_box pr.st s.arr box else [||]
-    in
-    let released = Symtab.release pr.st s.arr box in
+    let payload = if with_value then Symtab.read_box pr.st arr box else [||] in
+    let released = Symtab.release pr.st arr box in
     let nsegs = List.length released in
     incr ownership_transfers;
-    h.Evalexpr.charge
+    charge_pr pr
       (cost.time_send_init
       +. (float_of_int nsegs *. cost.time_owner_admin)
       +. (float_of_int (Array.length payload) *. cost.time_mem));
     let kind = if with_value then Board.Owner_value else Board.Owner in
-    let name = section_name s.arr box in
+    let name = section_name arr box in
     Trace.emit tr
       (Trace.Send_init
          {
@@ -224,23 +260,21 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
          });
     post_send ~time:pr.clock ~src:pr.pid ~name ~kind ~payload ~directed:None
   in
-  let recv_ownership pr (s : section) ~with_value =
-    let h = hooks_of pr in
-    let box = Evalexpr.resolve_section h pr.env s in
-    (match Symtab.section_state pr.st s.arr box with
+  let recv_ownership_core pr ~with_value ~arr ~box =
+    (match Symtab.section_state pr.st arr box with
     | State.Unowned -> ()
     | State.Accessible | State.Transitional ->
         misuse pr
           "ownership receive of section %s some element of which is \
            already owned"
-          (section_name s.arr box));
-    Symtab.expect_ownership pr.st s.arr box;
+          (section_name arr box));
+    Symtab.expect_ownership pr.st arr box;
     let token = fresh_token () in
     let kind = if with_value then Board.Owner_value else Board.Owner in
     Hashtbl.replace pending token
-      (pr.pid, { p_kind = kind; p_into = (s.arr, box) });
-    h.Evalexpr.charge (cost.time_recv_init +. cost.time_owner_admin);
-    let name = section_name s.arr box in
+      (pr.pid, { p_kind = kind; p_into = (arr, box) });
+    charge_pr pr (cost.time_recv_init +. cost.time_owner_admin);
+    let name = section_name arr box in
     Trace.emit tr
       (Trace.Recv_init
          {
@@ -251,10 +285,91 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
          });
     post_recv ~time:pr.clock ~dst:pr.pid ~name ~kind ~token
   in
+  let recv_value_core pr ~into:(into_arr, into_box) ~from:(from_arr, from_box)
+      =
+    if not (Symtab.iown pr.st into_arr into_box) then
+      misuse pr "receive into unowned section %s"
+        (section_name into_arr into_box);
+    if not (Symtab.accessible pr.st into_arr into_box) then
+      (* Blocks until the destination is accessible (Figure 1). *)
+      raise (Evalexpr.Blocked_on (into_arr, into_box));
+    if Box.count into_box <> Box.count from_box then
+      misuse pr "receive shape mismatch: %s <- %s"
+        (section_name into_arr into_box)
+        (section_name from_arr from_box);
+    Symtab.mark_recv_init pr.st into_arr into_box;
+    let token = fresh_token () in
+    Hashtbl.replace pending token
+      (pr.pid, { p_kind = Board.Value; p_into = (into_arr, into_box) });
+    charge_pr pr cost.time_recv_init;
+    let name = section_name from_arr from_box in
+    Trace.emit tr
+      (Trace.Recv_init { time = pr.clock; pid = pr.pid; name; kind = "value" });
+    post_recv ~time:pr.clock ~dst:pr.pid ~name ~kind:Board.Value ~token
+  in
+  let apply_core pr ~fn (k : Xdp.Kernels.t) pairs =
+    List.iter
+      (fun (arr, box) ->
+        if not (Symtab.iown pr.st arr box) then
+          misuse pr "kernel %s applied to unowned section %s" fn
+            (section_name arr box))
+      pairs;
+    let bufs = List.map (fun (arr, b) -> Symtab.read_box pr.st arr b) pairs in
+    let flops = k.Xdp.Kernels.flops bufs in
+    k.Xdp.Kernels.apply bufs;
+    List.iter2
+      (fun (arr, b) buf -> Symtab.write_box pr.st arr b buf)
+      pairs bufs;
+    let total_elems =
+      List.fold_left (fun acc (_, b) -> acc + Box.count b) 0 pairs
+    in
+    charge_pr pr
+      ((flops *. cost.time_flop)
+      +. (2.0 *. float_of_int total_elems *. cost.time_mem))
+  in
+  let world_of pr =
+    let h = hooks.(pr.pid) in
+    {
+      Precompile.w_pid1 = pr.pid + 1;
+      w_nprocs = nprocs;
+      w_st = pr.st;
+      w_charge = h.Evalexpr.charge;
+      w_iown = h.Evalexpr.iown;
+      w_accessible = h.Evalexpr.accessible;
+      w_await = h.Evalexpr.await;
+      w_mylb = h.Evalexpr.mylb;
+      w_myub = h.Evalexpr.myub;
+      w_guard_eval = (fun () -> pr.guard_evals <- pr.guard_evals + 1);
+      w_guard_hit = (fun () -> pr.guard_hits <- pr.guard_hits + 1);
+      w_misuse = (fun s -> misuse_exn pr s);
+      w_send_value =
+        (fun ~arr ~box ~dests -> send_value_core pr ~arr ~box ~dests);
+      w_send_owner =
+        (fun ~with_value ~arr ~box ->
+          send_ownership_core pr ~with_value ~arr ~box);
+      w_recv_owner =
+        (fun ~with_value ~arr ~box ->
+          recv_ownership_core pr ~with_value ~arr ~box);
+      w_recv_value = (fun ~into ~from -> recv_value_core pr ~into ~from);
+      w_apply = (fun ~fn k pairs -> apply_core pr ~fn k pairs);
+    }
+  in
+  (* Stage once, share the code across processors; each gets its own
+     slot frames and inline caches. *)
+  (match engine with
+  | `Interp -> ()
+  | `Compiled ->
+      let cp = Precompile.compile ~cost ~kernels ~scalars p in
+      let codes = Precompile.body cp in
+      Array.iter
+        (fun pr ->
+          pr.mach <- Some (Precompile.machine cp (world_of pr));
+          pr.stack <- [ Code { codes; ip = 0 } ])
+        procs);
   (* Execute one statement; raises Evalexpr.Blocked_on to request a
      retry once the named section becomes accessible. *)
   let exec_stmt pr s =
-    let h = hooks_of pr in
+    let h = hooks.(pr.pid) in
     let charge = h.Evalexpr.charge in
     match s with
     | Assign (Lvar v, e) ->
@@ -301,123 +416,112 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
         pr.stack <- Stmts (if v then a else b) :: pr.stack
     | Send_value (s, dest) ->
         let box = Evalexpr.resolve_section h pr.env s in
-        if not (Symtab.iown pr.st s.arr box) then
-          misuse pr "value send of unowned section %s"
-            (section_name s.arr box);
-        let payload = Symtab.read_box pr.st s.arr box in
-        let directed =
+        let dests =
           match dest with
-          | Unspecified -> None
+          | Unspecified -> fun () -> None
           | Directed es ->
-              Some
-                (List.map
-                   (fun e ->
-                     let pid1 = Evalexpr.eval_int h pr.env e in
-                     if pid1 < 1 || pid1 > nprocs then
-                       misuse pr "send directed to invalid processor %d"
-                         pid1;
-                     pid1 - 1)
-                   es)
+              fun () ->
+                Some
+                  (List.map
+                     (fun e ->
+                       let pid1 = Evalexpr.eval_int h pr.env e in
+                       if pid1 < 1 || pid1 > nprocs then
+                         misuse pr "send directed to invalid processor %d"
+                           pid1;
+                       pid1 - 1)
+                     es)
         in
-        charge
-          (cost.time_send_init
-          +. (float_of_int (Array.length payload) *. cost.time_mem));
-        let name = section_name s.arr box in
-        Trace.emit tr
-          (Trace.Send_init
-             { time = pr.clock; pid = pr.pid; name; kind = "value" });
-        post_send ~time:pr.clock ~src:pr.pid ~name ~kind:Board.Value ~payload
-          ~directed
-    | Send_owner s -> send_ownership pr s ~with_value:false
-    | Send_owner_value s -> send_ownership pr s ~with_value:true
+        send_value_core pr ~arr:s.arr ~box ~dests
+    | Send_owner s ->
+        let box = Evalexpr.resolve_section h pr.env s in
+        send_ownership_core pr ~with_value:false ~arr:s.arr ~box
+    | Send_owner_value s ->
+        let box = Evalexpr.resolve_section h pr.env s in
+        send_ownership_core pr ~with_value:true ~arr:s.arr ~box
     | Recv_value { into; from } ->
         let into_box = Evalexpr.resolve_section h pr.env into in
         let from_box = Evalexpr.resolve_section h pr.env from in
-        if not (Symtab.iown pr.st into.arr into_box) then
-          misuse pr "receive into unowned section %s"
-            (section_name into.arr into_box);
-        if not (Symtab.accessible pr.st into.arr into_box) then
-          (* Blocks until the destination is accessible (Figure 1). *)
-          raise (Evalexpr.Blocked_on (into.arr, into_box));
-        if Box.count into_box <> Box.count from_box then
-          misuse pr "receive shape mismatch: %s <- %s"
-            (section_name into.arr into_box)
-            (section_name from.arr from_box);
-        Symtab.mark_recv_init pr.st into.arr into_box;
-        let token = fresh_token () in
-        Hashtbl.replace pending token
-          (pr.pid, { p_kind = Board.Value; p_into = (into.arr, into_box) });
-        charge cost.time_recv_init;
-        let name = section_name from.arr from_box in
-        Trace.emit tr
-          (Trace.Recv_init
-             { time = pr.clock; pid = pr.pid; name; kind = "value" });
-        post_recv ~time:pr.clock ~dst:pr.pid ~name ~kind:Board.Value ~token
-    | Recv_owner s -> recv_ownership pr s ~with_value:false
-    | Recv_owner_value s -> recv_ownership pr s ~with_value:true
+        recv_value_core pr ~into:(into.arr, into_box)
+          ~from:(from.arr, from_box)
+    | Recv_owner s ->
+        let box = Evalexpr.resolve_section h pr.env s in
+        recv_ownership_core pr ~with_value:false ~arr:s.arr ~box
+    | Recv_owner_value s ->
+        let box = Evalexpr.resolve_section h pr.env s in
+        recv_ownership_core pr ~with_value:true ~arr:s.arr ~box
     | Apply { fn; args } -> (
         match Xdp.Kernels.find kernels fn with
         | None -> misuse pr "unknown kernel %s" fn
         | Some k ->
             let boxes = List.map (Evalexpr.resolve_section h pr.env) args in
-            List.iter2
-              (fun (s : section) box ->
-                if not (Symtab.iown pr.st s.arr box) then
-                  misuse pr "kernel %s applied to unowned section %s" fn
-                    (section_name s.arr box))
-              args boxes;
-            let bufs =
-              List.map2
-                (fun (s : section) b -> Symtab.read_box pr.st s.arr b)
-                args boxes
+            let pairs =
+              List.map2 (fun (s : section) b -> (s.arr, b)) args boxes
             in
-            let flops = k.flops bufs in
-            k.apply bufs;
-            List.iter2
-              (fun ((s : section), b) buf -> Symtab.write_box pr.st s.arr b buf)
-              (List.combine args boxes)
-              bufs;
-            let total_elems =
-              List.fold_left (fun acc b -> acc + Box.count b) 0 boxes
-            in
-            charge
-              ((flops *. cost.time_flop)
-              +. (2.0 *. float_of_int total_elems *. cost.time_mem)))
+            apply_core pr ~fn k pairs)
+  in
+  let block pr name box =
+    pr.status <- `Blocked { on_name = name; on_box = box };
+    Trace.emit tr
+      (Trace.Blocked
+         { time = pr.clock; pid = pr.pid; on = section_name name box })
+  in
+  let count_step pr =
+    incr total_steps;
+    pr.stmts_executed <- pr.stmts_executed + 1;
+    if !total_steps > max_steps then
+      raise
+        (Xdp_misuse (Printf.sprintf "step budget exceeded (%d)" max_steps))
   in
   (* One scheduler step of processor [pr]: pop and run the next
-     statement, handling loops and blocking. *)
+     statement, handling loops and blocking.  The compiled frames
+     mirror the interpreted ones micro-step for micro-step: one
+     statement per turn, block-exit pops and loop advances are their
+     own turns, a blocked statement is retried from scratch. *)
   let step_proc pr =
     match pr.stack with
     | [] -> pr.status <- `Done
     | Stmts [] :: rest -> pr.stack <- rest
     | Stmts (s :: rest) :: frames -> (
         pr.stack <- Stmts rest :: frames;
-        incr total_steps;
-        pr.stmts_executed <- pr.stmts_executed + 1;
-        if !total_steps > max_steps then
-          raise
-            (Xdp_misuse
-               (Printf.sprintf "step budget exceeded (%d)" max_steps));
+        count_step pr;
         try exec_stmt pr s
         with Evalexpr.Blocked_on (name, box) ->
           (* Undo the pop; retry the statement when accessible. *)
           pr.stack <- Stmts (s :: rest) :: frames;
-          pr.status <- `Blocked { on_name = name; on_box = box; retry = s };
-          Trace.emit tr
-            (Trace.Blocked
-               {
-                 time = pr.clock;
-                 pid = pr.pid;
-                 on = section_name name box;
-               }))
+          block pr name box)
     | Loop l :: rest ->
         if l.cur > l.hi then pr.stack <- rest
         else begin
           Hashtbl.replace pr.env l.var (Value.VInt l.cur);
           l.cur <- l.cur + l.step;
-          pr.clock <- pr.clock +. cost.time_int_op;
-          pr.busy <- pr.busy +. cost.time_int_op;
+          charge_pr pr cost.time_int_op;
           pr.stack <- Stmts l.body :: Loop l :: rest
+        end
+    | Code c :: frames ->
+        if c.ip >= Array.length c.codes then pr.stack <- frames
+        else begin
+          let code = c.codes.(c.ip) in
+          c.ip <- c.ip + 1;
+          count_step pr;
+          let m = Option.get pr.mach in
+          match code m with
+          | Precompile.A_next -> ()
+          | Precompile.A_block codes ->
+              pr.stack <- Code { codes; ip = 0 } :: pr.stack
+          | Precompile.A_loop cl ->
+              pr.stack <- Cloop { cl; ccur = cl.Precompile.l_lo } :: pr.stack
+          | exception Evalexpr.Blocked_on (name, box) ->
+              c.ip <- c.ip - 1;
+              block pr name box
+        end
+    | Cloop c :: rest ->
+        let cl = c.cl in
+        if c.ccur > cl.Precompile.l_hi then pr.stack <- rest
+        else begin
+          cl.Precompile.l_set (Option.get pr.mach) c.ccur;
+          c.ccur <- c.ccur + cl.Precompile.l_step;
+          charge_pr pr cost.time_int_op;
+          pr.stack <- Code { codes = cl.Precompile.l_body; ip = 0 } :: pr.stack
         end
   in
   let apply_delivery (d : Board.delivery) =
@@ -462,34 +566,42 @@ let run ?(cost = Costmodel.message_passing) ?(kernels = Xdp.Kernels.default)
       procs
   in
   (* Main discrete-event loop. *)
+  let np = Array.length procs in
+  (* Smallest (clock, pid) among ready processors, as an index (-1 for
+     none).  Iteration is in ascending pid order and strict [<] keeps
+     the earlier pid on clock ties, so this picks the same
+     lexicographic winner as a (clock, pid) tuple compare — without
+     allocating anything in the scheduler's innermost loop. *)
+  let rec find_ready i bi =
+    if i >= np then bi
+    else
+      let bi =
+        let pr = Array.unsafe_get procs i in
+        match pr.status with
+        | `Ready when bi < 0 || pr.clock < procs.(bi).clock -> i
+        | _ -> bi
+      in
+      find_ready (i + 1) bi
+  in
   let rec loop () =
-    let ready =
-      Array.fold_left
-        (fun acc pr ->
-          match pr.status with
-          | `Ready -> (
-              match acc with
-              | Some best
-                when (best.clock, best.pid) <= (pr.clock, pr.pid) ->
-                  acc
-              | _ -> Some pr)
-          | _ -> acc)
-        None procs
-    in
-    let next_delivery = peek_delivery () in
-    match (ready, next_delivery) with
-    | Some pr, Some d when d.arrival <= pr.clock ->
+    let bi = find_ready 0 (-1) in
+    if not (has_delivery ()) then
+      if bi >= 0 then (
+        step_proc procs.(bi);
+        loop ())
+      else finish ()
+    else
+      let d =
+        match peek_delivery () with Some d -> d | None -> assert false
+      in
+      if bi < 0 || d.arrival <= procs.(bi).clock then (
         ignore (pop_delivery ());
         apply_delivery d;
-        loop ()
-    | Some pr, _ ->
-        step_proc pr;
-        loop ()
-    | None, Some d ->
-        ignore (pop_delivery ());
-        apply_delivery d;
-        loop ()
-    | None, None ->
+        loop ())
+      else (
+        step_proc procs.(bi);
+        loop ())
+  and finish () =
         (* The waiting (pid, section) set, reported by every stuck-run
            diagnostic so the blocked rendezvous is always named. *)
         let waiting =

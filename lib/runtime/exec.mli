@@ -38,6 +38,19 @@ open Xdp_util
 exception Deadlock of string
 exception Xdp_misuse of string
 
+type engine = [ `Interp | `Compiled ]
+(** [`Interp] is the tree-walking reference interpreter; [`Compiled]
+    stages the program once into closures over mutable slot frames
+    ({!Precompile}) and is observably identical: same arrays, same
+    statistics (including [guard_evals] and [statements]), same trace
+    events and diagnostics — verified per-run by the differential
+    suite. *)
+
+val default_engine : engine
+(** [`Compiled], unless the process was started with
+    [XDP_ENGINE=interp] (or [interpreter]/[reference]) in the
+    environment — the switch the CI engine matrix flips. *)
+
 type result = {
   arrays : (string * Tensor.t) list;  (** gathered global arrays *)
   stats : Xdp_sim.Trace.stats;
@@ -46,6 +59,7 @@ type result = {
 }
 
 val run :
+  ?engine:engine ->
   ?cost:Xdp_sim.Costmodel.t ->
   ?kernels:Xdp.Kernels.registry ->
   ?init:(string -> int list -> float) ->
@@ -58,7 +72,9 @@ val run :
   nprocs:int ->
   Xdp.Ir.program ->
   result
-(** [run ~nprocs p] — execute [p] on [nprocs] processors.  [init]
+(** [run ~nprocs p] — execute [p] on [nprocs] processors.  [engine]
+    (default {!default_engine}) selects the staged engine or the
+    reference interpreter; [init]
     seeds every owned element (applied identically by {!Seq}, enabling
     bit-for-bit verification); [scalars] preloads universal scalars on
     every processor; [trace] records an event log; [free_on_release]

@@ -1,0 +1,1096 @@
+open Xdp.Ir
+open Xdp_util
+module Symtab = Xdp_symtab.Symtab
+module State = Xdp_symtab.State
+module Costmodel = Xdp_sim.Costmodel
+
+type world = {
+  w_pid1 : int;
+  w_nprocs : int;
+  w_st : Symtab.t;
+  w_charge : float -> unit;
+  w_iown : string -> Box.t -> bool;
+  w_accessible : string -> Box.t -> bool;
+  w_await : string -> Box.t -> bool;
+  w_mylb : string -> Box.t -> int -> int option;
+  w_myub : string -> Box.t -> int -> int option;
+  w_guard_eval : unit -> unit;
+  w_guard_hit : unit -> unit;
+  w_misuse : string -> exn;
+  w_send_value :
+    arr:string -> box:Box.t -> dests:(unit -> int list option) -> unit;
+  w_send_owner : with_value:bool -> arr:string -> box:Box.t -> unit;
+  w_recv_owner : with_value:bool -> arr:string -> box:Box.t -> unit;
+  w_recv_value : into:string * Box.t -> from:string * Box.t -> unit;
+  w_apply : fn:string -> Xdp.Kernels.t -> (string * Box.t) list -> unit;
+}
+
+(* A site is the per-machine mutable state of one static program
+   point: the index scratch buffer of an element access plus an
+   inline cache of the backing segment (geometry and storage chunk,
+   valid while the symbol table generation is unchanged), or the
+   memoized box of a statically-resolvable section. *)
+type site = {
+  s_idx : int array;
+  mutable s_gen : int; (* Symtab.generation at fill; min_int = cold *)
+  mutable s_data : float array;
+  mutable s_lo : int array;
+  mutable s_hi : int array;
+  mutable s_stride : int array;
+  mutable s_cnt : int array;
+  mutable s_box : Box.t option; (* memoized constant section *)
+}
+
+type machine = {
+  m_pid1 : int;
+  m_ints : int array;
+  m_flts : float array;
+  m_vals : Value.t array;
+  m_bnd : Bytes.t; (* per-variable bound flags *)
+  m_sites : site array;
+  m_w : world;
+}
+
+type act = A_next | A_block of code array | A_loop of loop
+and code = machine -> act
+
+and loop = {
+  l_lo : int;
+  l_hi : int;
+  l_step : int;
+  l_set : machine -> int -> unit;
+  l_body : code array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Static scalar types.  A variable gets an unboxed slot only when
+   every binding (scalar preload, loop header, assignment) agrees on
+   one concrete type; [SInt] and [SFloat] do NOT join to [SFloat]
+   because integer and float division/modulo differ, so mixed
+   variables stay boxed with exact Value semantics. *)
+
+type sty = SBot | SInt | SFloat | SBool | SDyn
+
+let join a b =
+  if a = b then a
+  else match (a, b) with SBot, x | x, SBot -> x | _ -> SDyn
+
+let var_ty tys miss v =
+  match Hashtbl.find_opt tys v with
+  | Some SBot | None -> miss
+  | Some t -> t
+
+let rec ty_of tys miss e =
+  match e with
+  | Int _ | Mypid | Nprocs | Mylb _ | Myub _ -> SInt
+  | Float _ | Elem _ -> SFloat
+  | Bool _ | Iown _ | Accessible _ | Await _ -> SBool
+  | Var v -> var_ty tys miss v
+  | Un (Neg, a) -> (
+      match ty_of tys miss a with
+      | (SInt | SFloat | SBot) as t -> t
+      | _ -> SDyn)
+  | Un (Not, _) -> SBool
+  | Bin (op, a, b) -> (
+      let ta = ty_of tys miss a and tb = ty_of tys miss b in
+      match op with
+      | Eq | Ne | Lt | Le | Gt | Ge -> SBool
+      | And | Or -> (
+          (* the result is [b]'s value (or a boolean constant), so
+             only [b]'s type matters *)
+          match tb with SBool -> SBool | SBot -> SBot | _ -> SDyn)
+      | Mod -> (
+          match (ta, tb) with
+          | SBot, _ | _, SBot -> SBot
+          | SInt, SInt -> SInt
+          | _ -> SDyn)
+      | Add | Sub | Mul | Div | Min | Max -> (
+          match (ta, tb) with
+          | SBot, _ | _, SBot -> SBot
+          | SInt, SInt -> SInt
+          | (SInt | SFloat), (SInt | SFloat) -> SFloat
+          | _ -> SDyn))
+
+(* All scalar names appearing in the program or the preload, in first
+   occurrence order (stable slot numbering). *)
+let collect_vars (p : program) scalars =
+  let seen = Hashtbl.create 32 in
+  let order = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      order := v :: !order
+    end
+  in
+  List.iter (fun (v, _) -> note v) scalars;
+  let rec ex = function
+    | Int _ | Float _ | Bool _ | Mypid | Nprocs -> ()
+    | Var v -> note v
+    | Elem (_, es) -> List.iter ex es
+    | Bin (_, a, b) ->
+        ex a;
+        ex b
+    | Un (_, a) -> ex a
+    | Mylb (s, _) | Myub (s, _) | Iown s | Accessible s | Await s -> sec s
+  and sec s =
+    List.iter
+      (function
+        | All -> ()
+        | At e -> ex e
+        | Slice (a, b, c) ->
+            ex a;
+            ex b;
+            ex c)
+      s.sel
+  and st = function
+    | Assign (Lvar v, e) ->
+        note v;
+        ex e
+    | Assign (Lelem (_, idxs), e) ->
+        List.iter ex idxs;
+        ex e
+    | Guard (g, body) ->
+        ex g;
+        List.iter st body
+    | For { var; lo; hi; step; body; _ } ->
+        note var;
+        ex lo;
+        ex hi;
+        ex step;
+        List.iter st body
+    | If (c, a, b) ->
+        ex c;
+        List.iter st a;
+        List.iter st b
+    | Send_value (s, d) -> (
+        sec s;
+        match d with Unspecified -> () | Directed es -> List.iter ex es)
+    | Send_owner s | Send_owner_value s | Recv_owner s | Recv_owner_value s ->
+        sec s
+    | Recv_value { into; from } ->
+        sec into;
+        sec from
+    | Apply { args; _ } -> List.iter sec args
+  in
+  List.iter st p.body;
+  List.rev !order
+
+let infer_types (p : program) scalars vars =
+  let tys = Hashtbl.create 32 in
+  let cur v = match Hashtbl.find_opt tys v with Some t -> t | None -> SBot in
+  let changed = ref true in
+  let bind v t =
+    let nt = join (cur v) t in
+    if nt <> cur v then begin
+      Hashtbl.replace tys v nt;
+      changed := true
+    end
+  in
+  List.iter
+    (fun (v, x) ->
+      bind v
+        (match x with
+        | Value.VInt _ -> SInt
+        | Value.VFloat _ -> SFloat
+        | Value.VBool _ -> SBool))
+    scalars;
+  let rec st = function
+    | Assign (Lvar v, e) -> bind v (ty_of tys SBot e)
+    | For { var; body; _ } ->
+        bind var SInt;
+        List.iter st body
+    | Guard (_, body) -> List.iter st body
+    | If (_, a, b) ->
+        List.iter st a;
+        List.iter st b
+    | _ -> ()
+  in
+  while !changed do
+    changed := false;
+    List.iter st p.body
+  done;
+  (* never-bound or unresolvable variables execute through the boxed
+     path (an unbound read still raises at run time) *)
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt tys v with
+      | None | Some SBot -> Hashtbl.replace tys v SDyn
+      | Some _ -> ())
+    vars;
+  tys
+
+type kind = KInt | KFloat | KVal
+type slot = { v_kind : kind; v_off : int; v_id : int }
+
+type ctx = {
+  cm : Costmodel.t;
+  kernels : Xdp.Kernels.registry;
+  tys : (string, sty) Hashtbl.t;
+  slots : (string, slot) Hashtbl.t;
+  shape_of : string -> int list;
+  mutable nsites : int;
+  mutable site_ranks : int list; (* reversed *)
+}
+
+let ty ctx e = ty_of ctx.tys SDyn e
+
+let slot ctx v =
+  match Hashtbl.find_opt ctx.slots v with
+  | Some s -> s
+  | None -> assert false (* collect_vars saw every name *)
+
+let new_site ctx rank =
+  let k = ctx.nsites in
+  ctx.nsites <- k + 1;
+  ctx.site_ranks <- rank :: ctx.site_ranks;
+  k
+
+(* ------------------------------------------------------------------ *)
+(* The staging framework: a compiled fragment carries the statically
+   known cost of its non-aborting prefix (a Costmodel.tally, turned
+   into one charge by the consumer), an "aborts" flag, and the run
+   closure.  Composition folds costs left to right until the first
+   fragment that may abort (raise Unowned_ref/Blocked_on or perform
+   runtime-valued charges); everything after such a fragment charges
+   itself at run time, preserving the interpreter's exact clock at
+   every abort point. *)
+
+type 'a frag = { cost : Costmodel.tally; ab : bool; run : machine -> 'a }
+
+let pure x = { cost = Costmodel.tally_zero; ab = false; run = (fun _ -> x) }
+let lift f = { cost = Costmodel.tally_zero; ab = false; run = f }
+let map f p = { p with run = (fun m -> f (p.run m)) }
+
+(* Charge the fragment's static head cost, then run it. *)
+let charged ctx p =
+  if Costmodel.tally_is_zero p.cost then p.run
+  else
+    let c = Costmodel.tally_cost ctx.cm p.cost in
+    fun m ->
+      m.m_w.w_charge c;
+      p.run m
+
+(* Prefix cost (charged before the fragment runs). *)
+let tcost t p = { p with cost = Costmodel.tally_add t p.cost }
+
+(* Cost charged after the fragment's value is produced; folds into the
+   static head when the fragment cannot abort. *)
+let post ctx t p =
+  if not p.ab then { p with cost = Costmodel.tally_add p.cost t }
+  else if Costmodel.tally_is_zero t then p
+  else
+    let c = Costmodel.tally_cost ctx.cm t in
+    {
+      p with
+      run =
+        (fun m ->
+          let x = p.run m in
+          m.m_w.w_charge c;
+          x);
+    }
+
+(* Run [a] then [b], combining with [f]; left-to-right, costs fold
+   across the pair while [a] cannot abort. *)
+let map2 ctx f a b =
+  if not a.ab then
+    {
+      cost = Costmodel.tally_add a.cost b.cost;
+      ab = b.ab;
+      run =
+        (fun m ->
+          let x = a.run m in
+          f x (b.run m));
+    }
+  else
+    let br = charged ctx b in
+    {
+      cost = a.cost;
+      ab = true;
+      run =
+        (fun m ->
+          let x = a.run m in
+          f x (br m));
+    }
+
+let seq2 ctx (a : unit frag) b =
+  if not a.ab then
+    {
+      cost = Costmodel.tally_add a.cost b.cost;
+      ab = b.ab;
+      run =
+        (fun m ->
+          a.run m;
+          b.run m);
+    }
+  else
+    let br = charged ctx b in
+    {
+      cost = a.cost;
+      ab = true;
+      run =
+        (fun m ->
+          a.run m;
+          br m);
+    }
+
+let rec seq_list ctx = function
+  | [] -> pure []
+  | p :: rest -> map2 ctx (fun x xs -> x :: xs) p (seq_list ctx rest)
+
+(* ------------------------------------------------------------------ *)
+(* Element-access inline caches. *)
+
+let fresh_site rank =
+  {
+    s_idx = Array.make rank 0;
+    s_gen = min_int;
+    s_data = [||];
+    s_lo = Array.make rank 0;
+    s_hi = Array.make rank 0;
+    s_stride = Array.make rank 1;
+    s_cnt = Array.make rank 1;
+    s_box = None;
+  }
+
+(* Row-major offset of the site's scratch index in the cached segment
+   geometry (Horner form), or -1 when the index is outside it. *)
+let rec site_off s d n acc =
+  if d >= n then acc
+  else
+    let i = s.s_idx.(d) in
+    let k = i - s.s_lo.(d) in
+    let st = s.s_stride.(d) in
+    if k < 0 || i > s.s_hi.(d) || k mod st <> 0 then -1
+    else site_off s (d + 1) n ((acc * s.s_cnt.(d)) + (k / st))
+
+let fill_site st s (seg : Symtab.seg) =
+  match seg.Symtab.data with
+  | None -> s.s_gen <- min_int
+  | Some data ->
+      List.iteri
+        (fun d (tr : Triplet.t) ->
+          s.s_lo.(d) <- tr.Triplet.lo;
+          s.s_hi.(d) <- tr.Triplet.hi;
+          s.s_stride.(d) <- tr.Triplet.stride;
+          s.s_cnt.(d) <- Triplet.count tr)
+        (Box.dims seg.Symtab.seg_box);
+      s.s_data <- data;
+      s.s_gen <- Symtab.generation st
+
+let refill st s arr =
+  match Symtab.elem_seg st arr s.s_idx with
+  | Some seg when seg.Symtab.status <> State.Unowned -> fill_site st s seg
+  | _ -> s.s_gen <- min_int
+
+let unowned_ref arr (idx : int array) =
+  Evalexpr.Unowned_ref (arr ^ Box.to_string (Box.point (Array.to_list idx)))
+
+(* Read miss: exact interpreter semantics (ownership check, then the
+   no-storage diagnostic of Symtab), plus a cache refill. *)
+let slow_read m s arr =
+  let st = m.m_w.w_st in
+  if not (Symtab.owned_element st arr s.s_idx) then raise (unowned_ref arr s.s_idx);
+  let v = Symtab.get_a st arr s.s_idx in
+  refill st s arr;
+  v
+
+let read_site m k arr =
+  let s = m.m_sites.(k) in
+  let st = m.m_w.w_st in
+  if s.s_gen = Symtab.generation st then begin
+    let off = site_off s 0 (Array.length s.s_idx) 0 in
+    if off >= 0 then Array.unsafe_get s.s_data off else slow_read m s arr
+  end
+  else slow_read m s arr
+
+(* Write-site ownership check, returning the cached storage offset or
+   -1 when the element is owned but the cache could not be (re)filled
+   (the store then goes through Symtab.set_a for exact diagnostics). *)
+let slow_write_check m s arr =
+  let st = m.m_w.w_st in
+  if not (Symtab.owned_element st arr s.s_idx) then
+    raise
+      (m.m_w.w_misuse
+         (Printf.sprintf "write to unowned element %s"
+            (arr ^ Box.to_string (Box.point (Array.to_list s.s_idx)))));
+  refill st s arr;
+  if s.s_gen = Symtab.generation st then
+    site_off s 0 (Array.length s.s_idx) 0
+  else -1
+
+let write_check m k arr =
+  let s = m.m_sites.(k) in
+  let st = m.m_w.w_st in
+  if s.s_gen = Symtab.generation st then begin
+    let off = site_off s 0 (Array.length s.s_idx) 0 in
+    if off >= 0 then off else slow_write_check m s arr
+  end
+  else slow_write_check m s arr
+
+let store_site m k arr x off =
+  let s = m.m_sites.(k) in
+  if off >= 0 then Array.unsafe_set s.s_data off x
+  else Symtab.set_a m.m_w.w_st arr s.s_idx x
+
+(* ------------------------------------------------------------------ *)
+(* Expression compilers.  [ci]/[cf]/[cb] require the expression's
+   static type to be SInt/SFloat/SBool respectively; [cv] compiles any
+   expression to its boxed Value with exact interpreter semantics. *)
+
+let exn_div0 = Invalid_argument "Value: integer division by zero"
+let exn_mod0 = Invalid_argument "Value: modulo by zero"
+let vtrue = Value.VBool true
+let vfalse = Value.VBool false
+
+let read_slot_check v (sl : slot) =
+  let ex = Invalid_argument (Printf.sprintf "unbound scalar variable %s" v) in
+  fun m -> if Bytes.unsafe_get m.m_bnd sl.v_id = '\000' then raise ex
+
+let rec ci ctx e : int frag =
+  match e with
+  | Int n -> pure n
+  | Mypid -> lift (fun m -> m.m_pid1)
+  | Nprocs -> lift (fun m -> m.m_w.w_nprocs)
+  | Var v ->
+      let sl = slot ctx v in
+      let check = read_slot_check v sl in
+      let off = sl.v_off in
+      lift (fun m ->
+          check m;
+          Array.unsafe_get m.m_ints off)
+  | Bin (op, a, b) ->
+      let ca = ci ctx a and cb_ = ci ctx b in
+      let c =
+        match op with
+        | Add -> map2 ctx ( + ) ca cb_
+        | Sub -> map2 ctx ( - ) ca cb_
+        | Mul -> map2 ctx ( * ) ca cb_
+        | Div ->
+            map2 ctx (fun x y -> if y = 0 then raise exn_div0 else x / y) ca cb_
+        | Mod ->
+            map2 ctx
+              (fun x y -> if y = 0 then raise exn_mod0 else x mod y)
+              ca cb_
+        | Min -> map2 ctx (fun (x : int) y -> if x <= y then x else y) ca cb_
+        | Max -> map2 ctx (fun (x : int) y -> if x >= y then x else y) ca cb_
+        | _ -> assert false
+      in
+      tcost Costmodel.tally_int_op c
+  | Un (Neg, a) -> tcost Costmodel.tally_int_op (map (fun x -> -x) (ci ctx a))
+  | Mylb (s, d) ->
+      let cs = csec ctx s in
+      let arr = s.arr in
+      {
+        cost = cs.cost;
+        ab = cs.ab;
+        run =
+          (fun m ->
+            match m.m_w.w_mylb arr (cs.run m) d with
+            | Some i -> i
+            | None -> max_int);
+      }
+  | Myub (s, d) ->
+      let cs = csec ctx s in
+      let arr = s.arr in
+      {
+        cost = cs.cost;
+        ab = cs.ab;
+        run =
+          (fun m ->
+            match m.m_w.w_myub arr (cs.run m) d with
+            | Some i -> i
+            | None -> min_int);
+      }
+  | _ -> assert false
+
+and cf ctx e : float frag =
+  match e with
+  | Float x -> pure x
+  | Var v ->
+      let sl = slot ctx v in
+      let check = read_slot_check v sl in
+      let off = sl.v_off in
+      lift (fun m ->
+          check m;
+          Array.unsafe_get m.m_flts off)
+  | Elem (a, idxs) -> celem ctx a idxs
+  | Bin (op, a, b) ->
+      let ca = cnum ctx a and cb_ = cnum ctx b in
+      let c =
+        match op with
+        | Add -> map2 ctx ( +. ) ca cb_
+        | Sub -> map2 ctx ( -. ) ca cb_
+        | Mul -> map2 ctx ( *. ) ca cb_
+        | Div -> map2 ctx ( /. ) ca cb_
+        | Min -> map2 ctx Float.min ca cb_
+        | Max -> map2 ctx Float.max ca cb_
+        | _ -> assert false
+      in
+      tcost Costmodel.tally_int_op c
+  | Un (Neg, a) ->
+      tcost Costmodel.tally_int_op (map (fun x -> -.x) (cf ctx a))
+  | _ -> assert false
+
+(* Numeric operand of a float-typed operation: a statically-int
+   subexpression is coerced exactly like Value.to_float. *)
+and cnum ctx e =
+  match ty ctx e with
+  | SInt -> map float_of_int (ci ctx e)
+  | SFloat -> cf ctx e
+  | _ -> assert false
+
+and cb ctx e : bool frag =
+  match e with
+  | Bool b -> pure b
+  | Var v ->
+      let sl = slot ctx v in
+      let check = read_slot_check v sl in
+      let off = sl.v_off in
+      lift (fun m ->
+          check m;
+          Value.to_bool m.m_vals.(off))
+  | Iown s ->
+      let cs = csec ctx s in
+      let arr = s.arr in
+      {
+        cost = cs.cost;
+        ab = true;
+        run = (fun m -> m.m_w.w_iown arr (cs.run m));
+      }
+  | Accessible s ->
+      let cs = csec ctx s in
+      let arr = s.arr in
+      {
+        cost = cs.cost;
+        ab = true;
+        run = (fun m -> m.m_w.w_accessible arr (cs.run m));
+      }
+  | Await s ->
+      let cs = csec ctx s in
+      let arr = s.arr in
+      {
+        cost = cs.cost;
+        ab = true;
+        run = (fun m -> m.m_w.w_await arr (cs.run m));
+      }
+  | Un (Not, a) -> tcost Costmodel.tally_int_op (map not (c_bool ctx a))
+  | Bin (And, a, b) ->
+      let ca = c_bool ctx a in
+      let br = charged ctx (c_bool ctx b) in
+      tcost Costmodel.tally_int_op
+        {
+          cost = ca.cost;
+          ab = true;
+          run = (fun m -> if ca.run m then br m else false);
+        }
+  | Bin (Or, a, b) ->
+      let ca = c_bool ctx a in
+      let br = charged ctx (c_bool ctx b) in
+      tcost Costmodel.tally_int_op
+        {
+          cost = ca.cost;
+          ab = true;
+          run = (fun m -> if ca.run m then true else br m);
+        }
+  | Bin (((Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) ->
+      let c =
+        match (ty ctx a, ty ctx b) with
+        | SInt, SInt ->
+            let ca = ci ctx a and cb_ = ci ctx b in
+            let f : int -> int -> bool =
+              match op with
+              | Eq -> ( = )
+              | Ne -> ( <> )
+              | Lt -> ( < )
+              | Le -> ( <= )
+              | Gt -> ( > )
+              | Ge -> ( >= )
+              | _ -> assert false
+            in
+            map2 ctx f ca cb_
+        | (SInt | SFloat), (SInt | SFloat) ->
+            (* the interpreter compares via polymorphic [compare] on
+               floats, i.e. the total order of Float.compare *)
+            let ca = cnum ctx a and cb_ = cnum ctx b in
+            let f =
+              match op with
+              | Eq -> fun x y -> Float.compare x y = 0
+              | Ne -> fun x y -> Float.compare x y <> 0
+              | Lt -> fun x y -> Float.compare x y < 0
+              | Le -> fun x y -> Float.compare x y <= 0
+              | Gt -> fun x y -> Float.compare x y > 0
+              | Ge -> fun x y -> Float.compare x y >= 0
+              | _ -> assert false
+            in
+            map2 ctx f ca cb_
+        | SBool, SBool ->
+            let ca = cb ctx a and cb_ = cb ctx b in
+            let f : bool -> bool -> bool =
+              match op with
+              | Eq -> ( = )
+              | Ne -> ( <> )
+              | Lt -> ( < )
+              | Le -> ( <= )
+              | Gt -> ( > )
+              | Ge -> ( >= )
+              | _ -> assert false
+            in
+            map2 ctx f ca cb_
+        | _ ->
+            map2 ctx
+              (fun x y -> Value.to_bool (Value.binop op x y))
+              (cv ctx a) (cv ctx b)
+      in
+      tcost Costmodel.tally_int_op c
+  | _ -> assert false
+
+(* Any expression in boolean position (guards, if-conditions, and/or
+   operands): statically-bool goes unboxed, everything else through
+   Value.to_bool for exact diagnostics. *)
+and c_bool ctx e =
+  match ty ctx e with
+  | SBool -> cb ctx e
+  | _ -> map Value.to_bool (cv ctx e)
+
+(* Subscript/bound position: interpreter semantics are
+   [Value.to_int (eval e)]. *)
+and c_idx ctx e =
+  match ty ctx e with SInt -> ci ctx e | _ -> map Value.to_int (cv ctx e)
+
+and cv ctx e : Value.t frag =
+  match ty ctx e with
+  | SInt -> map (fun n -> Value.VInt n) (ci ctx e)
+  | SFloat -> map (fun x -> Value.VFloat x) (cf ctx e)
+  | SBool -> map (fun b -> if b then vtrue else vfalse) (cb ctx e)
+  | _ -> cvd ctx e
+
+(* Dynamic fallback: mirror Evalexpr.eval exactly. *)
+and cvd ctx e =
+  match e with
+  | Var v ->
+      let sl = slot ctx v in
+      let check = read_slot_check v sl in
+      let off = sl.v_off in
+      lift (fun m ->
+          check m;
+          m.m_vals.(off))
+  | Bin (And, a, b) ->
+      let ca = c_bool ctx a in
+      let br = charged ctx (cv ctx b) in
+      tcost Costmodel.tally_int_op
+        {
+          cost = ca.cost;
+          ab = true;
+          run = (fun m -> if ca.run m then br m else vfalse);
+        }
+  | Bin (Or, a, b) ->
+      let ca = c_bool ctx a in
+      let br = charged ctx (cv ctx b) in
+      tcost Costmodel.tally_int_op
+        {
+          cost = ca.cost;
+          ab = true;
+          run = (fun m -> if ca.run m then vtrue else br m);
+        }
+  | Bin (op, a, b) ->
+      tcost Costmodel.tally_int_op
+        (map2 ctx (Value.binop op) (cv ctx a) (cv ctx b))
+  | Un (op, a) ->
+      tcost Costmodel.tally_int_op (map (Value.unop op) (cv ctx a))
+  | _ -> assert false (* every other constructor has a concrete type *)
+
+(* Element read: subscripts evaluate into the site's scratch buffer
+   (charging as they go), one memory charge, then the cached read. *)
+and celem ctx arr idxs =
+  let k = new_site ctx (List.length idxs) in
+  let rec fill d = function
+    | [] -> pure ()
+    | e :: es ->
+        let ce = c_idx ctx e in
+        let st =
+          {
+            cost = ce.cost;
+            ab = ce.ab;
+            run = (fun m -> m.m_sites.(k).s_idx.(d) <- ce.run m);
+          }
+        in
+        seq2 ctx st (fill (d + 1) es)
+  in
+  let filled = post ctx Costmodel.tally_mem (fill 0 idxs) in
+  {
+    cost = filled.cost;
+    ab = true;
+    run =
+      (fun m ->
+        filled.run m;
+        read_site m k arr);
+  }
+
+(* Section resolution.  Per-dimension selectors evaluate left to
+   right; inside a Slice the interpreter's [Triplet.make ~lo ~hi
+   ~stride] evaluates its arguments right to left (OCaml argument
+   order), so stride, hi, lo — replicated here so charges interleave
+   identically.  Sections whose subscripts are per-processor constants
+   (literals, mypid, nprocs) memoize their box per machine; the
+   resolution cost is still charged on every execution. *)
+and csec ctx (s : section) : Box.t frag =
+  match
+    match ctx.shape_of s.arr with
+    | shape -> `Shape shape
+    | exception e -> `Raise e
+  with
+  | `Raise e -> { cost = Costmodel.tally_zero; ab = true; run = (fun _ -> raise e) }
+  | `Shape shape ->
+      if List.length s.sel <> List.length shape then begin
+        let msg =
+          Printf.sprintf "section %s: rank mismatch"
+            (Xdp.Pp.section_to_string s)
+        in
+        {
+          cost = Costmodel.tally_zero;
+          ab = true;
+          run = (fun _ -> invalid_arg msg);
+        }
+      end
+      else begin
+        let dims =
+          List.map2
+            (fun sel extent ->
+              match sel with
+              | All -> pure (Triplet.range 1 extent)
+              | At e -> map Triplet.point (c_idx ctx e)
+              | Slice (lo, hi, st) ->
+                  let cst = c_idx ctx st in
+                  let chi = c_idx ctx hi in
+                  let clo = c_idx ctx lo in
+                  let p = map2 ctx (fun st hi -> (st, hi)) cst chi in
+                  map2 ctx
+                    (fun (st, hi) lo -> Triplet.make ~lo ~hi ~stride:st)
+                    p clo)
+            s.sel shape
+        in
+        let boxed = map Box.make (seq_list ctx dims) in
+        let rec static_e = function
+          | Int _ | Float _ | Bool _ | Mypid | Nprocs -> true
+          | Bin (_, a, b) -> static_e a && static_e b
+          | Un (_, a) -> static_e a
+          | Var _ | Elem _ | Mylb _ | Myub _ | Iown _ | Accessible _
+          | Await _ ->
+              false
+        in
+        let static_sel =
+          List.for_all
+            (function
+              | All -> true
+              | At e -> static_e e
+              | Slice (a, b, c) -> static_e a && static_e b && static_e c)
+            s.sel
+        in
+        if static_sel && not boxed.ab then begin
+          let k = new_site ctx 0 in
+          {
+            boxed with
+            run =
+              (fun m ->
+                let site = m.m_sites.(k) in
+                match site.s_box with
+                | Some b -> b
+                | None ->
+                    let b = boxed.run m in
+                    site.s_box <- Some b;
+                    b);
+          }
+        end
+        else boxed
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation. *)
+
+(* Float-valued right-hand side of an element store: interpreter does
+   [Value.to_float (eval e)]. *)
+let c_float_rhs ctx e =
+  match ty ctx e with
+  | SFloat -> cf ctx e
+  | SInt -> map float_of_int (ci ctx e)
+  | _ -> map Value.to_float (cv ctx e)
+
+let unowned_read_misuse m n =
+  raise
+    (m.m_w.w_misuse
+       (Printf.sprintf "read of unowned %s outside a compute rule" n))
+
+let rec cstmt ctx (s : stmt) : code =
+  match s with
+  | Assign (Lvar v, e) -> (
+      let sl = slot ctx v in
+      let off = sl.v_off and id = sl.v_id in
+      match sl.v_kind with
+      | KInt ->
+          let r = charged ctx (post ctx Costmodel.tally_mem (ci ctx e)) in
+          fun m ->
+            let x =
+              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+            in
+            Array.unsafe_set m.m_ints off x;
+            Bytes.unsafe_set m.m_bnd id '\001';
+            A_next
+      | KFloat ->
+          let r = charged ctx (post ctx Costmodel.tally_mem (cf ctx e)) in
+          fun m ->
+            let x =
+              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+            in
+            Array.unsafe_set m.m_flts off x;
+            Bytes.unsafe_set m.m_bnd id '\001';
+            A_next
+      | KVal ->
+          let r = charged ctx (post ctx Costmodel.tally_mem (cv ctx e)) in
+          fun m ->
+            let x =
+              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+            in
+            m.m_vals.(off) <- x;
+            Bytes.unsafe_set m.m_bnd id '\001';
+            A_next)
+  | Assign (Lelem (a, idxs), e) ->
+      let k = new_site ctx (List.length idxs) in
+      let rec fill d = function
+        | [] -> pure ()
+        | ie :: es ->
+            let ce = c_idx ctx ie in
+            let st =
+              {
+                cost = ce.cost;
+                ab = ce.ab;
+                run = (fun m -> m.m_sites.(k).s_idx.(d) <- ce.run m);
+              }
+            in
+            seq2 ctx st (fill (d + 1) es)
+      in
+      let fillr = charged ctx (fill 0 idxs) in
+      let rhsr =
+        charged ctx (post ctx Costmodel.tally_mem (c_float_rhs ctx e))
+      in
+      fun m ->
+        fillr m;
+        let off = write_check m k a in
+        let x =
+          try rhsr m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+        in
+        store_site m k a x off;
+        A_next
+  | Guard (g, body) ->
+      let cg = c_bool ctx g in
+      let head =
+        Costmodel.tally_cost ctx.cm
+          (Costmodel.tally_add Costmodel.tally_guard cg.cost)
+      in
+      let bodyc = cblock ctx body in
+      fun m ->
+        m.m_w.w_guard_eval ();
+        if head <> 0.0 then m.m_w.w_charge head;
+        let b = try cg.run m with Evalexpr.Unowned_ref _ -> false in
+        if b then begin
+          m.m_w.w_guard_hit ();
+          A_block bodyc
+        end
+        else A_next
+  | For { var; lo; hi; step; body; _ } ->
+      let cl = c_idx ctx lo and ch = c_idx ctx hi and cs = c_idx ctx step in
+      let trip = map2 ctx (fun a b -> (a, b)) cl ch in
+      let trip = map2 ctx (fun (a, b) c -> (a, b, c)) trip cs in
+      let tripr = charged ctx trip in
+      let sl = slot ctx var in
+      let off = sl.v_off and id = sl.v_id in
+      let set =
+        match sl.v_kind with
+        | KInt ->
+            fun m n ->
+              Array.unsafe_set m.m_ints off n;
+              Bytes.unsafe_set m.m_bnd id '\001'
+        | KVal ->
+            fun m n ->
+              m.m_vals.(off) <- Value.VInt n;
+              Bytes.unsafe_set m.m_bnd id '\001'
+        | KFloat -> assert false (* loop vars are never float-typed *)
+      in
+      let bodyc = cblock ctx body in
+      let int_op = ctx.cm.Costmodel.time_int_op in
+      fun m ->
+        let lo, hi, step = tripr m in
+        if step <= 0 then raise (m.m_w.w_misuse "non-positive loop step");
+        m.m_w.w_charge int_op;
+        if lo <= hi then
+          A_loop { l_lo = lo; l_hi = hi; l_step = step; l_set = set; l_body = bodyc }
+        else A_next
+  | If (c, a, b) ->
+      let cc = charged ctx (c_bool ctx c) in
+      let ca = cblock ctx a and cbk = cblock ctx b in
+      fun m ->
+        let v =
+          try cc m
+          with Evalexpr.Unowned_ref n ->
+            raise
+              (m.m_w.w_misuse
+                 (Printf.sprintf "read of unowned %s in if-condition" n))
+        in
+        A_block (if v then ca else cbk)
+  | Send_value (s, dest) -> (
+      let r = charged ctx (csec ctx s) in
+      let arr = s.arr in
+      match dest with
+      | Unspecified ->
+          let none_thunk () = None in
+          fun m ->
+            let box = r m in
+            m.m_w.w_send_value ~arr ~box ~dests:none_thunk;
+            A_next
+      | Directed es ->
+          let cds = List.map (fun e -> charged ctx (c_idx ctx e)) es in
+          fun m ->
+            let box = r m in
+            m.m_w.w_send_value ~arr ~box
+              ~dests:(fun () ->
+                Some
+                  (List.map
+                     (fun dr ->
+                       let pid1 = dr m in
+                       if pid1 < 1 || pid1 > m.m_w.w_nprocs then
+                         raise
+                           (m.m_w.w_misuse
+                              (Printf.sprintf
+                                 "send directed to invalid processor %d" pid1));
+                       pid1 - 1)
+                     cds));
+            A_next)
+  | Send_owner s ->
+      let r = charged ctx (csec ctx s) in
+      let arr = s.arr in
+      fun m ->
+        m.m_w.w_send_owner ~with_value:false ~arr ~box:(r m);
+        A_next
+  | Send_owner_value s ->
+      let r = charged ctx (csec ctx s) in
+      let arr = s.arr in
+      fun m ->
+        m.m_w.w_send_owner ~with_value:true ~arr ~box:(r m);
+        A_next
+  | Recv_owner s ->
+      let r = charged ctx (csec ctx s) in
+      let arr = s.arr in
+      fun m ->
+        m.m_w.w_recv_owner ~with_value:false ~arr ~box:(r m);
+        A_next
+  | Recv_owner_value s ->
+      let r = charged ctx (csec ctx s) in
+      let arr = s.arr in
+      fun m ->
+        m.m_w.w_recv_owner ~with_value:true ~arr ~box:(r m);
+        A_next
+  | Recv_value { into; from } ->
+      let cinto = csec ctx into and cfrom = csec ctx from in
+      let both = map2 ctx (fun a b -> (a, b)) cinto cfrom in
+      let r = charged ctx both in
+      let ia = into.arr and fa = from.arr in
+      fun m ->
+        let ib, fb = r m in
+        m.m_w.w_recv_value ~into:(ia, ib) ~from:(fa, fb);
+        A_next
+  | Apply { fn; args } -> (
+      match Xdp.Kernels.find ctx.kernels fn with
+      | None ->
+          fun m ->
+            raise
+              (m.m_w.w_misuse (Printf.sprintf "unknown kernel %s" fn))
+      | Some k ->
+          let names = List.map (fun (s : section) -> s.arr) args in
+          let r = charged ctx (seq_list ctx (List.map (csec ctx) args)) in
+          fun m ->
+            let boxes = r m in
+            m.m_w.w_apply ~fn k (List.combine names boxes);
+            A_next)
+
+and cblock ctx stmts = Array.of_list (List.map (cstmt ctx) stmts)
+
+(* ------------------------------------------------------------------ *)
+
+type cprog = {
+  c_body : code array;
+  c_nints : int;
+  c_nflts : int;
+  c_nvals : int;
+  c_nvars : int;
+  c_site_ranks : int array;
+  c_seed : (slot * Value.t) list;
+}
+
+let body cp = cp.c_body
+
+let compile ~cost ~kernels ~scalars (p : program) =
+  let vars = collect_vars p scalars in
+  let tys = infer_types p scalars vars in
+  let slots = Hashtbl.create 32 in
+  let ni = ref 0 and nf = ref 0 and nv = ref 0 in
+  List.iteri
+    (fun id v ->
+      let kind, off =
+        match Hashtbl.find tys v with
+        | SInt ->
+            incr ni;
+            (KInt, !ni - 1)
+        | SFloat ->
+            incr nf;
+            (KFloat, !nf - 1)
+        | SBool | SDyn ->
+            incr nv;
+            (KVal, !nv - 1)
+        | SBot -> assert false
+      in
+      Hashtbl.add slots v { v_kind = kind; v_off = off; v_id = id })
+    vars;
+  let ctx =
+    {
+      cm = cost;
+      kernels;
+      tys;
+      slots;
+      shape_of =
+        (fun name -> Xdp_dist.Layout.shape (decl_of p name).layout);
+      nsites = 0;
+      site_ranks = [];
+    }
+  in
+  let body = cblock ctx p.body in
+  {
+    c_body = body;
+    c_nints = !ni;
+    c_nflts = !nf;
+    c_nvals = !nv;
+    c_nvars = List.length vars;
+    c_site_ranks = Array.of_list (List.rev ctx.site_ranks);
+    c_seed =
+      List.map (fun (v, x) -> (Hashtbl.find slots v, x)) scalars;
+  }
+
+let machine cp w =
+  let m =
+    {
+      m_pid1 = w.w_pid1;
+      m_ints = Array.make cp.c_nints 0;
+      m_flts = Array.make cp.c_nflts 0.0;
+      m_vals = Array.make cp.c_nvals vfalse;
+      m_bnd = Bytes.make cp.c_nvars '\000';
+      m_sites = Array.map fresh_site cp.c_site_ranks;
+      m_w = w;
+    }
+  in
+  List.iter
+    (fun ((sl : slot), x) ->
+      (match sl.v_kind with
+      | KInt -> m.m_ints.(sl.v_off) <- Value.to_int x
+      | KFloat -> m.m_flts.(sl.v_off) <- Value.to_float x
+      | KVal -> m.m_vals.(sl.v_off) <- x);
+      Bytes.set m.m_bnd sl.v_id '\001')
+    cp.c_seed;
+  m

@@ -1,0 +1,107 @@
+(** The staged execution engine: a one-time pass compiling an IL+XDP
+    program into OCaml closures, removing the per-statement
+    interpretation tax from the simulator's hot path (DESIGN.md §4c).
+
+    What the tree-walking interpreter re-derives on every statement is
+    resolved once here:
+
+    - scalar names become integer slots in mutable frames — typed
+      fixpoint inference assigns each variable an unboxed [int] or
+      [float] slot when every binding agrees, with a boxed {!Value.t}
+      slot as the dynamic fallback (no [Hashtbl] in the hot loop);
+    - expressions compile through dedicated unboxed [int]/[float]/
+      [bool] compilers, falling back to exact {!Value} semantics when
+      a subexpression is dynamically typed;
+    - element accesses get per-site inline caches of their backing
+      segment (geometry + storage chunk), validated against the symbol
+      table's {!Xdp_symtab.Symtab.generation} counter, so steady-state
+      reads and writes are array loads/stores;
+    - section resolutions whose subscripts are per-processor constants
+      are memoized per machine;
+    - cost charging is batched per straight-line region: chargeable op
+      counts accumulate into a {!Xdp_sim.Costmodel.tally} at compile
+      time and each region charges the model once per execution.
+
+    The compiled program is {e observably identical} to the
+    interpreter: identical arrays, statistics (including [guard_evals]
+    and [statements]), trace events and misuse diagnostics, because
+    every abort point (an [Unowned_ref], a [Blocked_on], a misuse
+    error) ends its charge-batching region — charges that the
+    interpreter applies before a potential abort are applied before it
+    here too, and transfer statements keep their exact per-event
+    charge points in {!Exec}'s shared transfer cores. *)
+
+open Xdp_util
+
+(** The per-processor execution context a compiled program runs
+    against, supplied by {!Exec}: charged intrinsic oracles, the
+    charge sink, misuse diagnostics, and the transfer cores shared
+    with the interpreter (which own the per-event charges for
+    sends/receives/awaits). *)
+type world = {
+  w_pid1 : int;  (** 1-based pid *)
+  w_nprocs : int;
+  w_st : Xdp_symtab.Symtab.t;
+  w_charge : float -> unit;
+  w_iown : string -> Box.t -> bool;  (** descriptor-charged *)
+  w_accessible : string -> Box.t -> bool;  (** descriptor-charged *)
+  w_await : string -> Box.t -> bool;
+      (** descriptor-charged; raises [Blocked_on] on transitional *)
+  w_mylb : string -> Box.t -> int -> int option;
+  w_myub : string -> Box.t -> int -> int option;
+  w_guard_eval : unit -> unit;
+  w_guard_hit : unit -> unit;
+  w_misuse : string -> exn;
+      (** wraps a diagnostic in [Exec.Xdp_misuse] with pid/clock
+          context captured at raise time *)
+  w_send_value :
+    arr:string -> box:Box.t -> dests:(unit -> int list option) -> unit;
+  w_send_owner : with_value:bool -> arr:string -> box:Box.t -> unit;
+  w_recv_owner : with_value:bool -> arr:string -> box:Box.t -> unit;
+  w_recv_value : into:string * Box.t -> from:string * Box.t -> unit;
+  w_apply : fn:string -> Xdp.Kernels.t -> (string * Box.t) list -> unit;
+}
+
+type machine
+(** The mutable state of one processor's compiled execution: slot
+    frames, per-site inline caches, and its {!world}. *)
+
+(** What executing one compiled statement asks the scheduler to do
+    next; mirrors the interpreter's frame discipline exactly (one
+    statement per scheduler micro-step, loop advances are their own
+    charged micro-steps). *)
+type act =
+  | A_next  (** fall through to the next statement *)
+  | A_block of code array  (** push a nested block *)
+  | A_loop of loop  (** push an entered loop (bounds already checked) *)
+
+and code = machine -> act
+
+and loop = {
+  l_lo : int;
+  l_hi : int;
+  l_step : int;
+  l_set : machine -> int -> unit;  (** bind the loop variable's slot *)
+  l_body : code array;
+}
+
+type cprog
+(** A compiled program: machine-independent code plus the slot/site
+    layout needed to build per-processor {!machine}s. *)
+
+(** [compile ~cost ~kernels ~scalars p] — stage [p] once; the result
+    is shared by all processors.  [scalars] must be the same preload
+    list given to {!Exec.run} (it seeds slot types and initial
+    values). *)
+val compile :
+  cost:Xdp_sim.Costmodel.t ->
+  kernels:Xdp.Kernels.registry ->
+  scalars:(string * Value.t) list ->
+  Xdp.Ir.program ->
+  cprog
+
+val body : cprog -> code array
+
+(** [machine cp w] — fresh per-processor state (slots seeded from the
+    scalar preload, caches cold). *)
+val machine : cprog -> world -> machine

@@ -30,7 +30,7 @@ let run ?(kernels = Xdp.Kernels.default) ?(init = fun _ _ -> 0.0)
   let hooks =
     Evalexpr.sequential_hooks
       ~shape_of:(fun name -> Tensor.shape (tensor name))
-      ~elem:(fun name idx -> Tensor.get (tensor name) idx)
+      ~elem:(fun name idx -> Tensor.get_a (tensor name) idx)
       ~cm:Xdp_sim.Costmodel.idealized
   in
   let rec stmt = function

@@ -266,6 +266,7 @@ let post_recv t ~time ~dst ~name ~kind ~token =
   | Some s -> make_delivery t ~name s r
   | None -> push_recv (recv_queue t name) r
 
+let has_delivery t = not (Heap.is_empty t.deliveries)
 let peek_delivery t = Heap.peek t.deliveries
 let pop_delivery t = Heap.pop t.deliveries
 

@@ -71,6 +71,10 @@ val post_send :
 val post_recv :
   t -> time:float -> dst:int -> name:string -> kind:kind -> token:int -> unit
 
+(** Whether any delivery is waiting — allocation-free, for the
+    executor's inner loop. *)
+val has_delivery : t -> bool
+
 (** Earliest delivery not yet consumed, if any. *)
 val peek_delivery : t -> delivery option
 

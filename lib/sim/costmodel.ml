@@ -54,6 +54,32 @@ let idealized =
     time_owner_admin = 0.0;
   }
 
+(* Batched charging support for the staged executor: a tally counts
+   chargeable operations of a straight-line region at compile time;
+   the region then charges [tally_cost] once per execution instead of
+   once per operation.  All built-in per-op times are small dyadic
+   rationals, so [n * c] is bit-identical to charging [c] n times. *)
+type tally = { n_int_ops : int; n_mems : int; n_guards : int }
+
+let tally_zero = { n_int_ops = 0; n_mems = 0; n_guards = 0 }
+let tally_int_op = { tally_zero with n_int_ops = 1 }
+let tally_mem = { tally_zero with n_mems = 1 }
+let tally_guard = { tally_zero with n_guards = 1 }
+
+let tally_add a b =
+  {
+    n_int_ops = a.n_int_ops + b.n_int_ops;
+    n_mems = a.n_mems + b.n_mems;
+    n_guards = a.n_guards + b.n_guards;
+  }
+
+let tally_is_zero t = t.n_int_ops = 0 && t.n_mems = 0 && t.n_guards = 0
+
+let tally_cost cm t =
+  (float_of_int t.n_int_ops *. cm.time_int_op)
+  +. (float_of_int t.n_mems *. cm.time_mem)
+  +. (float_of_int t.n_guards *. cm.time_guard)
+
 let with_network t ~alpha ~beta =
   { t with name = Printf.sprintf "%s(a=%g,b=%g)" t.name alpha beta; alpha; beta }
 

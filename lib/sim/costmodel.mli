@@ -45,6 +45,27 @@ val shared_address : t
 (** Zero-cost communication; isolates pure compute time. *)
 val idealized : t
 
+(** {1 Batched charging}
+
+    The staged executor ({!Xdp_runtime.Precompile}) accumulates the
+    chargeable operations of a straight-line region into a [tally] at
+    compile time and charges {!tally_cost} once per execution.  The
+    built-in per-op times are dyadic rationals, so the batched multiply
+    is bit-identical to charging each operation individually. *)
+
+type tally = { n_int_ops : int; n_mems : int; n_guards : int }
+
+val tally_zero : tally
+val tally_int_op : tally
+val tally_mem : tally
+val tally_guard : tally
+val tally_add : tally -> tally -> tally
+val tally_is_zero : tally -> bool
+
+(** [tally_cost cm t] — total cycles of the tallied operations under
+    cost model [cm]. *)
+val tally_cost : t -> tally -> float
+
 (** [with_network t ~alpha ~beta] — preset with overridden network
     parameters (used by the alpha/beta sweep of experiment T4). *)
 val with_network : t -> alpha:float -> beta:float -> t

@@ -27,6 +27,9 @@ type t = {
   mutable allocated : int;
   mutable peak : int;
   mutable visits : int;
+  mutable gen : int;
+      (* bumped on every placement/storage transition; lets callers
+         cache per-element segment lookups and invalidate cheaply *)
 }
 
 let create ~pid ?(free_on_release = true) () =
@@ -38,9 +41,11 @@ let create ~pid ?(free_on_release = true) () =
     allocated = 0;
     peak = 0;
     visits = 0;
+    gen = 0;
   }
 
 let pid t = t.pid
+let generation t = t.gen
 
 let alloc t n =
   t.allocated <- t.allocated + n;
@@ -198,11 +203,13 @@ let mark_recv_init t name box =
     invalid_arg
       (Printf.sprintf "Symtab.mark_recv_init: P%d does not own %s%s" t.pid
          name (Box.to_string box));
+  t.gen <- t.gen + 1;
   List.iter
     (fun s -> if s.status <> State.Unowned then s.status <- State.Transitional)
     (segments_covering t name box)
 
 let mark_recv_complete t name box =
+  t.gen <- t.gen + 1;
   List.iter
     (fun s -> if s.status = State.Transitional then s.status <- State.Accessible)
     (segments_covering t name box)
@@ -235,6 +242,7 @@ let release t name box =
          "Symtab.release: %s%s is not an exact union of owned segments" name
          (Box.to_string box));
   e.dynamic <- true;
+  t.gen <- t.gen + 1;
   List.map
     (fun s ->
       let payload =
@@ -271,6 +279,7 @@ let expect_ownership t name box =
   let id = e.next_id in
   e.next_id <- id + 1;
   e.dynamic <- true;
+  t.gen <- t.gen + 1;
   e.segs <-
     e.segs
     @ [ { seg_id = id; seg_box = box; status = State.Transitional; data = None } ]
@@ -292,6 +301,7 @@ let accept_ownership t name box payload =
   | Some s ->
       let n = Box.count box in
       alloc t n;
+      t.gen <- t.gen + 1;
       let data =
         match payload with
         | Some p ->
@@ -321,6 +331,55 @@ let get t name idx =
 let set t name idx v =
   let s = seg_with_data t name idx in
   (Option.get s.data).(Box.position s.seg_box idx) <- v
+
+(* Array-indexed element access: the allocation-free per-element path
+   used by both execution engines.  Live segments are pairwise
+   disjoint (declaration tiles a partition; expect_ownership purges
+   unowned overlaps), so the first live segment containing the index
+   is the only one. *)
+
+let rec owned_in t idx = function
+  | [] -> false
+  | s :: rest ->
+      if s.status = State.Unowned then owned_in t idx rest
+      else begin
+        t.visits <- t.visits + 1;
+        Box.mem_arr idx s.seg_box || owned_in t idx rest
+      end
+
+(* Equivalent to [iown t name (Box.point idx)] for a single element
+   (disjointness makes covered-by degenerate to exists); raises the
+   same exception as [Box.point []] on a rank-0 index so callers keep
+   the list-path diagnostics. *)
+let owned_element t name idx =
+  if Array.length idx = 0 then invalid_arg "Box.make: rank 0";
+  owned_in t idx (entry t name).segs
+
+let rec data_seg_in idx = function
+  | [] -> None
+  | s :: rest ->
+      if s.data <> None && Box.mem_arr idx s.seg_box then Some s
+      else data_seg_in idx rest
+
+(* First segment with storage containing [idx] — the cacheable result
+   of a [get_a]/[set_a] lookup; [None] when the element has no backing
+   chunk here. *)
+let elem_seg t name idx = data_seg_in idx (entry t name).segs
+
+let no_storage t name idx =
+  invalid_arg
+    (Printf.sprintf "Symtab: P%d has no storage for %s[%s]" t.pid name
+       (String.concat "," (List.map string_of_int (Array.to_list idx))))
+
+let get_a t name idx =
+  match data_seg_in idx (entry t name).segs with
+  | Some s -> (Option.get s.data).(Box.offset_arr s.seg_box idx)
+  | None -> no_storage t name idx
+
+let set_a t name idx v =
+  match data_seg_in idx (entry t name).segs with
+  | Some s -> (Option.get s.data).(Box.offset_arr s.seg_box idx) <- v
+  | None -> no_storage t name idx
 
 (* Marshalling between the packed row-major order of [box] (the wire
    format of a message payload) and segment-chunked storage. The copy

@@ -135,6 +135,29 @@ val get : t -> string -> int list -> float
 
 val set : t -> string -> int list -> float -> unit
 
+(** Array-indexed variants of {!get}/{!set}: allocation-free, same
+    diagnostics. *)
+val get_a : t -> string -> int array -> float
+
+val set_a : t -> string -> int array -> float -> unit
+
+(** [owned_element t name idx] — is the single element [idx] owned
+    (accessible or transitional)?  Equivalent to
+    [iown t name (Box.point idx)] without building the point box. *)
+val owned_element : t -> string -> int array -> bool
+
+(** [elem_seg t name idx] — the segment whose storage backs element
+    [idx], if any.  Live segments are pairwise disjoint, so the result
+    is unique; callers may cache it against {!generation}. *)
+val elem_seg : t -> string -> int array -> seg option
+
+(** Monotone counter bumped on every placement or storage transition
+    ({!release}, {!expect_ownership}, {!accept_ownership},
+    {!mark_recv_init}, {!mark_recv_complete}).  While it is unchanged,
+    per-element segment lookups ({!elem_seg}) remain valid — the
+    staged executor's inline caches key on it. *)
+val generation : t -> int
+
 (** [read_box t name box] — pack a fully-owned section (row-major box
     order) into a buffer; [write_box] unpacks. *)
 val read_box : t -> string -> Box.t -> float array

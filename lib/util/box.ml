@@ -20,6 +20,28 @@ let mem idx t =
   List.length idx = Array.length t
   && List.for_all2 (fun i tr -> Triplet.mem i tr) idx (dims t)
 
+(* Array-indexed membership/offset: the executor's per-element hot
+   path.  Top-level recursion (not a local closure) so a call
+   allocates nothing. *)
+let rec mem_arr_from idx t d n =
+  d >= n || (Triplet.mem idx.(d) t.(d) && mem_arr_from idx t (d + 1) n)
+
+let mem_arr idx t =
+  let n = Array.length t in
+  Array.length idx = n && mem_arr_from idx t 0 n
+
+let rec offset_from idx t d n acc =
+  if d >= n then acc
+  else
+    let tr = t.(d) in
+    offset_from idx t (d + 1) n
+      ((acc * Triplet.count tr) + ((idx.(d) - tr.Triplet.lo) / tr.Triplet.stride))
+
+(* Horner form of the row-major [position]: for a member index vector
+   this equals [position t (Array.to_list idx)]; membership is not
+   checked. *)
+let offset_arr t idx = offset_from idx t 0 (Array.length t) 0
+
 let inter a b =
   if Array.length a <> Array.length b then
     invalid_arg "Box.inter: rank mismatch";

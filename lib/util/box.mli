@@ -32,6 +32,15 @@ val is_empty : t -> bool
 (** [mem idx t] tests membership of index vector [idx]. *)
 val mem : int list -> t -> bool
 
+(** [mem_arr idx t] — {!mem} over an [int array] index vector;
+    allocation-free (the executor's per-element hot path). *)
+val mem_arr : int array -> t -> bool
+
+(** [offset_arr t idx] — row-major {!position} of a {e member} index
+    vector given as an array, computed in Horner form without
+    allocating.  Membership is not checked; use {!mem_arr} first. *)
+val offset_arr : t -> int array -> int
+
 (** Per-dimension intersection; [None] when empty in any dimension. *)
 val inter : t -> t -> t option
 

@@ -38,6 +38,24 @@ let offset t idx =
 
 let get t idx = t.data.(offset t idx)
 let set t idx v = t.data.(offset t idx) <- v
+
+(* Array-indexed access with the same bounds diagnostics as [offset],
+   but no per-call list. *)
+let rec offset_a_from t idx d n off =
+  if d >= n then off
+  else begin
+    let i = idx.(d) in
+    if i < 1 || i > t.shape.(d) then
+      invalid_arg
+        (Printf.sprintf "Tensor: index %d out of bounds 1..%d in dim %d" i
+           t.shape.(d) (d + 1));
+    offset_a_from t idx (d + 1) n (off + ((i - 1) * t.strides.(d)))
+  end
+
+let get_a t idx =
+  let n = Array.length t.shape in
+  if Array.length idx <> n then invalid_arg "Tensor: rank mismatch";
+  t.data.(offset_a_from t idx 0 n 0)
 let fill t v = Array.fill t.data 0 (Array.length t.data) v
 
 let copy t =

@@ -25,6 +25,10 @@ val full_box : t -> Box.t
 val get : t -> int list -> float
 
 val set : t -> int list -> float -> unit
+
+(** {!get} over an [int array] index vector; allocation-free. *)
+val get_a : t -> int array -> float
+
 val fill : t -> float -> unit
 val copy : t -> t
 

@@ -191,6 +191,92 @@ let prop_differential_faulty =
     (QCheck.make ~print:print_cfg gen_cfg)
     check_cfg_faulty
 
+(* Engine parity: the staged engine (Precompile closures) must be
+   observably identical to the tree-walking interpreter — same arrays
+   bit for bit, the same stats record field for field (guard_evals,
+   statements, per-processor busy/finish clocks, ...) and the same
+   delivery trace, across cost models and including faulty runs.  This
+   is the headline property of the staged engine. *)
+
+let digest_deliveries (tr : Xdp_sim.Trace.t) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (e : Xdp_sim.Trace.event) ->
+      match e with
+      | Xdp_sim.Trace.Delivered { time; src; dst; name; kind; bytes } ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.6f|%d|%d|%s|%s|%d\n" time src dst name kind
+               bytes)
+      | _ -> ())
+    (Xdp_sim.Trace.events tr);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let cost_models =
+  [
+    ("message-passing", Xdp_sim.Costmodel.message_passing);
+    ("shared-address", Xdp_sim.Costmodel.shared_address);
+    ("idealized", Xdp_sim.Costmodel.idealized);
+  ]
+
+let check_engine_pair cfg ~label ?fault ~cost ~cost_name () =
+  let p = build_program cfg in
+  let compiled = (Xdp.Compile.optimize ~nprocs:cfg.nprocs p).compiled in
+  let go engine =
+    Exec.run ~engine ~cost ?fault ~init ~nprocs:cfg.nprocs ~trace:true
+      compiled
+  in
+  let ri = go `Interp and rc = go `Compiled in
+  let fail msg =
+    QCheck.Test.fail_reportf "engines differ (%s, %s): %s\n%s" label cost_name
+      msg (print_cfg cfg)
+  in
+  List.iter
+    (fun arr ->
+      if
+        not
+          (Xdp_util.Tensor.equal ~eps:0.0 (Exec.array ri arr)
+             (Exec.array rc arr))
+      then fail (Printf.sprintf "array %s" arr))
+    arrays;
+  (* the whole stats record: counts exactly, clocks bit for bit on
+     fault-free runs (dyadic per-op costs make batched charging exact);
+     fault jitter introduces non-dyadic clock bases, so there compare
+     makespan to a tolerance and the integer fields exactly *)
+  (match fault with
+  | None -> if ri.stats <> rc.stats then fail "stats records"
+  | Some _ ->
+      let s1 = ri.stats and s2 = rc.stats in
+      if
+        abs_float (s1.Xdp_sim.Trace.makespan -. s2.Xdp_sim.Trace.makespan)
+        > 1e-6 *. Float.max 1.0 s1.Xdp_sim.Trace.makespan
+      then
+        fail
+          (Printf.sprintf "makespan %f vs %f" s1.Xdp_sim.Trace.makespan
+             s2.Xdp_sim.Trace.makespan);
+      if
+        { s1 with Xdp_sim.Trace.makespan = 0.0; busy = [||]; finish = [||] }
+        <> { s2 with Xdp_sim.Trace.makespan = 0.0; busy = [||]; finish = [||] }
+      then fail "stats counters");
+  if digest_deliveries ri.trace <> digest_deliveries rc.trace then
+    fail "delivery trace digests";
+  true
+
+let check_cfg_engines cfg =
+  List.for_all
+    (fun (cost_name, cost) ->
+      check_engine_pair cfg ~label:"fault-free" ~cost ~cost_name ())
+    cost_models
+  && check_engine_pair cfg ~label:"faulty"
+       ~fault:(fault_of_cfg cfg)
+       ~cost:Xdp_sim.Costmodel.message_passing ~cost_name:"message-passing"
+       ()
+
+let prop_engines =
+  QCheck.Test.make
+    ~name:"staged engine is bit-identical to the interpreter" ~count:40
+    (QCheck.make ~print:print_cfg gen_cfg)
+    check_cfg_engines
+
 (* A couple of fixed regression seeds that exercise every spec form. *)
 let test_fixed_cases () =
   List.iter
@@ -232,5 +318,6 @@ let () =
           Alcotest.test_case "fixed cases" `Quick test_fixed_cases;
           QCheck_alcotest.to_alcotest prop_differential;
           QCheck_alcotest.to_alcotest prop_differential_faulty;
+          QCheck_alcotest.to_alcotest prop_engines;
         ] );
     ]

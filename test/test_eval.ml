@@ -11,6 +11,7 @@ let hooks ?(owned = fun _ _ -> true) ?(accessible = fun _ _ -> true)
     E.sequential_hooks
       ~shape_of:(fun _ -> [ 4; 8 ])
       ~elem:(fun name idx ->
+        let idx = Array.to_list idx in
         if owned name idx then elem name idx
         else raise (E.Unowned_ref name))
       ~cm:Xdp_sim.Costmodel.idealized

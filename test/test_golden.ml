@@ -251,6 +251,34 @@ let test_determinism_fft3d_pipelined () =
     ~digest:"34aaae6d61bdc0170d026525e3000572"
     (Xdp_runtime.Exec.run ~init:Xdp_apps.Fft3d.init ~nprocs:4 ~trace:true p)
 
+(* Engine parity on the pinned goldens: both the reference interpreter
+   and the staged engine must hit the numbers above {e explicitly} —
+   independent of what XDP_ENGINE made the default — so a regression
+   in either engine (or a drift between them) is caught even when the
+   CI matrix leg for the other engine is skipped. *)
+let test_engine_parity_goldens () =
+  List.iter
+    (fun engine ->
+      let p =
+        Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~stage:Xdp_apps.Fft3d.Baseline ()
+      in
+      check_run_golden "fft3d baseline (both engines)" ~makespan:12092.0
+        ~messages:32 ~bytes:4608 ~own:32
+        ~digest:"d3f3271aefffa368cc7fe5340ce9c909"
+        (Xdp_runtime.Exec.run ~engine ~init:Xdp_apps.Fft3d.init ~nprocs:4
+           ~trace:true p);
+      let farm =
+        Xdp_apps.Farm.build ~ntasks:24 ~nprocs:4
+          ~variant:Xdp_apps.Farm.Dynamic ()
+      in
+      check_run_golden "farm dynamic (both engines)" ~makespan:7818.5
+        ~messages:28 ~bytes:672 ~own:0
+        ~digest:"4da667f68045df714fdf8dc947fd8a2a"
+        (Xdp_runtime.Exec.run ~engine
+           ~init:(Xdp_apps.Farm.init ~skew:(Xdp_apps.Farm.Random 7) ~ntasks:24)
+           ~nprocs:4 ~trace:true farm))
+    [ `Interp; `Compiled ]
+
 (* ---- fault-injection golden: the unreliable network is part of the
    deterministic surface too.  Same plan seed, same drops, same
    retransmit schedule, same digest over the full network trace
@@ -334,6 +362,8 @@ let () =
             test_determinism_fft3d_pipelined;
           Alcotest.test_case "farm dynamic stats+trace" `Quick
             test_determinism_farm_dynamic;
+          Alcotest.test_case "both engines hit the goldens" `Quick
+            test_engine_parity_goldens;
           Alcotest.test_case "fft3d pipelined under faults stats+trace" `Quick
             test_determinism_fft3d_faulty;
         ] );
