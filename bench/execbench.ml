@@ -1,25 +1,34 @@
-(* EXEC: staged engine vs tree-walking interpreter (DESIGN.md §4c).
+(* EXEC: staged engine vs tree-walking interpreter (DESIGN.md §4c/§4d).
 
    Runs the three transfer-shaped apps (the §2.2 vector add, 2-D
-   Jacobi with halo exchange, the §4 3-D FFT pipeline) at two sizes
-   under both execution engines and measures real statement throughput
-   (simulated statements per wall-clock second) and wall time per run.
-   Every pair is verified observably identical first — same tensors
-   bit for bit, same stats record — so the speedup column never
-   reports a wrong-answer win.  The one-time staging cost
-   (Precompile.compile) is measured separately and reported as a
-   fraction of the smallest compiled run's wall clock.
+   Jacobi with halo exchange, the §4 3-D FFT pipeline) at several
+   sizes under both execution engines and measures real statement
+   throughput (simulated statements per wall-clock second) and wall
+   time per run.  Every pair is verified observably identical first —
+   same tensors bit for bit, same stats record — so the speedup column
+   never reports a wrong-answer win.  The one-time staging cost
+   (Precompile.compile) is measured per app and reported both as a
+   column and as a fraction of the smallest compiled run's wall clock.
 
-   Results go to stdout and BENCH_exec.json in the working directory.
-   In smoke mode (the `exec-smoke` leg of `dune runtest`) sizes are
-   tiny and the harness *fails* if any engine pair diverges or if the
-   best measured speedup falls below 2x — the staged engine earning
-   less than that means its batching/caching has regressed. *)
+   Results go to stdout and BENCH_exec.json in the working directory;
+   each app row carries its compile time plus the superinstruction
+   pass's statistics (run-length histogram, turns saved by fusion,
+   specialized/batched loops, inlined kernel sites).
+
+   In smoke mode (the `exec-smoke` leg of `dune runtest`) the suite is
+   a tripwire: it *fails* if any engine pair diverges, or if the
+   per-app speedups fall below the fused floors — 8x on the large
+   jacobi2d row, 1.5x on the large fft3d row — printing the full
+   per-app speedup table in the failure message.  With fusion disabled
+   (XDP_NO_FUSE) the first staging level is held to its original 2x
+   best-case floor instead. *)
 
 module Exec = Xdp_runtime.Exec
+module Precompile = Xdp_runtime.Precompile
 
 type app = {
   label : string;
+  family : string;
   prog : Xdp.Ir.program;
   init : string -> int list -> float;
   nprocs : int;
@@ -30,6 +39,7 @@ let apps ~smoke =
   let vec n =
     {
       label = Printf.sprintf "vecadd naive misaligned n=%d" n;
+      family = "vecadd";
       prog =
         Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b:Xdp_dist.Dist.Cyclic
           ~stage:Xdp_apps.Vecadd.Naive ();
@@ -39,32 +49,41 @@ let apps ~smoke =
   and jac n sweeps =
     {
       label = Printf.sprintf "jacobi2d halo n=%d sweeps=%d" n sweeps;
+      family = "jacobi2d";
       prog =
         Xdp_apps.Jacobi2d.build ~n ~pr:2 ~pc:2 ~sweeps
           ~stage:Xdp_apps.Jacobi2d.Halo ();
       init = Xdp_apps.Jacobi2d.init;
       nprocs;
     }
-  and fft n =
+  and fft n seg_rows =
     {
-      label = Printf.sprintf "fft3d pipelined n=%d" n;
+      label = Printf.sprintf "fft3d pipelined n=%d sr=%d" n seg_rows;
+      family = "fft3d";
       prog =
-        Xdp_apps.Fft3d.build ~n ~nprocs ~seg_rows:2
+        Xdp_apps.Fft3d.build ~n ~nprocs ~seg_rows
           ~stage:Xdp_apps.Fft3d.Pipelined ();
       init = Xdp_apps.Fft3d.init;
       nprocs;
     }
   in
-  (* vecadd and fft3d are transfer/kernel-bound at every size (speedup
-     near 1x by design — they measure that staging does not hurt such
-     codes); the statement-dominated jacobi sweeps are where the staged
-     engine earns its keep, so each list carries one large enough to
-     clear the speedup gates. *)
-  if smoke then [ vec 8; vec 24; jac 8 1; jac 48 2; fft 4; fft 8 ]
-  else [ vec 64; vec 256; jac 64 3; jac 128 6; jac 192 6; fft 8; fft 16 ]
+  (* vecadd is transfer-bound at every size (speedup near 1x by design
+     — it measures that staging does not hurt such codes); the
+     statement-dominated jacobi sweeps are where superinstructions
+     earn their keep, and fft3d exercises the inlined-kernel path,
+     whose marshalling-plan cache hits scale with seg_rows.  Each list
+     ends its jacobi2d/fft3d groups with a row large enough to clear
+     the fused speedup floors (the tripwire rows). *)
+  if smoke then
+    [ vec 8; vec 24; jac 8 1; jac 48 2; jac 128 3; fft 4 2; fft 16 8 ]
+  else
+    [
+      vec 64; vec 256; jac 64 3; jac 128 6; jac 192 6; fft 8 4; fft 16 8;
+    ]
 
 type row = {
   r_label : string;
+  r_family : string;
   r_statements : int;
   r_makespan : float;
   r_interp_wall : float;
@@ -73,6 +92,9 @@ type row = {
   r_compiled_rate : float;
   r_speedup : float;
   r_compile_s : float; (* one Precompile.compile *)
+  r_fstats : Precompile.fusion_stats;
+  r_fused_turns : int; (* dynamic: scheduler turns that ran fused *)
+  r_fused_stmts : int; (* dynamic: statements those turns covered *)
   r_parity : bool;
 }
 
@@ -107,15 +129,16 @@ let bench_app ~min_time app =
            Xdp_util.Tensor.equal ~eps:0.0 t (Exec.array rc name))
          ri.Exec.arrays
   in
-  let _, compile_s =
+  let cp, compile_s =
     timed ~min_time:(min_time /. 4.0) (fun () ->
-        Xdp_runtime.Precompile.compile ~cost:Xdp_sim.Costmodel.message_passing
+        Precompile.compile ~cost:Xdp_sim.Costmodel.message_passing
           ~kernels:Xdp.Kernels.default ~scalars:[] app.prog)
   in
   let stmts = ri.Exec.stats.Xdp_sim.Trace.statements in
   let rate wall = float_of_int stmts /. Float.max wall 1e-9 in
   {
     r_label = app.label;
+    r_family = app.family;
     r_statements = stmts;
     r_makespan = rc.Exec.stats.Xdp_sim.Trace.makespan;
     r_interp_wall = interp_wall;
@@ -124,8 +147,27 @@ let bench_app ~min_time app =
     r_compiled_rate = rate compiled_wall;
     r_speedup = rate compiled_wall /. rate interp_wall;
     r_compile_s = compile_s;
+    r_fstats = Precompile.fusion_stats cp;
+    r_fused_turns = rc.Exec.fusion.Exec.fused_turns;
+    r_fused_stmts = rc.Exec.fusion.Exec.fused_statements;
     r_parity = parity;
   }
+
+(* Per-app speedup table as a plain string: this is what a failing
+   tripwire prints, so a CI log shows the whole picture, not just the
+   row that tripped. *)
+let speedup_table rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "    %-36s %6.2fx %s" r.r_label r.r_speedup
+           (if r.r_parity then "" else "MISMATCH"))
+       rows)
+
+let family_best rows family =
+  List.fold_left
+    (fun acc r -> if r.r_family = family then Float.max acc r.r_speedup else acc)
+    0.0 rows
 
 let run ?(smoke = false) () =
   Printf.printf
@@ -135,7 +177,7 @@ let run ?(smoke = false) () =
   Xdp_util.Table.print ~title:"statement throughput (simulated stmts per second)"
     ~header:
       [ "config"; "stmts"; "interp/s"; "compiled/s"; "speedup"; "compile ms";
-        "identical" ]
+        "fused turns"; "turns saved"; "identical" ]
     (List.map
        (fun r ->
          [
@@ -145,6 +187,8 @@ let run ?(smoke = false) () =
            Printf.sprintf "%.2fM" (r.r_compiled_rate /. 1e6);
            Printf.sprintf "%.1fx" r.r_speedup;
            Printf.sprintf "%.2f" (1000.0 *. r.r_compile_s);
+           string_of_int r.r_fused_turns;
+           string_of_int (r.r_fused_stmts - r.r_fused_turns);
            (if r.r_parity then "identical" else "MISMATCH");
          ])
        rows);
@@ -167,30 +211,60 @@ let run ?(smoke = false) () =
   in
   let oc = open_out "BENCH_exec.json" in
   Printf.fprintf oc
-    "{\n  \"schema\": \"xdp-bench-exec/1\",\n  \"smoke\": %b,\n  \
-     \"compile_seconds\": %.6f,\n  \"compile_frac_of_small_run\": %.4f,\n  \
-     \"best_speedup\": %.2f,\n  \"apps\": ["
-    smoke compile_s compile_frac best;
+    "{\n  \"schema\": \"xdp-bench-exec/2\",\n  \"smoke\": %b,\n  \
+     \"fused\": %b,\n  \"compile_seconds\": %.6f,\n  \
+     \"compile_frac_of_small_run\": %.4f,\n  \"best_speedup\": %.2f,\n  \
+     \"apps\": ["
+    smoke Precompile.fuse_default compile_s compile_frac best;
   List.iteri
     (fun i r ->
       if i > 0 then output_string oc ",";
+      let fs = r.r_fstats in
+      let hist =
+        String.concat ", "
+          (List.map
+             (fun (len, count) -> Printf.sprintf "[%d, %d]" len count)
+             fs.Precompile.fs_run_hist)
+      in
       Printf.fprintf oc
         "\n    {\"label\": \"%s\", \"statements\": %d, \"makespan\": %.1f, \
          \"interp_wall_s\": %.6f, \"compiled_wall_s\": %.6f, \
          \"interp_stmts_per_s\": %.0f, \"compiled_stmts_per_s\": %.0f, \
-         \"speedup\": %.2f, \"compile_s\": %.6f, \"identical\": %b}"
+         \"speedup\": %.2f, \"compile_s\": %.6f,\n     \"fusion\": \
+         {\"fusable_statements\": %d, \"fused_units\": %d, \
+         \"run_length_hist\": [%s], \"spec_loops\": %d, \"batched_loops\": \
+         %d, \"inlined_kernels\": %d, \"fused_turns\": %d, \
+         \"fused_statements\": %d, \"turns_saved\": %d},\n     \
+         \"identical\": %b}"
         r.r_label r.r_statements r.r_makespan r.r_interp_wall
         r.r_compiled_wall r.r_interp_rate r.r_compiled_rate r.r_speedup
-        r.r_compile_s r.r_parity)
+        r.r_compile_s fs.Precompile.fs_fusable fs.Precompile.fs_fused_units
+        hist fs.Precompile.fs_spec_loops fs.Precompile.fs_batched_loops
+        fs.Precompile.fs_inlined_kernels r.r_fused_turns r.r_fused_stmts
+        (r.r_fused_stmts - r.r_fused_turns)
+        r.r_parity)
     rows;
   output_string oc "\n  ]\n}\n";
   close_out oc;
   Printf.printf "\n  wrote BENCH_exec.json\n%!";
   if List.exists (fun r -> not r.r_parity) rows then
     failwith "EXEC bench: engines diverged (see MISMATCH rows)";
-  if smoke && best < 2.0 then
-    failwith
-      (Printf.sprintf
-         "EXEC bench: best compiled speedup %.2fx < 2x — staged engine \
-          regressed"
-         best)
+  if smoke then
+    if Precompile.fuse_default then begin
+      let jac = family_best rows "jacobi2d"
+      and fft = family_best rows "fft3d" in
+      if jac < 8.0 || fft < 1.5 then
+        failwith
+          (Printf.sprintf
+             "EXEC bench tripwire: best jacobi2d speedup %.2fx (floor 8x), \
+              best fft3d %.2fx (floor 1.5x) — the superinstruction engine \
+              regressed.  Per-app speedups:\n%s"
+             jac fft (speedup_table rows))
+    end
+    else if best < 2.0 then
+      failwith
+        (Printf.sprintf
+           "EXEC bench: best compiled speedup %.2fx < 2x with fusion \
+            disabled — the first staging level regressed.  Per-app \
+            speedups:\n%s"
+           best (speedup_table rows))

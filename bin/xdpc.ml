@@ -21,7 +21,13 @@ let cost_conv =
 let engine_of_string = function
   | "compiled" | "staged" -> Ok `Compiled
   | "interp" | "interpreter" | "reference" -> Ok `Interp
-  | s -> Error (`Msg (Printf.sprintf "unknown engine %s" s))
+  | s ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown engine %s (accepted: compiled, staged, interp, \
+               interpreter, reference)"
+              s))
 
 let engine_conv =
   Arg.conv
@@ -246,7 +252,9 @@ let engine_t =
         ~doc:
           "Execution engine: compiled (staged closures, the default) or \
            interp (the reference tree-walker).  Both produce bit-identical \
-           results; the default can also be set with XDP_ENGINE.")
+           results; the default can also be set with XDP_ENGINE, which \
+           accepts compiled, interp, interpreter, or reference and rejects \
+           anything else at startup.")
 
 let dump_t = Arg.(value & flag & info [ "dump-ir"; "d" ] ~doc:"Print the IL+XDP program.")
 let trace_t = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event trace.")

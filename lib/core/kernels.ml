@@ -16,22 +16,52 @@ let find r name = M.find_opt name r
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 (* Normalized discrete Hartley transform: y[k] = (1/sqrt n) * sum_j
-   x[j] * (cos(2 pi j k / n) + sin(2 pi j k / n)).  Involutive, which
-   makes multi-stage FFT pipelines self-checking. *)
-let dht x =
-  let n = Array.length x in
+   x[j] * cas(2 pi j k / n) with cas a = cos a + sin a.  Involutive,
+   which makes multi-stage FFT pipelines self-checking.
+
+   cas(2 pi j k / n) only depends on j*k mod n, so each length gets a
+   precomputed n-entry cas table (n is a power of two: the reduction
+   is a mask).  The table is shared by every caller — the registry
+   kernel, the staged engine's inlined call path, and through them the
+   sequential reference — so all execution paths see bit-identical
+   transform values. *)
+let cas_tables : (int, float array) Hashtbl.t = Hashtbl.create 8
+
+let cas_table n =
+  match Hashtbl.find_opt cas_tables n with
+  | Some t -> t
+  | None ->
+      let w = 2.0 *. Float.pi /. float_of_int n in
+      let t =
+        Array.init n (fun k ->
+            let a = w *. float_of_int k in
+            cos a +. sin a)
+      in
+      Hashtbl.add cas_tables n t;
+      t
+
+let dht_sub ~buf ~tmp ~off ~stride ~n =
   if not (is_pow2 n) then invalid_arg "Kernels.dht: length not a power of 2";
-  let y = Array.make n 0.0 in
-  let w = 2.0 *. Float.pi /. float_of_int n in
+  let cas = cas_table n in
+  let mask = n - 1 in
+  let norm = sqrt (float_of_int n) in
   for k = 0 to n - 1 do
     let acc = ref 0.0 in
     for j = 0 to n - 1 do
-      let a = w *. float_of_int (j * k) in
-      acc := !acc +. (x.(j) *. (cos a +. sin a))
+      acc :=
+        !acc
+        +. Array.unsafe_get buf (off + (j * stride))
+           *. Array.unsafe_get cas (j * k land mask)
     done;
-    y.(k) <- !acc /. sqrt (float_of_int n)
+    tmp.(k) <- !acc /. norm
   done;
-  Array.blit y 0 x 0 n
+  for k = 0 to n - 1 do
+    buf.(off + (k * stride)) <- Array.unsafe_get tmp k
+  done
+
+let dht x =
+  let n = Array.length x in
+  dht_sub ~buf:x ~tmp:(Array.make (Int.max n 1) 0.0) ~off:0 ~stride:1 ~n
 
 let log2f n = if n <= 1 then 1.0 else log (float_of_int n) /. log 2.0
 

@@ -31,8 +31,28 @@ val find : registry -> string -> t option
     a synthetic task whose cost is its data). *)
 val default : registry
 
+val fft1d : t
+(** The registry entry for [fft1D]; exposed so the staged engine can
+    recognize it (by physical equality — a user registry may shadow
+    the name) and substitute its inlined call path. *)
+
 (** The in-place normalized discrete Hartley transform used by
     [fft1D]: self-inverse (applying it twice restores the input), so
     end-to-end FFT pipelines are verifiable. @raise Invalid_argument
     if the length is not a power of two. *)
 val dht : float array -> unit
+
+val dht_sub :
+  buf:float array -> tmp:float array -> off:int -> stride:int -> n:int -> unit
+(** [dht_sub ~buf ~tmp ~off ~stride ~n] — the transform of {!dht}
+    applied in place to the [n] elements [buf.(off + i*stride)],
+    using caller-provided scratch [tmp] (length at least [n]).
+    Bit-identical to {!dht} on a packed copy of the same elements;
+    the staged engine's inlined [fft1D] path uses it to skip the
+    per-call payload allocation. @raise Invalid_argument if [n] is
+    not a power of two. *)
+
+val log2f : int -> float
+(** [log2f n] — log₂ n as charged by the [fft1D] flop model
+    ([5·n·log₂n]); exposed so the staged engine's inlined kernel path
+    charges the identical cost. *)

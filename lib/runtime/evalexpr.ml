@@ -1,6 +1,16 @@
 open Xdp.Ir
 open Xdp_util
 
+(* This tree-walker is the semantic reference the staged engine
+   (Precompile, DESIGN.md §4c/§4d) is held to bit for bit: its
+   evaluation order, charge points, and the exact diagnostics below
+   are all replicated by the compiled closures — [Unowned_ref] ends a
+   fused superinstruction mid-flight exactly where it would abort a
+   tree-walk here, and [Blocked_on] marks the abortable boundaries the
+   fusion region analysis must never fuse across.  Changing anything
+   observable in this module means changing Precompile in lockstep
+   (the differential suite will catch a drift). *)
+
 exception Unowned_ref of string
 exception Blocked_on of string * Box.t
 

@@ -13,13 +13,28 @@ exception Xdp_misuse of string
 
 type engine = [ `Interp | `Compiled ]
 
+let engine_names =
+  [
+    ("compiled", `Compiled);
+    ("interp", `Interp);
+    ("interpreter", `Interp);
+    ("reference", `Interp);
+  ]
+
 (* The staged engine is the default; XDP_ENGINE=interp selects the
    tree-walking reference interpreter process-wide (what the CI matrix
-   flips), read once at module initialization. *)
+   flips), read once at module initialization.  Unknown values fail
+   loudly — a typo here would silently benchmark the wrong engine. *)
 let default_engine : engine =
   match Sys.getenv_opt "XDP_ENGINE" with
-  | Some ("interp" | "interpreter" | "reference") -> `Interp
-  | _ -> `Compiled
+  | None | Some "" -> `Compiled
+  | Some s -> (
+      match List.assoc_opt s engine_names with
+      | Some e -> e
+      | None ->
+          invalid_arg
+            (Printf.sprintf "XDP_ENGINE=%s: unknown engine (accepted: %s)" s
+               (String.concat ", " (List.map fst engine_names))))
 
 type frame =
   | Stmts of stmt list
@@ -30,7 +45,7 @@ type frame =
       step : int;
       body : stmt list;
     }
-  | Code of { codes : Precompile.code array; mutable ip : int }
+  | Code of { codes : Precompile.units; mutable ip : int }
   | Cloop of { cl : Precompile.loop; mutable ccur : int }
 
 type blocked = { on_name : string; on_box : Box.t }
@@ -51,11 +66,16 @@ type proc = {
 
 type pending = { p_kind : Board.kind; p_into : string * Box.t }
 
+(* Superinstruction accounting, kept out of {!Trace.stats} so the
+   engine-parity checks can keep comparing whole stats records. *)
+type fusion = { fused_turns : int; fused_statements : int }
+
 type result = {
   arrays : (string * Tensor.t) list;
   stats : Trace.stats;
   trace : Trace.t;
   symtabs : Symtab.t array;
+  fusion : fusion;
 }
 
 let array r name =
@@ -119,6 +139,14 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
   in
   let ownership_transfers = ref 0 in
   let total_steps = ref 0 in
+  let fused_turns = ref 0 in
+  let fused_stmts = ref 0 in
+  (* Receives in flight per posting processor.  A fused run is only
+     sound while its processor has none: with no pending receive, no
+     delivery can mutate this processor's symbol table mid-run, and
+     fused statements neither post nor consume board state, so the
+     whole run commutes with every other event at its clock. *)
+  let inflight = Array.make nprocs 0 in
   let pending : (int, int * pending) Hashtbl.t = Hashtbl.create 64 in
   let token_counter = ref 0 in
   let fresh_token () =
@@ -273,6 +301,7 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
     let kind = if with_value then Board.Owner_value else Board.Owner in
     Hashtbl.replace pending token
       (pr.pid, { p_kind = kind; p_into = (arr, box) });
+    inflight.(pr.pid) <- inflight.(pr.pid) + 1;
     charge_pr pr (cost.time_recv_init +. cost.time_owner_admin);
     let name = section_name arr box in
     Trace.emit tr
@@ -301,6 +330,7 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
     let token = fresh_token () in
     Hashtbl.replace pending token
       (pr.pid, { p_kind = Board.Value; p_into = (into_arr, into_box) });
+    inflight.(pr.pid) <- inflight.(pr.pid) + 1;
     charge_pr pr cost.time_recv_init;
     let name = section_name from_arr from_box in
     Trace.emit tr
@@ -497,23 +527,44 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
           charge_pr pr cost.time_int_op;
           pr.stack <- Stmts l.body :: Loop l :: rest
         end
-    | Code c :: frames ->
+    | Code c :: frames -> (
         if c.ip >= Array.length c.codes then pr.stack <- frames
-        else begin
-          let code = c.codes.(c.ip) in
-          c.ip <- c.ip + 1;
-          count_step pr;
-          let m = Option.get pr.mach in
-          match code m with
-          | Precompile.A_next -> ()
-          | Precompile.A_block codes ->
-              pr.stack <- Code { codes; ip = 0 } :: pr.stack
-          | Precompile.A_loop cl ->
-              pr.stack <- Cloop { cl; ccur = cl.Precompile.l_lo } :: pr.stack
-          | exception Evalexpr.Blocked_on (name, box) ->
-              c.ip <- c.ip - 1;
-              block pr name box
-        end
+        else
+          match c.codes.(c.ip) with
+          | Precompile.U_fuse f when inflight.(pr.pid) = 0 ->
+              (* the whole superinstruction runs in this turn; the
+                 fused runner charges exactly what the statements
+                 would and reports how many it executed *)
+              c.ip <- c.ip + 1;
+              let k = f.Precompile.fu_fast (Option.get pr.mach) in
+              total_steps := !total_steps + k;
+              pr.stmts_executed <- pr.stmts_executed + k;
+              incr fused_turns;
+              fused_stmts := !fused_stmts + k;
+              if !total_steps > max_steps then
+                raise
+                  (Xdp_misuse
+                     (Printf.sprintf "step budget exceeded (%d)" max_steps))
+          | Precompile.U_fuse f ->
+              (* a receive is in flight: its delivery must be able to
+                 land between statements, so run the region one turn
+                 at a time (an uncounted, uncharged frame push) *)
+              c.ip <- c.ip + 1;
+              pr.stack <- Code { codes = f.Precompile.fu_slow; ip = 0 } :: pr.stack
+          | Precompile.U_stmt code -> (
+              c.ip <- c.ip + 1;
+              count_step pr;
+              let m = Option.get pr.mach in
+              match code m with
+              | Precompile.A_next -> ()
+              | Precompile.A_block codes ->
+                  pr.stack <- Code { codes; ip = 0 } :: pr.stack
+              | Precompile.A_loop cl ->
+                  pr.stack <-
+                    Cloop { cl; ccur = cl.Precompile.l_lo } :: pr.stack
+              | exception Evalexpr.Blocked_on (name, box) ->
+                  c.ip <- c.ip - 1;
+                  block pr name box))
     | Cloop c :: rest ->
         let cl = c.cl in
         if c.ccur > cl.Precompile.l_hi then pr.stack <- rest
@@ -526,7 +577,7 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
   in
   let apply_delivery (d : Board.delivery) =
     let pr = procs.(d.dst) in
-    let _, pend =
+    let poster, pend =
       match Hashtbl.find_opt pending d.token with
       | Some x -> x
       | None ->
@@ -535,6 +586,7 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
                (Printf.sprintf "delivery with unknown token for %s" d.name))
     in
     Hashtbl.remove pending d.token;
+    inflight.(poster) <- inflight.(poster) - 1;
     let arr, box = pend.p_into in
     (match pend.p_kind with
     | Board.Value ->
@@ -733,7 +785,13 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
         | None -> 0);
     }
   in
-  { arrays; stats; trace = tr; symtabs = Array.map (fun pr -> pr.st) procs }
+  {
+    arrays;
+    stats;
+    trace = tr;
+    symtabs = Array.map (fun pr -> pr.st) procs;
+    fusion = { fused_turns = !fused_turns; fused_statements = !fused_stmts };
+  }
 
 let ownership_defects r (p : program) =
   let unowned = ref 0 and multi = ref 0 in

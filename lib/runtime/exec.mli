@@ -49,13 +49,26 @@ type engine = [ `Interp | `Compiled ]
 val default_engine : engine
 (** [`Compiled], unless the process was started with
     [XDP_ENGINE=interp] (or [interpreter]/[reference]) in the
-    environment — the switch the CI engine matrix flips. *)
+    environment — the switch the CI engine matrix flips.  Any other
+    non-empty value raises [Invalid_argument] at module initialization,
+    listing the accepted names ([compiled], [interp], [interpreter],
+    [reference]) — a typo must not silently select an engine. *)
+
+type fusion = { fused_turns : int; fused_statements : int }
+(** Dynamic superinstruction accounting of a run: scheduler turns that
+    executed a fused run, and the statements those turns covered.
+    Zero under the interpreter, with fusion disabled, or when every
+    fused unit fell back to statement-at-a-time execution.  Kept out
+    of {!Xdp_sim.Trace.stats} deliberately: the stats record is
+    compared field-for-field across engines by the differential
+    suite. *)
 
 type result = {
   arrays : (string * Tensor.t) list;  (** gathered global arrays *)
   stats : Xdp_sim.Trace.stats;
   trace : Xdp_sim.Trace.t;
   symtabs : Xdp_symtab.Symtab.t array;  (** final per-processor tables *)
+  fusion : fusion;
 }
 
 val run :

@@ -25,6 +25,22 @@ type world = {
   w_apply : fn:string -> Xdp.Kernels.t -> (string * Box.t) list -> unit;
 }
 
+(* One piece of a memoized kernel marshalling plan: the slice of the
+   applied section backed by one segment chunk, with its copy runs
+   precomputed.  A plan revalidates against the current table by
+   checking each piece's descriptor directly (still owned, same
+   chunk); when the newly applied section is the cached one translated
+   along a single dimension, every run merely shifts by a constant
+   chunk offset. *)
+type kpiece = {
+  kp_seg : Symtab.seg; (* the backing descriptor *)
+  kp_data : float array; (* its chunk at plan-build time *)
+  kp_piece : Box.t; (* intersection with the cached section *)
+  kp_w : int array; (* row-major weights of the segment box *)
+  kp_runs : (int * int * int) array; (* (chunk_off, buf_off, len) *)
+  mutable kp_shift : int; (* chunk-offset shift of the current call *)
+}
+
 (* A site is the per-machine mutable state of one static program
    point: the index scratch buffer of an element access plus an
    inline cache of the backing segment (geometry and storage chunk,
@@ -39,6 +55,19 @@ type site = {
   mutable s_stride : int array;
   mutable s_cnt : int array;
   mutable s_box : Box.t option; (* memoized constant section *)
+  (* intrinsic-query inline cache: while the symbol table generation
+     is unchanged, an iown/accessible/await on the same box has the
+     same answer and the same descriptor-visit charge *)
+  mutable s_qgen : int; (* generation at cached query; min_int = cold *)
+  mutable s_qbox : Box.t option;
+  mutable s_qstate : State.t;
+  mutable s_qvisits : int;
+  (* kernel marshalling-plan cache (inlined kernel path): the piece
+     decomposition of the last applied section, revalidated per call
+     against the descriptors themselves *)
+  mutable s_kbox : Box.t option;
+  mutable s_kpieces : kpiece array;
+  mutable s_ktotal : int; (* elements covered; a hit requires a full cover *)
 }
 
 type machine = {
@@ -49,17 +78,36 @@ type machine = {
   m_bnd : Bytes.t; (* per-variable bound flags *)
   m_sites : site array;
   m_w : world;
+  (* reusable payload/scratch buffers of the inlined kernel path *)
+  mutable m_kbuf : float array;
+  mutable m_ktmp : float array;
 }
 
-type act = A_next | A_block of code array | A_loop of loop
+type act = A_next | A_block of units | A_loop of loop
 and code = machine -> act
+
+(* One schedulable unit of a compiled block: either a single statement
+   (one scheduler turn per act, the PR3 discipline) or a fused
+   superinstruction — a maximal run of statements that can never block
+   on a transfer, executed by [fu_fast] in a single scheduler turn.
+   [fu_slow] is the same run statement-at-a-time; the scheduler falls
+   back to it whenever fusing could reorder an observable event (the
+   processor has a receive in flight). *)
+and unit_ = U_stmt of code | U_fuse of fuse
+and units = unit_ array
+
+and fuse = {
+  fu_fast : machine -> int;  (** run everything; returns statements executed *)
+  fu_slow : units;  (** the same statements, one scheduler turn each *)
+  fu_len : int;  (** top-level statements in the run *)
+}
 
 and loop = {
   l_lo : int;
   l_hi : int;
   l_step : int;
   l_set : machine -> int -> unit;
-  l_body : code array;
+  l_body : units;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -230,7 +278,30 @@ type ctx = {
   shape_of : string -> int list;
   mutable nsites : int;
   mutable site_ranks : int list; (* reversed *)
+  fuse : bool; (* superinstruction fusion enabled *)
+  (* Quiet compilation: the body of a batch-charged loop compiles with
+     every charge diverted into [qtally] at compile time (the body's
+     cost structure is statically fixed — enforced by [fixed_cost_e]),
+     so the loop charges trips * tally once and runs charge-free
+     bodies. *)
+  mutable quiet : bool;
+  mutable qtally : Costmodel.tally;
+  (* fusion statistics (static, accumulated during compilation) *)
+  mutable fs_total : int; (* statements compiled *)
+  mutable fs_fusable : int; (* statements with a fused form *)
+  mutable fs_units : int; (* fused superinstructions emitted *)
+  mutable fs_run_hist : (int * int) list; (* run length -> count, unsorted *)
+  mutable fs_loops : int; (* natively specialized loop statements *)
+  mutable fs_batched : int; (* loops charging one batched tally *)
+  mutable fs_kernels : int; (* inlined kernel call sites *)
 }
+
+let record_run ctx len =
+  ctx.fs_units <- ctx.fs_units + 1;
+  ctx.fs_run_hist <-
+    (match List.assoc_opt len ctx.fs_run_hist with
+    | Some n -> (len, n + 1) :: List.remove_assoc len ctx.fs_run_hist
+    | None -> (len, 1) :: ctx.fs_run_hist)
 
 let ty ctx e = ty_of ctx.tys SDyn e
 
@@ -261,9 +332,15 @@ let pure x = { cost = Costmodel.tally_zero; ab = false; run = (fun _ -> x) }
 let lift f = { cost = Costmodel.tally_zero; ab = false; run = f }
 let map f p = { p with run = (fun m -> f (p.run m)) }
 
-(* Charge the fragment's static head cost, then run it. *)
+(* Charge the fragment's static head cost, then run it.  Under quiet
+   compilation all charges divert into the context tally instead (the
+   caller charges the accumulated total once per execution). *)
 let charged ctx p =
-  if Costmodel.tally_is_zero p.cost then p.run
+  if ctx.quiet then begin
+    ctx.qtally <- Costmodel.tally_add ctx.qtally p.cost;
+    p.run
+  end
+  else if Costmodel.tally_is_zero p.cost then p.run
   else
     let c = Costmodel.tally_cost ctx.cm p.cost in
     fun m ->
@@ -271,12 +348,21 @@ let charged ctx p =
       p.run m
 
 (* Prefix cost (charged before the fragment runs). *)
-let tcost t p = { p with cost = Costmodel.tally_add t p.cost }
+let tcost ctx t p =
+  if ctx.quiet then begin
+    ctx.qtally <- Costmodel.tally_add ctx.qtally t;
+    p
+  end
+  else { p with cost = Costmodel.tally_add t p.cost }
 
 (* Cost charged after the fragment's value is produced; folds into the
    static head when the fragment cannot abort. *)
 let post ctx t p =
-  if not p.ab then { p with cost = Costmodel.tally_add p.cost t }
+  if ctx.quiet then begin
+    ctx.qtally <- Costmodel.tally_add ctx.qtally t;
+    p
+  end
+  else if not p.ab then { p with cost = Costmodel.tally_add p.cost t }
   else if Costmodel.tally_is_zero t then p
   else
     let c = Costmodel.tally_cost ctx.cm t in
@@ -350,6 +436,13 @@ let fresh_site rank =
     s_stride = Array.make rank 1;
     s_cnt = Array.make rank 1;
     s_box = None;
+    s_qgen = min_int;
+    s_qbox = None;
+    s_qstate = State.Unowned;
+    s_qvisits = 0;
+    s_kbox = None;
+    s_kpieces = [||];
+    s_ktotal = 0;
   }
 
 (* Row-major offset of the site's scratch index in the cached segment
@@ -453,11 +546,27 @@ let rec ci ctx e : int frag =
   | Nprocs -> lift (fun m -> m.m_w.w_nprocs)
   | Var v ->
       let sl = slot ctx v in
-      let check = read_slot_check v sl in
-      let off = sl.v_off in
+      let ex =
+        Invalid_argument (Printf.sprintf "unbound scalar variable %s" v)
+      in
+      let off = sl.v_off and id = sl.v_id in
       lift (fun m ->
-          check m;
+          if Bytes.unsafe_get m.m_bnd id = '\000' then raise ex;
           Array.unsafe_get m.m_ints off)
+  | Bin (((Add | Sub) as op), Var v, Int n) ->
+      (* var ± literal, the shape of every stencil subscript: one
+         closure instead of a combinator chain (same check, same
+         charge, same left-to-right order) *)
+      let sl = slot ctx v in
+      let ex =
+        Invalid_argument (Printf.sprintf "unbound scalar variable %s" v)
+      in
+      let off = sl.v_off and id = sl.v_id in
+      let n = match op with Add -> n | _ -> -n in
+      tcost ctx Costmodel.tally_int_op
+        (lift (fun m ->
+             if Bytes.unsafe_get m.m_bnd id = '\000' then raise ex;
+             Array.unsafe_get m.m_ints off + n))
   | Bin (op, a, b) ->
       let ca = ci ctx a and cb_ = ci ctx b in
       let c =
@@ -475,8 +584,8 @@ let rec ci ctx e : int frag =
         | Max -> map2 ctx (fun (x : int) y -> if x >= y then x else y) ca cb_
         | _ -> assert false
       in
-      tcost Costmodel.tally_int_op c
-  | Un (Neg, a) -> tcost Costmodel.tally_int_op (map (fun x -> -x) (ci ctx a))
+      tcost ctx Costmodel.tally_int_op c
+  | Un (Neg, a) -> tcost ctx Costmodel.tally_int_op (map (fun x -> -x) (ci ctx a))
   | Mylb (s, d) ->
       let cs = csec ctx s in
       let arr = s.arr in
@@ -508,10 +617,12 @@ and cf ctx e : float frag =
   | Float x -> pure x
   | Var v ->
       let sl = slot ctx v in
-      let check = read_slot_check v sl in
-      let off = sl.v_off in
+      let ex =
+        Invalid_argument (Printf.sprintf "unbound scalar variable %s" v)
+      in
+      let off = sl.v_off and id = sl.v_id in
       lift (fun m ->
-          check m;
+          if Bytes.unsafe_get m.m_bnd id = '\000' then raise ex;
           Array.unsafe_get m.m_flts off)
   | Elem (a, idxs) -> celem ctx a idxs
   | Bin (op, a, b) ->
@@ -526,9 +637,9 @@ and cf ctx e : float frag =
         | Max -> map2 ctx Float.max ca cb_
         | _ -> assert false
       in
-      tcost Costmodel.tally_int_op c
+      tcost ctx Costmodel.tally_int_op c
   | Un (Neg, a) ->
-      tcost Costmodel.tally_int_op (map (fun x -> -.x) (cf ctx a))
+      tcost ctx Costmodel.tally_int_op (map (fun x -> -.x) (cf ctx a))
   | _ -> assert false
 
 (* Numeric operand of a float-typed operation: a statically-int
@@ -549,35 +660,14 @@ and cb ctx e : bool frag =
       lift (fun m ->
           check m;
           Value.to_bool m.m_vals.(off))
-  | Iown s ->
-      let cs = csec ctx s in
-      let arr = s.arr in
-      {
-        cost = cs.cost;
-        ab = true;
-        run = (fun m -> m.m_w.w_iown arr (cs.run m));
-      }
-  | Accessible s ->
-      let cs = csec ctx s in
-      let arr = s.arr in
-      {
-        cost = cs.cost;
-        ab = true;
-        run = (fun m -> m.m_w.w_accessible arr (cs.run m));
-      }
-  | Await s ->
-      let cs = csec ctx s in
-      let arr = s.arr in
-      {
-        cost = cs.cost;
-        ab = true;
-        run = (fun m -> m.m_w.w_await arr (cs.run m));
-      }
-  | Un (Not, a) -> tcost Costmodel.tally_int_op (map not (c_bool ctx a))
+  | Iown s -> c_query ctx s `Iown
+  | Accessible s -> c_query ctx s `Accessible
+  | Await s -> c_query ctx s `Await
+  | Un (Not, a) -> tcost ctx Costmodel.tally_int_op (map not (c_bool ctx a))
   | Bin (And, a, b) ->
       let ca = c_bool ctx a in
       let br = charged ctx (c_bool ctx b) in
-      tcost Costmodel.tally_int_op
+      tcost ctx Costmodel.tally_int_op
         {
           cost = ca.cost;
           ab = true;
@@ -586,7 +676,7 @@ and cb ctx e : bool frag =
   | Bin (Or, a, b) ->
       let ca = c_bool ctx a in
       let br = charged ctx (c_bool ctx b) in
-      tcost Costmodel.tally_int_op
+      tcost ctx Costmodel.tally_int_op
         {
           cost = ca.cost;
           ab = true;
@@ -641,8 +731,68 @@ and cb ctx e : bool frag =
               (fun x y -> Value.to_bool (Value.binop op x y))
               (cv ctx a) (cv ctx b)
       in
-      tcost Costmodel.tally_int_op c
+      tcost ctx Costmodel.tally_int_op c
   | _ -> assert false
+
+(* Intrinsic placement queries, with a per-site inline cache: while
+   the symbol-table generation is unchanged, the same query on the
+   same box scans the same descriptors — same answer, same visit
+   count — so a hit replays the recorded visit charge without
+   rescanning.  A miss queries the table directly and measures the
+   visit delta exactly as the interpreter's charged hooks do. *)
+and c_query ctx (s : section) which =
+  let cs = csec ctx s in
+  let arr = s.arr in
+  let k = new_site ctx 0 in
+  let td = ctx.cm.Costmodel.time_desc in
+  let lookup m (box : Box.t) : State.t =
+    let st = m.m_w.w_st in
+    let site = m.m_sites.(k) in
+    let g = Symtab.generation st in
+    let hit =
+      site.s_qgen = g
+      && match site.s_qbox with Some b -> Box.equal b box | None -> false
+    in
+    if hit then Symtab.note_visits st site.s_qvisits
+    else begin
+      let v0 = Symtab.descriptor_visits st in
+      let state =
+        match which with
+        | `Iown ->
+            if Symtab.iown st arr box then State.Accessible
+            else State.Unowned
+        | `Accessible ->
+            if Symtab.accessible st arr box then State.Accessible
+            else State.Unowned
+        | `Await -> Symtab.section_state st arr box
+      in
+      site.s_qgen <- g;
+      site.s_qbox <- Some box;
+      site.s_qstate <- state;
+      site.s_qvisits <- Symtab.descriptor_visits st - v0
+    end;
+    m.m_w.w_charge (float_of_int site.s_qvisits *. td);
+    site.s_qstate
+  in
+  match which with
+  | `Await ->
+      {
+        cost = cs.cost;
+        ab = true;
+        run =
+          (fun m ->
+            let box = cs.run m in
+            match lookup m box with
+            | State.Unowned -> false
+            | State.Accessible -> true
+            | State.Transitional -> raise (Evalexpr.Blocked_on (arr, box)));
+      }
+  | `Iown | `Accessible ->
+      {
+        cost = cs.cost;
+        ab = true;
+        run = (fun m -> lookup m (cs.run m) = State.Accessible);
+      }
 
 (* Any expression in boolean position (guards, if-conditions, and/or
    operands): statically-bool goes unboxed, everything else through
@@ -677,7 +827,7 @@ and cvd ctx e =
   | Bin (And, a, b) ->
       let ca = c_bool ctx a in
       let br = charged ctx (cv ctx b) in
-      tcost Costmodel.tally_int_op
+      tcost ctx Costmodel.tally_int_op
         {
           cost = ca.cost;
           ab = true;
@@ -686,45 +836,148 @@ and cvd ctx e =
   | Bin (Or, a, b) ->
       let ca = c_bool ctx a in
       let br = charged ctx (cv ctx b) in
-      tcost Costmodel.tally_int_op
+      tcost ctx Costmodel.tally_int_op
         {
           cost = ca.cost;
           ab = true;
           run = (fun m -> if ca.run m then vtrue else br m);
         }
   | Bin (op, a, b) ->
-      tcost Costmodel.tally_int_op
+      tcost ctx Costmodel.tally_int_op
         (map2 ctx (Value.binop op) (cv ctx a) (cv ctx b))
   | Un (op, a) ->
-      tcost Costmodel.tally_int_op (map (Value.unop op) (cv ctx a))
+      tcost ctx Costmodel.tally_int_op (map (Value.unop op) (cv ctx a))
   | _ -> assert false (* every other constructor has a concrete type *)
 
+(* Evaluate subscripts left-to-right into site [k]'s scratch buffer.
+   When no subscript can abort (no intrinsic queries inside), the
+   whole fill is one closure over an array of compiled subscripts —
+   costs fold into the static head exactly as the combinator chain
+   would fold them, so charges are unchanged. *)
+and c_fill ctx k idxs = c_fill2 ctx k (List.map (fun e -> c_idx ctx e) idxs)
+
+and c_fill2 ctx k (ces : int frag list) =
+  if List.for_all (fun (c : int frag) -> not c.ab) ces then begin
+    let cost =
+      List.fold_left
+        (fun acc (c : int frag) -> Costmodel.tally_add acc c.cost)
+        Costmodel.tally_zero ces
+    in
+    let runs = Array.of_list (List.map (fun (c : int frag) -> c.run) ces) in
+    {
+      cost;
+      ab = false;
+      run =
+        (fun m ->
+          let s = m.m_sites.(k) in
+          for d = 0 to Array.length runs - 1 do
+            s.s_idx.(d) <- (Array.unsafe_get runs d) m
+          done);
+    }
+  end
+  else
+    let rec fill d = function
+      | [] -> pure ()
+      | ce :: es ->
+          let st =
+            {
+              cost = ce.cost;
+              ab = ce.ab;
+              run = (fun m -> m.m_sites.(k).s_idx.(d) <- ce.run m);
+            }
+          in
+          seq2 ctx st (fill (d + 1) es)
+    in
+    fill 0 ces
+
 (* Element read: subscripts evaluate into the site's scratch buffer
-   (charging as they go), one memory charge, then the cached read. *)
+   (charging as they go), one memory charge, then the cached read.
+   Rank-1/2 reads with non-abortable subscripts — every stencil
+   reference — compile to a single closure with the offset arithmetic
+   of [site_off] unrolled inline; the scratch buffer is only filled on
+   the slow path, whose diagnostics need it. *)
 and celem ctx arr idxs =
   let k = new_site ctx (List.length idxs) in
-  let rec fill d = function
-    | [] -> pure ()
-    | e :: es ->
-        let ce = c_idx ctx e in
-        let st =
+  let ces = List.map (fun e -> c_idx ctx e) idxs in
+  let specialized =
+    match ces with
+    | [ c0 ] when not c0.ab ->
+        let r0 = c0.run in
+        Some
           {
-            cost = ce.cost;
-            ab = ce.ab;
-            run = (fun m -> m.m_sites.(k).s_idx.(d) <- ce.run m);
+            cost = c0.cost;
+            ab = false;
+            run =
+              (fun m ->
+                let i = r0 m in
+                let s = m.m_sites.(k) in
+                if s.s_gen = Symtab.generation m.m_w.w_st then begin
+                  let k0 = i - Array.unsafe_get s.s_lo 0 in
+                  let st0 = Array.unsafe_get s.s_stride 0 in
+                  if k0 >= 0 && i <= Array.unsafe_get s.s_hi 0
+                     && k0 mod st0 = 0
+                  then Array.unsafe_get s.s_data (k0 / st0)
+                  else begin
+                    s.s_idx.(0) <- i;
+                    slow_read m s arr
+                  end
+                end
+                else begin
+                  s.s_idx.(0) <- i;
+                  slow_read m s arr
+                end);
           }
-        in
-        seq2 ctx st (fill (d + 1) es)
+    | [ c0; c1 ] when (not c0.ab) && not c1.ab ->
+        let r0 = c0.run and r1 = c1.run in
+        Some
+          {
+            cost = Costmodel.tally_add c0.cost c1.cost;
+            ab = false;
+            run =
+              (fun m ->
+                let i = r0 m in
+                let j = r1 m in
+                let s = m.m_sites.(k) in
+                if s.s_gen = Symtab.generation m.m_w.w_st then begin
+                  let k0 = i - Array.unsafe_get s.s_lo 0 in
+                  let k1 = j - Array.unsafe_get s.s_lo 1 in
+                  let st0 = Array.unsafe_get s.s_stride 0 in
+                  let st1 = Array.unsafe_get s.s_stride 1 in
+                  if
+                    k0 >= 0 && k1 >= 0
+                    && i <= Array.unsafe_get s.s_hi 0
+                    && j <= Array.unsafe_get s.s_hi 1
+                    && k0 mod st0 = 0
+                    && k1 mod st1 = 0
+                  then
+                    Array.unsafe_get s.s_data
+                      ((k0 / st0 * Array.unsafe_get s.s_cnt 1) + (k1 / st1))
+                  else begin
+                    s.s_idx.(0) <- i;
+                    s.s_idx.(1) <- j;
+                    slow_read m s arr
+                  end
+                end
+                else begin
+                  s.s_idx.(0) <- i;
+                  s.s_idx.(1) <- j;
+                  slow_read m s arr
+                end);
+          }
+    | _ -> None
   in
-  let filled = post ctx Costmodel.tally_mem (fill 0 idxs) in
-  {
-    cost = filled.cost;
-    ab = true;
-    run =
-      (fun m ->
-        filled.run m;
-        read_site m k arr);
-  }
+  match specialized with
+  | Some base -> { (post ctx Costmodel.tally_mem base) with ab = true }
+  | None ->
+      let filled = post ctx Costmodel.tally_mem (c_fill2 ctx k ces) in
+      {
+        cost = filled.cost;
+        ab = true;
+        run =
+          (fun m ->
+            filled.run m;
+            read_site m k arr);
+      }
 
 (* Section resolution.  Per-dimension selectors evaluate left to
    right; inside a Slice the interpreter's [Triplet.make ~lo ~hi
@@ -820,82 +1073,328 @@ let unowned_read_misuse m n =
     (m.m_w.w_misuse
        (Printf.sprintf "read of unowned %s outside a compute rule" n))
 
-let rec cstmt ctx (s : stmt) : code =
+(* ------------------------------------------------------------------ *)
+(* Fusion region analysis (DESIGN.md §4d).  A statement may execute
+   inside a superinstruction — without ever yielding its scheduler
+   turn — iff it can never raise [Blocked_on]: transfer statements and
+   [await] expressions are the only blocking points, so any statement
+   that is neither is fusable.  [Unowned_ref] and misuse aborts are
+   fatal diagnostics, not yields, and may still end a fused run
+   mid-flight. *)
+
+let rec no_await_e = function
+  | Int _ | Float _ | Bool _ | Mypid | Nprocs | Var _ -> true
+  | Await _ -> false
+  | Elem (_, es) -> List.for_all no_await_e es
+  | Bin (_, a, b) -> no_await_e a && no_await_e b
+  | Un (_, a) -> no_await_e a
+  | Mylb (s, _) | Myub (s, _) | Iown s | Accessible s -> no_await_sec s
+
+and no_await_sec s =
+  List.for_all
+    (function
+      | All -> true
+      | At e -> no_await_e e
+      | Slice (a, b, c) -> no_await_e a && no_await_e b && no_await_e c)
+    s.sel
+
+(* A fixed-cost expression charges the same static tally on every
+   evaluation: no short-circuit operators (data-dependent charges), no
+   descriptor intrinsics (run-time descriptor-visit charges).  Only
+   such expressions may compile quietly under a batched loop charge. *)
+let rec fixed_cost_e = function
+  | Int _ | Float _ | Bool _ | Mypid | Nprocs | Var _ -> true
+  | Bin ((And | Or), _, _) -> false
+  | Iown _ | Accessible _ | Await _ -> false
+  | Elem (_, es) -> List.for_all fixed_cost_e es
+  | Bin (_, a, b) -> fixed_cost_e a && fixed_cost_e b
+  | Un (_, a) -> fixed_cost_e a
+  | Mylb (s, _) | Myub (s, _) ->
+      List.for_all
+        (function
+          | All -> true
+          | At e -> fixed_cost_e e
+          | Slice (a, b, c) ->
+              fixed_cost_e a && fixed_cost_e b && fixed_cost_e c)
+        s.sel
+
+(* Element-store core, shared by the turn-stepped statement, the fused
+   run, and (compiled quietly) the batched loop body. *)
+let compile_elem_assign ctx a idxs e =
+  let k = new_site ctx (List.length idxs) in
+  let fillr = charged ctx (c_fill ctx k idxs) in
+  let rhsr = charged ctx (post ctx Costmodel.tally_mem (c_float_rhs ctx e)) in
+  fun m ->
+    fillr m;
+    let off = write_check m k a in
+    let x =
+      try rhsr m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+    in
+    store_site m k a x off
+
+(* Compile an element store with all charges diverted into a tally:
+   the runner charges nothing, the returned tally is its exact
+   per-execution cost (valid because the caller checked
+   [fixed_cost_e] on every subexpression). *)
+let quiet_elem_assign ctx a idxs e =
+  assert (not ctx.quiet);
+  ctx.quiet <- true;
+  ctx.qtally <- Costmodel.tally_zero;
+  let run = compile_elem_assign ctx a idxs e in
+  let t = ctx.qtally in
+  ctx.quiet <- false;
+  ctx.qtally <- Costmodel.tally_zero;
+  (run, t)
+
+let kbuf m n =
+  if Array.length m.m_kbuf < n then m.m_kbuf <- Array.make n 0.0;
+  m.m_kbuf
+
+let ktmp m n =
+  if Array.length m.m_ktmp < n then m.m_ktmp <- Array.make n 0.0;
+  m.m_ktmp
+
+(* Revalidate a site's kernel plan against [box]: succeeds when [box]
+   is the cached section translated along at most one dimension and
+   every piece, equally shifted, still lands inside its original
+   segment — which must itself still be owned with the same chunk.
+   Ownership moves at segment granularity and retired descriptors are
+   never resurrected, so these per-descriptor checks subsume a
+   generation check: a valid plan is exactly the decomposition a fresh
+   scan would produce (pieces of pairwise-disjoint live segments whose
+   counts sum to the section's, i.e. an exact cover).  On success each
+   piece's [kp_shift] holds its chunk-offset delta. *)
+let replant site (box : Box.t) =
+  match site.s_kbox with
+  | None -> false
+  | Some cached ->
+      let rank = Box.rank cached in
+      Box.rank box = rank
+      && begin
+           let dd = ref 0 and delta = ref 0 and ok = ref true in
+           for d = 1 to rank do
+             let tc = Box.dim cached d and tb = Box.dim box d in
+             if not (Triplet.equal tc tb) then
+               if
+                 !dd = 0
+                 && tb.Triplet.stride = tc.Triplet.stride
+                 && tb.Triplet.lo - tc.Triplet.lo = tb.Triplet.hi - tc.Triplet.hi
+               then begin
+                 dd := d;
+                 delta := tb.Triplet.lo - tc.Triplet.lo
+               end
+               else ok := false
+           done;
+           !ok
+           && begin
+                let d = !dd and dl = !delta in
+                let pieces = site.s_kpieces in
+                let np = Array.length pieces in
+                let rec go i =
+                  if i >= np then true
+                  else
+                    let p = pieces.(i) in
+                    let sg = p.kp_seg in
+                    sg.Symtab.status <> State.Unowned
+                    && (match sg.Symtab.data with
+                       | Some c -> c == p.kp_data
+                       | None -> false)
+                    && (if d = 0 then begin
+                          p.kp_shift <- 0;
+                          true
+                        end
+                        else
+                          (* piece strides divide the segment stride's
+                             multiples by construction, so membership of
+                             the shifted low end plus the high bound
+                             keeps the whole piece inside the segment *)
+                          let pt = Box.dim p.kp_piece d
+                          and st = Box.dim sg.Symtab.seg_box d in
+                          Triplet.mem (pt.Triplet.lo + dl) st
+                          && pt.Triplet.hi + dl <= st.Triplet.hi
+                          && begin
+                               p.kp_shift <-
+                                 dl / st.Triplet.stride * p.kp_w.(d - 1);
+                               true
+                             end)
+                    && go (i + 1)
+                in
+                go 0
+              end
+         end
+
+(* Build a fresh plan for [box] from the table's piece decomposition
+   (charges one covering query, like the scan it memoizes). *)
+let plant st site arr (box : Box.t) =
+  let pieces = ref [] and total = ref 0 in
+  Symtab.iter_pieces st arr box (fun data piece ~seg ~seg_view ~box_view ->
+      let runs = ref [] in
+      Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun src dst len ->
+          runs := (src, dst, len) :: !runs);
+      total := !total + Box.count piece;
+      pieces :=
+        {
+          kp_seg = seg;
+          kp_data = data;
+          kp_piece = piece;
+          kp_w = Box.weights seg.Symtab.seg_box;
+          kp_runs = Array.of_list (List.rev !runs);
+          kp_shift = 0;
+        }
+        :: !pieces);
+  site.s_kbox <- Some box;
+  site.s_kpieces <- Array.of_list (List.rev !pieces);
+  site.s_ktotal <- !total
+
+let plan_read site buf =
+  Array.iter
+    (fun p ->
+      let sh = p.kp_shift in
+      Array.iter
+        (fun (src, dst, len) ->
+          if len = 1 then buf.(dst) <- p.kp_data.(src + sh)
+          else Array.blit p.kp_data (src + sh) buf dst len)
+        p.kp_runs)
+    site.s_kpieces
+
+let plan_write site buf =
+  Array.iter
+    (fun p ->
+      let sh = p.kp_shift in
+      Array.iter
+        (fun (src, dst, len) ->
+          if len = 1 then p.kp_data.(src + sh) <- buf.(dst)
+          else Array.blit buf dst p.kp_data (src + sh) len)
+        p.kp_runs)
+    site.s_kpieces
+
+(* A plan that is one contiguous chunk run can transform in place,
+   skipping both copies (the transform itself is identical float ops
+   on identical values, so results stay bit-for-bit the same). *)
+let plan_solid site n =
+  match site.s_kpieces with
+  | [| p |] -> (
+      match p.kp_runs with
+      | [| (src, 0, len) |] when len = n -> Some (p.kp_data, src + p.kp_shift)
+      | _ -> None)
+  | _ -> None
+
+(* A compiled statement: the turn-stepped form plus, when fusable, the
+   fused form (returning statements executed).  [sc_solo] marks
+   statements worth fusing even alone: compound statements and inlined
+   kernels collapse many scheduler turns into one. *)
+type sc = {
+  sc_code : code;
+  sc_fast : (machine -> int) option;
+  sc_solo : bool;
+}
+
+type blk = { b_units : units; b_fast : (machine -> int) option }
+
+let compose_fast (fasts : (machine -> int) array) =
+  match Array.length fasts with
+  | 0 -> fun _ -> 0
+  | 1 -> fasts.(0)
+  | len ->
+      fun m ->
+        let k = ref 0 in
+        for i = 0 to len - 1 do
+          k := !k + (Array.unsafe_get fasts i) m
+        done;
+        !k
+
+let rec cstmt ctx (s : stmt) : sc =
+  let sc = cstmt_k ctx s in
+  ctx.fs_total <- ctx.fs_total + 1;
+  if sc.sc_fast <> None then ctx.fs_fusable <- ctx.fs_fusable + 1;
+  sc
+
+and cstmt_k ctx (s : stmt) : sc =
+  let stmt code = { sc_code = code; sc_fast = None; sc_solo = false } in
   match s with
-  | Assign (Lvar v, e) -> (
+  | Assign (Lvar v, e) ->
       let sl = slot ctx v in
       let off = sl.v_off and id = sl.v_id in
-      match sl.v_kind with
-      | KInt ->
-          let r = charged ctx (post ctx Costmodel.tally_mem (ci ctx e)) in
-          fun m ->
-            let x =
-              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
-            in
-            Array.unsafe_set m.m_ints off x;
-            Bytes.unsafe_set m.m_bnd id '\001';
-            A_next
-      | KFloat ->
-          let r = charged ctx (post ctx Costmodel.tally_mem (cf ctx e)) in
-          fun m ->
-            let x =
-              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
-            in
-            Array.unsafe_set m.m_flts off x;
-            Bytes.unsafe_set m.m_bnd id '\001';
-            A_next
-      | KVal ->
-          let r = charged ctx (post ctx Costmodel.tally_mem (cv ctx e)) in
-          fun m ->
-            let x =
-              try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
-            in
-            m.m_vals.(off) <- x;
-            Bytes.unsafe_set m.m_bnd id '\001';
-            A_next)
+      let run =
+        match sl.v_kind with
+        | KInt ->
+            let r = charged ctx (post ctx Costmodel.tally_mem (ci ctx e)) in
+            fun m ->
+              let x =
+                try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+              in
+              Array.unsafe_set m.m_ints off x;
+              Bytes.unsafe_set m.m_bnd id '\001'
+        | KFloat ->
+            let r = charged ctx (post ctx Costmodel.tally_mem (cf ctx e)) in
+            fun m ->
+              let x =
+                try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+              in
+              Array.unsafe_set m.m_flts off x;
+              Bytes.unsafe_set m.m_bnd id '\001'
+        | KVal ->
+            let r = charged ctx (post ctx Costmodel.tally_mem (cv ctx e)) in
+            fun m ->
+              let x =
+                try r m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
+              in
+              m.m_vals.(off) <- x;
+              Bytes.unsafe_set m.m_bnd id '\001'
+      in
+      {
+        sc_code =
+          (fun m ->
+            run m;
+            A_next);
+        sc_fast =
+          (if ctx.fuse && no_await_e e then
+             Some
+               (fun m ->
+                 run m;
+                 1)
+           else None);
+        sc_solo = false;
+      }
   | Assign (Lelem (a, idxs), e) ->
-      let k = new_site ctx (List.length idxs) in
-      let rec fill d = function
-        | [] -> pure ()
-        | ie :: es ->
-            let ce = c_idx ctx ie in
-            let st =
-              {
-                cost = ce.cost;
-                ab = ce.ab;
-                run = (fun m -> m.m_sites.(k).s_idx.(d) <- ce.run m);
-              }
-            in
-            seq2 ctx st (fill (d + 1) es)
-      in
-      let fillr = charged ctx (fill 0 idxs) in
-      let rhsr =
-        charged ctx (post ctx Costmodel.tally_mem (c_float_rhs ctx e))
-      in
-      fun m ->
-        fillr m;
-        let off = write_check m k a in
-        let x =
-          try rhsr m with Evalexpr.Unowned_ref n -> unowned_read_misuse m n
-        in
-        store_site m k a x off;
-        A_next
+      let run = compile_elem_assign ctx a idxs e in
+      {
+        sc_code =
+          (fun m ->
+            run m;
+            A_next);
+        sc_fast =
+          (if ctx.fuse && List.for_all no_await_e (e :: idxs) then
+             Some
+               (fun m ->
+                 run m;
+                 1)
+           else None);
+        sc_solo = false;
+      }
   | Guard (g, body) ->
       let cg = c_bool ctx g in
       let head =
         Costmodel.tally_cost ctx.cm
           (Costmodel.tally_add Costmodel.tally_guard cg.cost)
       in
-      let bodyc = cblock ctx body in
-      fun m ->
+      let bodyb = cblock ctx body in
+      let test m =
         m.m_w.w_guard_eval ();
         if head <> 0.0 then m.m_w.w_charge head;
         let b = try cg.run m with Evalexpr.Unowned_ref _ -> false in
-        if b then begin
-          m.m_w.w_guard_hit ();
-          A_block bodyc
-        end
-        else A_next
+        if b then m.m_w.w_guard_hit ();
+        b
+      in
+      {
+        sc_code = (fun m -> if test m then A_block bodyb.b_units else A_next);
+        sc_fast =
+          (match bodyb.b_fast with
+          | Some bf when ctx.fuse && no_await_e g ->
+              Some (fun m -> if test m then 1 + bf m else 1)
+          | _ -> None);
+        sc_solo = true;
+      }
   | For { var; lo; hi; step; body; _ } ->
       let cl = c_idx ctx lo and ch = c_idx ctx hi and cs = c_idx ctx step in
       let trip = map2 ctx (fun a b -> (a, b)) cl ch in
@@ -915,119 +1414,353 @@ let rec cstmt ctx (s : stmt) : code =
               Bytes.unsafe_set m.m_bnd id '\001'
         | KFloat -> assert false (* loop vars are never float-typed *)
       in
-      let bodyc = cblock ctx body in
       let int_op = ctx.cm.Costmodel.time_int_op in
-      fun m ->
+      (* The batched specialization compiles the body itself (quietly);
+         only the other cases need the generic block. *)
+      let batched =
+        if not (ctx.fuse && List.for_all no_await_e [ lo; hi; step ]) then
+          None
+        else
+          match body with
+          | [ Assign (Lelem (a, idxs), e) ]
+            when List.for_all fixed_cost_e (e :: idxs) ->
+              let qrun, qt = quiet_elem_assign ctx a idxs e in
+              let iter = int_op +. Costmodel.tally_cost ctx.cm qt in
+              ctx.fs_loops <- ctx.fs_loops + 1;
+              ctx.fs_batched <- ctx.fs_batched + 1;
+              Some
+                (fun m ->
+                  let lo, hi, step = tripr m in
+                  if step <= 0 then
+                    raise (m.m_w.w_misuse "non-positive loop step");
+                  if lo > hi then begin
+                    m.m_w.w_charge int_op;
+                    1
+                  end
+                  else begin
+                    let n = ((hi - lo) / step) + 1 in
+                    m.m_w.w_charge (int_op +. (float_of_int n *. iter));
+                    let cur = ref lo in
+                    while !cur <= hi do
+                      set m !cur;
+                      qrun m;
+                      cur := !cur + step
+                    done;
+                    1 + n
+                  end)
+          | _ -> None
+      in
+      let bodyb = cblock ctx body in
+      let code m =
         let lo, hi, step = tripr m in
         if step <= 0 then raise (m.m_w.w_misuse "non-positive loop step");
         m.m_w.w_charge int_op;
         if lo <= hi then
-          A_loop { l_lo = lo; l_hi = hi; l_step = step; l_set = set; l_body = bodyc }
+          A_loop
+            {
+              l_lo = lo;
+              l_hi = hi;
+              l_step = step;
+              l_set = set;
+              l_body = bodyb.b_units;
+            }
         else A_next
+      in
+      let fast =
+        match batched with
+        | Some _ -> batched
+        | None -> (
+            match bodyb.b_fast with
+            | Some bf when ctx.fuse && List.for_all no_await_e [ lo; hi; step ]
+              ->
+                ctx.fs_loops <- ctx.fs_loops + 1;
+                Some
+                  (fun m ->
+                    let lo, hi, step = tripr m in
+                    if step <= 0 then
+                      raise (m.m_w.w_misuse "non-positive loop step");
+                    m.m_w.w_charge int_op;
+                    let n = ref 1 in
+                    let cur = ref lo in
+                    while !cur <= hi do
+                      set m !cur;
+                      cur := !cur + step;
+                      m.m_w.w_charge int_op;
+                      n := !n + bf m
+                    done;
+                    !n)
+            | _ -> None)
+      in
+      { sc_code = code; sc_fast = fast; sc_solo = true }
   | If (c, a, b) ->
       let cc = charged ctx (c_bool ctx c) in
+      let run_cond m =
+        try cc m
+        with Evalexpr.Unowned_ref n ->
+          raise
+            (m.m_w.w_misuse
+               (Printf.sprintf "read of unowned %s in if-condition" n))
+      in
       let ca = cblock ctx a and cbk = cblock ctx b in
-      fun m ->
-        let v =
-          try cc m
-          with Evalexpr.Unowned_ref n ->
-            raise
-              (m.m_w.w_misuse
-                 (Printf.sprintf "read of unowned %s in if-condition" n))
-        in
-        A_block (if v then ca else cbk)
+      {
+        sc_code =
+          (fun m -> A_block (if run_cond m then ca.b_units else cbk.b_units));
+        sc_fast =
+          (match (ca.b_fast, cbk.b_fast) with
+          | Some fa, Some fb when ctx.fuse && no_await_e c ->
+              Some (fun m -> if run_cond m then 1 + fa m else 1 + fb m)
+          | _ -> None);
+        sc_solo = true;
+      }
   | Send_value (s, dest) -> (
       let r = charged ctx (csec ctx s) in
       let arr = s.arr in
       match dest with
       | Unspecified ->
           let none_thunk () = None in
-          fun m ->
-            let box = r m in
-            m.m_w.w_send_value ~arr ~box ~dests:none_thunk;
-            A_next
+          stmt (fun m ->
+              let box = r m in
+              m.m_w.w_send_value ~arr ~box ~dests:none_thunk;
+              A_next)
       | Directed es ->
           let cds = List.map (fun e -> charged ctx (c_idx ctx e)) es in
-          fun m ->
-            let box = r m in
-            m.m_w.w_send_value ~arr ~box
-              ~dests:(fun () ->
-                Some
-                  (List.map
-                     (fun dr ->
-                       let pid1 = dr m in
-                       if pid1 < 1 || pid1 > m.m_w.w_nprocs then
-                         raise
-                           (m.m_w.w_misuse
-                              (Printf.sprintf
-                                 "send directed to invalid processor %d" pid1));
-                       pid1 - 1)
-                     cds));
-            A_next)
+          stmt (fun m ->
+              let box = r m in
+              m.m_w.w_send_value ~arr ~box
+                ~dests:(fun () ->
+                  Some
+                    (List.map
+                       (fun dr ->
+                         let pid1 = dr m in
+                         if pid1 < 1 || pid1 > m.m_w.w_nprocs then
+                           raise
+                             (m.m_w.w_misuse
+                                (Printf.sprintf
+                                   "send directed to invalid processor %d"
+                                   pid1));
+                         pid1 - 1)
+                       cds));
+              A_next))
   | Send_owner s ->
       let r = charged ctx (csec ctx s) in
       let arr = s.arr in
-      fun m ->
-        m.m_w.w_send_owner ~with_value:false ~arr ~box:(r m);
-        A_next
+      stmt (fun m ->
+          m.m_w.w_send_owner ~with_value:false ~arr ~box:(r m);
+          A_next)
   | Send_owner_value s ->
       let r = charged ctx (csec ctx s) in
       let arr = s.arr in
-      fun m ->
-        m.m_w.w_send_owner ~with_value:true ~arr ~box:(r m);
-        A_next
+      stmt (fun m ->
+          m.m_w.w_send_owner ~with_value:true ~arr ~box:(r m);
+          A_next)
   | Recv_owner s ->
       let r = charged ctx (csec ctx s) in
       let arr = s.arr in
-      fun m ->
-        m.m_w.w_recv_owner ~with_value:false ~arr ~box:(r m);
-        A_next
+      stmt (fun m ->
+          m.m_w.w_recv_owner ~with_value:false ~arr ~box:(r m);
+          A_next)
   | Recv_owner_value s ->
       let r = charged ctx (csec ctx s) in
       let arr = s.arr in
-      fun m ->
-        m.m_w.w_recv_owner ~with_value:true ~arr ~box:(r m);
-        A_next
+      stmt (fun m ->
+          m.m_w.w_recv_owner ~with_value:true ~arr ~box:(r m);
+          A_next)
   | Recv_value { into; from } ->
       let cinto = csec ctx into and cfrom = csec ctx from in
       let both = map2 ctx (fun a b -> (a, b)) cinto cfrom in
       let r = charged ctx both in
       let ia = into.arr and fa = from.arr in
-      fun m ->
-        let ib, fb = r m in
-        m.m_w.w_recv_value ~into:(ia, ib) ~from:(fa, fb);
-        A_next
+      stmt (fun m ->
+          let ib, fb = r m in
+          m.m_w.w_recv_value ~into:(ia, ib) ~from:(fa, fb);
+          A_next)
   | Apply { fn; args } -> (
       match Xdp.Kernels.find ctx.kernels fn with
       | None ->
-          fun m ->
-            raise
-              (m.m_w.w_misuse (Printf.sprintf "unknown kernel %s" fn))
+          stmt (fun m ->
+              raise (m.m_w.w_misuse (Printf.sprintf "unknown kernel %s" fn)))
       | Some k ->
           let names = List.map (fun (s : section) -> s.arr) args in
           let r = charged ctx (seq_list ctx (List.map (csec ctx) args)) in
-          fun m ->
+          let run m =
             let boxes = r m in
-            m.m_w.w_apply ~fn k (List.combine names boxes);
-            A_next)
+            m.m_w.w_apply ~fn k (List.combine names boxes)
+          in
+          let code m =
+            run m;
+            A_next
+          in
+          if not (ctx.fuse && List.for_all no_await_sec args) then stmt code
+          else
+            let inlined =
+              match args with
+              | [ s ] when k == Xdp.Kernels.fft1d ->
+                  (* inline the Kernels.dht call path: resolve, check
+                     ownership, transform in place over reused machine
+                     buffers, charge the identical flop/mem cost —
+                     replicating Exec's apply_core event for event. *)
+                  let rs = charged ctx (csec ctx s) in
+                  let arr = s.arr in
+                  let flop = ctx.cm.Costmodel.time_flop
+                  and mem = ctx.cm.Costmodel.time_mem in
+                  ctx.fs_kernels <- ctx.fs_kernels + 1;
+                  let ks = new_site ctx 0 in
+                  (* Event-for-event replica of Exec's apply_core:
+                     ownership query, pack (one covering scan), dht,
+                     unpack (one covering scan), then the closed-form
+                     flop/mem charge.  A valid marshalling plan stands
+                     in for all three scans; their descriptor visits
+                     are replayed at the same points so the charge
+                     stream is unchanged even if the kernel raises
+                     between pack and unpack. *)
+                  Some
+                    (fun m ->
+                      let box = rs m in
+                      let st = m.m_w.w_st in
+                      let site = m.m_sites.(ks) in
+                      let n = Box.count box in
+                      let live = Symtab.live_count st arr in
+                      if n > 0 && site.s_ktotal = n && replant site box then begin
+                        Symtab.note_visits st (2 * live);
+                        let tmp = ktmp m n in
+                        (match plan_solid site n with
+                        | Some (data, off) ->
+                            Xdp.Kernels.dht_sub ~buf:data ~tmp ~off ~stride:1
+                              ~n;
+                            Symtab.note_visits st live
+                        | None ->
+                            let buf = kbuf m n in
+                            plan_read site buf;
+                            Xdp.Kernels.dht_sub ~buf ~tmp ~off:0 ~stride:1 ~n;
+                            Symtab.note_visits st live;
+                            plan_write site buf)
+                      end
+                      else begin
+                        if not (Symtab.iown st arr box) then
+                          raise
+                            (m.m_w.w_misuse
+                               (Printf.sprintf
+                                  "kernel %s applied to unowned section %s" fn
+                                  (arr ^ Box.to_string box)));
+                        plant st site arr box;
+                        let buf = kbuf m n and tmp = ktmp m n in
+                        (* a partial cover reads as zeros: transitional
+                           segments without storage contribute nothing,
+                           exactly like the fresh buffer the reference
+                           engine allocates *)
+                        if site.s_ktotal < n then Array.fill buf 0 n 0.0;
+                        plan_read site buf;
+                        Xdp.Kernels.dht_sub ~buf ~tmp ~off:0 ~stride:1 ~n;
+                        Symtab.note_visits st live;
+                        plan_write site buf
+                      end;
+                      let flops =
+                        5.0 *. float_of_int n *. Xdp.Kernels.log2f n
+                      in
+                      m.m_w.w_charge
+                        ((flops *. flop)
+                        +. (2.0 *. float_of_int n *. mem));
+                      1)
+              | _ -> None
+            in
+            {
+              sc_code = code;
+              sc_fast =
+                (match inlined with
+                | Some _ -> inlined
+                | None ->
+                    Some
+                      (fun m ->
+                        run m;
+                        1));
+              sc_solo = inlined <> None;
+            })
 
-and cblock ctx stmts = Array.of_list (List.map (cstmt ctx) stmts)
+(* Group each block's maximal runs of fusable statements into
+   superinstructions; a singleton run is only worth the fused unit
+   when the statement collapses turns by itself. *)
+and cblock ctx stmts : blk =
+  let scs = List.map (cstmt ctx) stmts in
+  let b_fast =
+    if ctx.fuse && List.for_all (fun sc -> sc.sc_fast <> None) scs then
+      Some
+        (compose_fast
+           (Array.of_list (List.map (fun sc -> Option.get sc.sc_fast) scs)))
+    else None
+  in
+  let units = ref [] in
+  let flush = function
+    | [] -> ()
+    | [ sc ] when not sc.sc_solo -> units := U_stmt sc.sc_code :: !units
+    | rev_run ->
+        let run = List.rev rev_run in
+        let fasts =
+          Array.of_list (List.map (fun sc -> Option.get sc.sc_fast) run)
+        in
+        let slow =
+          Array.of_list (List.map (fun sc -> U_stmt sc.sc_code) run)
+        in
+        let len = Array.length fasts in
+        record_run ctx len;
+        units :=
+          U_fuse { fu_fast = compose_fast fasts; fu_slow = slow; fu_len = len }
+          :: !units
+  in
+  let pending = ref [] in
+  List.iter
+    (fun sc ->
+      match sc.sc_fast with
+      | Some _ -> pending := sc :: !pending
+      | None ->
+          flush !pending;
+          pending := [];
+          units := U_stmt sc.sc_code :: !units)
+    scs;
+  flush !pending;
+  { b_units = Array.of_list (List.rev !units); b_fast }
 
 (* ------------------------------------------------------------------ *)
 
+type fusion_stats = {
+  fs_statements : int;
+  fs_fusable : int;
+  fs_fused_units : int;
+  fs_run_hist : (int * int) list;
+  fs_spec_loops : int;
+  fs_batched_loops : int;
+  fs_inlined_kernels : int;
+}
+
 type cprog = {
-  c_body : code array;
+  c_body : units;
   c_nints : int;
   c_nflts : int;
   c_nvals : int;
   c_nvars : int;
   c_site_ranks : int array;
   c_seed : (slot * Value.t) list;
+  c_fstats : fusion_stats;
 }
 
 let body cp = cp.c_body
+let fusion_stats cp = cp.c_fstats
 
-let compile ~cost ~kernels ~scalars (p : program) =
+let fusion_digest cp =
+  let s = cp.c_fstats in
+  let b = Buffer.create 128 in
+  Printf.bprintf b
+    "stmts=%d fusable=%d units=%d loops=%d batched=%d kernels=%d hist="
+    s.fs_statements s.fs_fusable s.fs_fused_units s.fs_spec_loops
+    s.fs_batched_loops s.fs_inlined_kernels;
+  List.iter (fun (l, n) -> Printf.bprintf b "%d:%d," l n) s.fs_run_hist;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let fuse_default =
+  match Sys.getenv_opt "XDP_NO_FUSE" with
+  | None | Some "" | Some "0" -> true
+  | Some _ -> false
+
+let compile ?(fuse = fuse_default) ~cost ~kernels ~scalars (p : program) =
   let vars = collect_vars p scalars in
   let tys = infer_types p scalars vars in
   let slots = Hashtbl.create 32 in
@@ -1059,9 +1792,19 @@ let compile ~cost ~kernels ~scalars (p : program) =
         (fun name -> Xdp_dist.Layout.shape (decl_of p name).layout);
       nsites = 0;
       site_ranks = [];
+      fuse;
+      quiet = false;
+      qtally = Costmodel.tally_zero;
+      fs_total = 0;
+      fs_fusable = 0;
+      fs_units = 0;
+      fs_run_hist = [];
+      fs_loops = 0;
+      fs_batched = 0;
+      fs_kernels = 0;
     }
   in
-  let body = cblock ctx p.body in
+  let body = (cblock ctx p.body).b_units in
   {
     c_body = body;
     c_nints = !ni;
@@ -1071,6 +1814,16 @@ let compile ~cost ~kernels ~scalars (p : program) =
     c_site_ranks = Array.of_list (List.rev ctx.site_ranks);
     c_seed =
       List.map (fun (v, x) -> (Hashtbl.find slots v, x)) scalars;
+    c_fstats =
+      {
+        fs_statements = ctx.fs_total;
+        fs_fusable = ctx.fs_fusable;
+        fs_fused_units = ctx.fs_units;
+        fs_run_hist = List.sort compare ctx.fs_run_hist;
+        fs_spec_loops = ctx.fs_loops;
+        fs_batched_loops = ctx.fs_batched;
+        fs_inlined_kernels = ctx.fs_kernels;
+      };
   }
 
 let machine cp w =
@@ -1083,6 +1836,8 @@ let machine cp w =
       m_bnd = Bytes.make cp.c_nvars '\000';
       m_sites = Array.map fresh_site cp.c_site_ranks;
       m_w = w;
+      m_kbuf = [||];
+      m_ktmp = [||];
     }
   in
   List.iter

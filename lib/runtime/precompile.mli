@@ -29,7 +29,22 @@
     error) ends its charge-batching region — charges that the
     interpreter applies before a potential abort are applied before it
     here too, and transfer statements keep their exact per-event
-    charge points in {!Exec}'s shared transfer cores. *)
+    charge points in {!Exec}'s shared transfer cores.
+
+    The second staging level (DESIGN.md §4d) adds {e superinstruction
+    fusion}: maximal runs of statements that can never raise
+    [Blocked_on] (no transfer statements, no [await] anywhere in their
+    expressions) are additionally compiled into a single fused closure
+    that executes the whole run — loop nests included — in one
+    scheduler turn.  Loop nests specialize further: a counted loop
+    whose body is a single fixed-cost element store compiles into a
+    native loop over the unboxed slot frame that charges one batched
+    trips×tally cost; an [fft1D] [Apply] of the stock kernel inlines
+    the {!Xdp.Kernels.dht_sub} call path over reusable machine
+    buffers.  The scheduler decides per turn whether running fused is
+    sound (no receive in flight for this processor) and otherwise
+    falls back to the statement-at-a-time units, so traces, Gantt
+    charts and fault interleavings are bit-identical either way. *)
 
 open Xdp_util
 
@@ -72,35 +87,78 @@ type machine
     charged micro-steps). *)
 type act =
   | A_next  (** fall through to the next statement *)
-  | A_block of code array  (** push a nested block *)
+  | A_block of units  (** push a nested block *)
   | A_loop of loop  (** push an entered loop (bounds already checked) *)
 
 and code = machine -> act
+
+(** One schedulable unit of a compiled block: a single statement (one
+    scheduler turn per act) or a fused superinstruction. *)
+and unit_ = U_stmt of code | U_fuse of fuse
+
+and units = unit_ array
+
+and fuse = {
+  fu_fast : machine -> int;
+      (** execute the whole run in this turn; returns the number of
+          statements executed (loop iterations included), which the
+          scheduler adds to the step counters.  Only sound when the
+          processor has no receive in flight. *)
+  fu_slow : units;  (** the same statements, one scheduler turn each *)
+  fu_len : int;  (** top-level statements in the run *)
+}
 
 and loop = {
   l_lo : int;
   l_hi : int;
   l_step : int;
   l_set : machine -> int -> unit;  (** bind the loop variable's slot *)
-  l_body : code array;
+  l_body : units;
 }
 
 type cprog
 (** A compiled program: machine-independent code plus the slot/site
     layout needed to build per-processor {!machine}s. *)
 
-(** [compile ~cost ~kernels ~scalars p] — stage [p] once; the result
-    is shared by all processors.  [scalars] must be the same preload
-    list given to {!Exec.run} (it seeds slot types and initial
-    values). *)
+val fuse_default : bool
+(** Whether {!compile} fuses by default: true unless the environment
+    sets [XDP_NO_FUSE] to a non-empty value other than ["0"]. *)
+
+(** [compile ?fuse ~cost ~kernels ~scalars p] — stage [p] once; the
+    result is shared by all processors.  [scalars] must be the same
+    preload list given to {!Exec.run} (it seeds slot types and initial
+    values).  [fuse] (default {!fuse_default}) controls the
+    superinstruction pass; with it off every unit is a [U_stmt] and
+    the engine behaves exactly like the first staging level. *)
 val compile :
+  ?fuse:bool ->
   cost:Xdp_sim.Costmodel.t ->
   kernels:Xdp.Kernels.registry ->
   scalars:(string * Value.t) list ->
   Xdp.Ir.program ->
   cprog
 
-val body : cprog -> code array
+val body : cprog -> units
+
+(** Static statistics of the superinstruction pass, accumulated at
+    compile time (all zero when fusion is off). *)
+type fusion_stats = {
+  fs_statements : int;  (** statements compiled *)
+  fs_fusable : int;  (** statements with a fused form *)
+  fs_fused_units : int;  (** superinstructions emitted *)
+  fs_run_hist : (int * int) list;
+      (** run length -> count, sorted by length *)
+  fs_spec_loops : int;  (** natively specialized loop statements *)
+  fs_batched_loops : int;  (** loops charging one batched tally *)
+  fs_inlined_kernels : int;  (** inlined kernel call sites *)
+}
+
+val fusion_stats : cprog -> fusion_stats
+
+val fusion_digest : cprog -> string
+(** Hex digest of a canonical rendering of {!fusion_stats} — pinned by
+    the golden tests so the fusion pass's region analysis cannot drift
+    silently. *)
 
 (** [machine cp w] — fresh per-processor state (slots seeded from the
     scalar preload, caches cold). *)

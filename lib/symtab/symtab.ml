@@ -13,10 +13,35 @@ type entry = {
   global_shape : int list;
   partitioning : string;
   seg_shape : int list;
-  mutable segs : seg list; (* ascending seg_id *)
+  mutable live : seg list;
+      (* the non-[Unowned] descriptors, ascending seg_id — the scan
+         path of every intrinsic query.  Queries skip unowned
+         descriptors anyway (and charge no visit for them), so keeping
+         retired descriptors out of here changes no observable result
+         or charge; it only stops ownership churn from growing the
+         scan linearly with transfer history. *)
+  dead : (int, seg) Hashtbl.t;
+      (* retired ([Unowned]) descriptors not yet purged by a later
+         [expect_ownership] over the same region, keyed by seg_id.
+         Kept apart from [live] so queries never scan the
+         transfer-history residue; retired descriptors stay registered
+         in the bucket index (queries skip them by status), which lets
+         the purge find overlaps from the incoming box's buckets alone. *)
+  mutable n_live : int; (* List.length live, kept incrementally *)
   mutable next_id : int;
   mutable dynamic : bool; (* ownership has moved since declaration *)
   ent_universal : bool;
+  (* Spatial bucket index over the global index space: every live
+     descriptor is registered in each bucket its box intersects, so a
+     query gathers candidates from the buckets its own box spans
+     instead of scanning the whole live list.  This changes only host
+     time: the simulated cost of a query is still [n_live] descriptor
+     visits (the linear scan the paper describes), charged in one
+     step. *)
+  ix_bs : int array; (* bucket span per dimension *)
+  ix_nb : int array; (* bucket count per dimension *)
+  ix_w : int array; (* row-major bucket weights *)
+  ix_buckets : seg list array;
 }
 
 type t = {
@@ -58,6 +83,83 @@ let entry t name =
   | Some e -> e
   | None -> invalid_arg (Printf.sprintf "Symtab: undeclared array %s" name)
 
+(* Bucket geometry: start from the declared segment tile (buckets then
+   align with the initial descriptors) and coarsen the busiest
+   dimension until the table stays small. *)
+let ix_make ~shape ~seg_shape =
+  let r = List.length shape in
+  let shp = Array.of_list shape in
+  let bs =
+    Array.of_list seg_shape
+    |> Array.mapi (fun d s -> Int.max 1 (Int.min s shp.(d)))
+  in
+  let nb d = ((shp.(d) + bs.(d) - 1) / bs.(d)) |> Int.max 1 in
+  let total () =
+    let p = ref 1 in
+    for d = 0 to r - 1 do
+      p := !p * nb d
+    done;
+    !p
+  in
+  while total () > 8192 do
+    let dmax = ref 0 in
+    for d = 1 to r - 1 do
+      if nb d > nb !dmax then dmax := d
+    done;
+    bs.(!dmax) <- bs.(!dmax) * 2
+  done;
+  let nbs = Array.init r nb in
+  let w = Array.make r 1 in
+  for d = r - 2 downto 0 do
+    w.(d) <- w.(d + 1) * nbs.(d + 1)
+  done;
+  (bs, nbs, w, Array.make (total ()) [])
+
+(* Enumerate the row-major offsets of every bucket a box can touch.
+   Coordinates are clamped into the bucket grid: clamping is the same
+   monotone element-to-bucket map on both registration and query, so a
+   shared element always lands in a shared bucket (the superset
+   property queries rely on). *)
+let ix_iter e (box : Box.t) f =
+  let r = Box.rank box in
+  let rec go d base =
+    if d >= r then f base
+    else begin
+      let (tr : Triplet.t) = Box.dim box (d + 1) in
+      let bs = e.ix_bs.(d) and nb = e.ix_nb.(d) in
+      let clamp v = if v < 0 then 0 else if v >= nb then nb - 1 else v in
+      let lo = clamp ((tr.lo - 1) / bs) and hi = clamp ((tr.hi - 1) / bs) in
+      for b = lo to hi do
+        go (d + 1) (base + (b * e.ix_w.(d)))
+      done
+    end
+  in
+  go 0 0
+
+let ix_add e s =
+  ix_iter e s.seg_box (fun b -> e.ix_buckets.(b) <- s :: e.ix_buckets.(b))
+
+let ix_remove e s =
+  ix_iter e s.seg_box (fun b ->
+      e.ix_buckets.(b) <- List.filter (fun x -> x != s) e.ix_buckets.(b))
+
+(* All live descriptors intersecting [box], in live-list order (live
+   seg_ids are ascending, so sorting candidates by id reproduces it —
+   release depends on that order for its payload layout). *)
+let ix_covering e box =
+  let acc = ref [] in
+  ix_iter e box (fun b ->
+      List.iter
+        (fun s ->
+          match s.status with
+          | State.Unowned -> ()
+          | State.Transitional | State.Accessible ->
+              if Box.inter_count s.seg_box box <> 0 then acc := s :: !acc)
+        e.ix_buckets.(b));
+  match !acc with
+  | [] | [ _ ] -> !acc
+  | l -> List.sort_uniq (fun a b -> Int.compare a.seg_id b.seg_id) l
+
 let declare t ~name ~layout ~seg_shape =
   if Hashtbl.mem t.entries name then
     invalid_arg (Printf.sprintf "Symtab.declare: %s already declared" name);
@@ -75,19 +177,28 @@ let declare t ~name ~layout ~seg_shape =
         })
       descs
   in
+  let shape = Xdp_dist.Layout.shape layout in
+  let ix_bs, ix_nb, ix_w, ix_buckets = ix_make ~shape ~seg_shape in
   let e =
     {
       name;
       rank = Xdp_dist.Layout.rank layout;
-      global_shape = Xdp_dist.Layout.shape layout;
+      global_shape = shape;
       partitioning = Xdp_dist.Layout.to_string layout;
       seg_shape;
-      segs;
+      live = segs;
+      dead = Hashtbl.create 8;
+      n_live = List.length segs;
       next_id = List.length segs;
       dynamic = false;
       ent_universal = false;
+      ix_bs;
+      ix_nb;
+      ix_w;
+      ix_buckets;
     }
   in
+  List.iter (ix_add e) segs;
   Hashtbl.add t.entries name e;
   t.order <- name :: t.order
 
@@ -97,6 +208,17 @@ let declare_universal t ~name ~shape =
   let box = Box.of_shape shape in
   let n = Box.count box in
   alloc t n;
+  let segs =
+    [
+      {
+        seg_id = 0;
+        seg_box = box;
+        status = State.Accessible;
+        data = Some (Array.make n 0.0);
+      };
+    ]
+  in
+  let ix_bs, ix_nb, ix_w, ix_buckets = ix_make ~shape ~seg_shape:shape in
   let e =
     {
       name;
@@ -104,20 +226,19 @@ let declare_universal t ~name ~shape =
       global_shape = shape;
       partitioning = "(universal)";
       seg_shape = shape;
-      segs =
-        [
-          {
-            seg_id = 0;
-            seg_box = box;
-            status = State.Accessible;
-            data = Some (Array.make n 0.0);
-          };
-        ];
+      live = segs;
+      dead = Hashtbl.create 1;
+      n_live = 1;
       next_id = 1;
       dynamic = false;
       ent_universal = true;
+      ix_bs;
+      ix_nb;
+      ix_w;
+      ix_buckets;
     }
   in
+  List.iter (ix_add e) segs;
   Hashtbl.add t.entries name e;
   t.order <- name :: t.order
 
@@ -135,7 +256,13 @@ let declared t name = Hashtbl.mem t.entries name
 let names t = List.rev t.order
 let global_shape t name = (entry t name).global_shape
 let seg_shape t name = (entry t name).seg_shape
-let segments t name = (entry t name).segs
+(* All descriptors in id order (rendering/introspection only). *)
+let all_segs e =
+  List.sort
+    (fun a b -> Int.compare a.seg_id b.seg_id)
+    (Hashtbl.fold (fun _ s acc -> s :: acc) e.dead e.live)
+
+let segments t name = all_segs (entry t name)
 
 (* Scans skip unowned descriptors: absence of a descriptor already
    means "unowned", so a released segment carries no information for
@@ -145,13 +272,22 @@ let segments t name = (entry t name).segs
    after a full redistribution has retired the original ones). *)
 let segments_covering t name box =
   let e = entry t name in
-  List.filter
-    (fun s ->
-      s.status <> State.Unowned
-      &&
-      (t.visits <- t.visits + 1;
-       not (Box.disjoint s.seg_box box)))
-    e.segs
+  match e.live with
+  | [] -> []
+  | s0 :: _ ->
+      if Box.rank box <> e.rank then begin
+        (* the linear scan charged one visit before the rank-mismatch
+           intersection raised; reproduce that exactly *)
+        t.visits <- t.visits + 1;
+        ignore (Box.disjoint s0.seg_box box);
+        assert false
+      end
+      else begin
+        (* the paper's query visits every live descriptor; the bucket
+           index only changes who does the intersecting, not the cost *)
+        t.visits <- t.visits + e.n_live;
+        ix_covering e box
+      end
 
 let owned_parts t name box =
   segments_covering t name box
@@ -251,12 +387,19 @@ let release t name box =
         | None -> Array.make (Box.count s.seg_box) 0.0
       in
       s.status <- State.Unowned;
+      (* the descriptor stays in the bucket index: queries skip it by
+         status, and the next expect_ownership purge finds it there *)
+      Hashtbl.replace e.dead s.seg_id s;
       if t.free_on_release && s.data <> None then begin
         free t (Box.count s.seg_box);
         s.data <- None
       end;
       (s.seg_box, Array.copy payload))
     touching
+  |> fun released ->
+  e.live <- List.filter (fun s -> s.status <> State.Unowned) e.live;
+  e.n_live <- e.n_live - List.length released;
+  released
 
 let expect_ownership t name box =
   reject_universal t name "expect_ownership";
@@ -270,19 +413,33 @@ let expect_ownership t name box =
            name (Box.to_string box)));
   (* Stale unowned descriptors overlapping the incoming region carry no
      information (absence of a descriptor already means unowned); drop
-     them so the table stays a disjoint cover. *)
-  e.segs <-
-    List.filter
-      (fun s ->
-        s.status <> State.Unowned || Box.disjoint s.seg_box box)
-      e.segs;
+     them so the table stays a disjoint cover.  They are all registered
+     in the buckets the incoming box spans, so only those are scanned. *)
+  let victims = ref [] in
+  ix_iter e box (fun b ->
+      List.iter
+        (fun s ->
+          if
+            s.status = State.Unowned
+            && Box.inter_count s.seg_box box <> 0
+            && not (List.memq s !victims)
+          then victims := s :: !victims)
+        e.ix_buckets.(b));
+  List.iter
+    (fun s ->
+      ix_remove e s;
+      Hashtbl.remove e.dead s.seg_id)
+    !victims;
   let id = e.next_id in
   e.next_id <- id + 1;
   e.dynamic <- true;
   t.gen <- t.gen + 1;
-  e.segs <-
-    e.segs
-    @ [ { seg_id = id; seg_box = box; status = State.Transitional; data = None } ]
+  let s =
+    { seg_id = id; seg_box = box; status = State.Transitional; data = None }
+  in
+  e.live <- e.live @ [ s ];
+  e.n_live <- e.n_live + 1;
+  ix_add e s
 
 let accept_ownership t name box payload =
   let e = entry t name in
@@ -290,7 +447,8 @@ let accept_ownership t name box payload =
     List.find_opt
       (fun s -> Box.equal s.seg_box box && s.status = State.Transitional
                 && s.data = None)
-      e.segs
+      (* candidates from the bucket index, in live order *)
+      (ix_covering e box)
   with
   | None ->
       invalid_arg
@@ -313,11 +471,33 @@ let accept_ownership t name box payload =
       s.data <- Some data;
       s.status <- State.Accessible
 
+(* Row-major bucket holding element [idx] (same clamping as [ix_iter];
+   all registered descriptors — live or retired-with-storage — appear
+   in the bucket their box spans, and they are pairwise disjoint, so
+   the bucket scan finds the unique match). *)
+let ix_elem_candidates e idx =
+  if Array.length idx <> Array.length e.ix_bs then []
+  else begin
+    let b = ref 0 in
+    for d = 0 to Array.length e.ix_bs - 1 do
+      let nb = e.ix_nb.(d) in
+      let v = (idx.(d) - 1) / e.ix_bs.(d) in
+      let v = if v < 0 then 0 else if v >= nb then nb - 1 else v in
+      b := !b + (v * e.ix_w.(d))
+    done;
+    e.ix_buckets.(!b)
+  end
+
+let rec data_seg_in idx = function
+  | [] -> None
+  | s :: rest ->
+      if s.data <> None && Box.mem_arr idx s.seg_box then Some s
+      else data_seg_in idx rest
+
 let seg_with_data t name idx =
   let e = entry t name in
-  match
-    List.find_opt (fun s -> s.data <> None && Box.mem idx s.seg_box) e.segs
-  with
+  let ia = Array.of_list idx in
+  match data_seg_in ia (ix_elem_candidates e ia) with
   | Some s -> s
   | None ->
       invalid_arg
@@ -353,18 +533,12 @@ let rec owned_in t idx = function
    the list-path diagnostics. *)
 let owned_element t name idx =
   if Array.length idx = 0 then invalid_arg "Box.make: rank 0";
-  owned_in t idx (entry t name).segs
-
-let rec data_seg_in idx = function
-  | [] -> None
-  | s :: rest ->
-      if s.data <> None && Box.mem_arr idx s.seg_box then Some s
-      else data_seg_in idx rest
+  owned_in t idx (entry t name).live
 
 (* First segment with storage containing [idx] — the cacheable result
    of a [get_a]/[set_a] lookup; [None] when the element has no backing
    chunk here. *)
-let elem_seg t name idx = data_seg_in idx (entry t name).segs
+let elem_seg t name idx = data_seg_in idx (ix_elem_candidates (entry t name) idx)
 
 let no_storage t name idx =
   invalid_arg
@@ -372,12 +546,12 @@ let no_storage t name idx =
        (String.concat "," (List.map string_of_int (Array.to_list idx))))
 
 let get_a t name idx =
-  match data_seg_in idx (entry t name).segs with
+  match elem_seg t name idx with
   | Some s -> (Option.get s.data).(Box.offset_arr s.seg_box idx)
   | None -> no_storage t name idx
 
 let set_a t name idx v =
-  match data_seg_in idx (entry t name).segs with
+  match elem_seg t name idx with
   | Some s -> (Option.get s.data).(Box.offset_arr s.seg_box idx) <- v
   | None -> no_storage t name idx
 
@@ -399,28 +573,39 @@ let iter_pieces t name box f =
               if not (Box.is_empty piece) then
                 let seg_view = Box.affine_in ~outer:s.seg_box piece in
                 let box_view = Box.affine_in ~outer:box piece in
-                f data piece ~seg_view ~box_view))
+                f data piece ~seg:s ~seg_view ~box_view))
     (segments_covering t name box)
 
 let read_box t name box =
   let out = Array.make (Box.count box) 0.0 in
-  iter_pieces t name box (fun data piece ~seg_view ~box_view ->
+  iter_pieces t name box (fun data piece ~seg:_ ~seg_view ~box_view ->
       Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun src dst len ->
           if len = 1 then out.(dst) <- data.(src)
           else Array.blit data src out dst len));
   out
 
+let read_box_into t name box out =
+  if Array.length out < Box.count box then
+    invalid_arg "Symtab.read_box_into: buffer too small";
+  iter_pieces t name box (fun data piece ~seg:_ ~seg_view ~box_view ->
+      Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun src dst len ->
+          if len = 1 then out.(dst) <- data.(src)
+          else Array.blit data src out dst len))
+
 let write_box t name box buf =
   if Array.length buf < Box.count box then
     invalid_arg "Symtab.write_box: buffer too small";
-  iter_pieces t name box (fun data piece ~seg_view ~box_view ->
+  iter_pieces t name box (fun data piece ~seg:_ ~seg_view ~box_view ->
       Box.iter_runs2 piece ~a:seg_view ~b:box_view (fun dst src len ->
           if len = 1 then data.(dst) <- buf.(src)
           else Array.blit buf src data dst len))
 
+let live_count t name = (entry t name).n_live
+
 let allocated_elements t = t.allocated
 let peak_elements t = t.peak
 let descriptor_visits t = t.visits
+let note_visits t n = t.visits <- t.visits + n
 
 let pp_table ppf t =
   Format.fprintf ppf "XDP run-time symbol table, processor P%d@." (t.pid + 1);
@@ -434,11 +619,12 @@ let pp_table ppf t =
       Format.fprintf ppf "%-5d %-8s %-4d %-12s %-28s %-10s %-6d@." (i + 1)
         e.name e.rank (shp e.global_shape)
         (e.partitioning ^ if e.dynamic then " [dynamic]" else "")
-        (shp e.seg_shape) (List.length e.segs);
+        (shp e.seg_shape)
+        (List.length (all_segs e));
       List.iter
         (fun s ->
           Format.fprintf ppf "      segdesc[%d]: %-22s status=%a%s@." s.seg_id
             (Box.to_string s.seg_box) State.pp s.status
             (match s.data with Some _ -> "" | None -> " (no storage)"))
-        e.segs)
+        (all_segs e))
     (names t)

@@ -162,7 +162,36 @@ val generation : t -> int
     order) into a buffer; [write_box] unpacks. *)
 val read_box : t -> string -> Box.t -> float array
 
+val read_box_into : t -> string -> Box.t -> float array -> unit
+(** [read_box_into t name box out] — {!read_box} into a caller-provided
+    buffer of length at least [Box.count box] (the staged engine's
+    allocation-free kernel path). *)
+
 val write_box : t -> string -> Box.t -> float array -> unit
+
+val iter_pieces :
+  t ->
+  string ->
+  Box.t ->
+  (float array ->
+  Box.t ->
+  seg:seg ->
+  seg_view:int * int array ->
+  box_view:int * int array ->
+  unit) ->
+  unit
+(** [iter_pieces t name box f] — call [f data piece ~seg ~seg_view
+    ~box_view] for every non-empty intersection [piece] of [box] with a
+    live backed segment, in segment-id order.  [seg_view]/[box_view]
+    are the affine maps of [piece] into the segment chunk and into the
+    row-major box buffer ({!Box.affine_in}).  This is the
+    decomposition underlying {!read_box}/{!write_box}; the staged
+    engine uses it to memoize marshalling plans against
+    {!generation}. *)
+
+val live_count : t -> string -> int
+(** Number of live (non-[Unowned]) segments of [name] — the
+    descriptor-visit charge of a single covering query on it. *)
 
 (** {1 Accounting} *)
 
@@ -175,6 +204,13 @@ val peak_elements : t -> int
     queries so far (the cost the paper says "more efficient algorithms
     could be developed" for; measured in micro-benchmarks). *)
 val descriptor_visits : t -> int
+
+val note_visits : t -> int -> unit
+(** Record [n] descriptor visits without performing them.  Used by the
+    staged engine when it replays a memoized intrinsic query — the
+    table {!generation} is unchanged, so the original scan's answer
+    and visit count still stand — keeping {!descriptor_visits} (and
+    the charges derived from it) engine-independent. *)
 
 (** {1 Rendering} *)
 

@@ -70,12 +70,23 @@ let compare a b =
       go 0
   | c -> c
 
-let subset a b =
-  is_empty a
-  || match inter a b with Some i -> count i = count a | None -> false
+(* [count (inter a b)] without building the intersection — what the
+   per-query segment scans actually need from [inter].  Short-circuits
+   on the first empty dimension. *)
+let inter_count a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Box.inter_count: rank mismatch";
+  let n = Array.length a in
+  let rec go d acc =
+    if d >= n then acc
+    else
+      let c = Triplet.inter_count a.(d) b.(d) in
+      if c = 0 then 0 else go (d + 1) (acc * c)
+  in
+  go 0 1
 
-let disjoint a b =
-  match inter a b with None -> true | Some i -> is_empty i
+let subset a b = is_empty a || inter_count a b = count a
+let disjoint a b = inter_count a b = 0
 
 let iter f t =
   let n = Array.length t in
@@ -231,10 +242,7 @@ let iter_runs2 t ~a:(base_a, steps_a) ~b:(base_b, steps_b) f =
 
 let covered_by ~parts t =
   let covered =
-    List.fold_left
-      (fun acc p ->
-        match inter p t with Some i -> acc + count i | None -> acc)
-      0 parts
+    List.fold_left (fun acc p -> acc + inter_count p t) 0 parts
   in
   covered = count t
 
@@ -245,4 +253,15 @@ let pp ppf t =
        Triplet.pp)
     (dims t)
 
-let to_string t = Format.asprintf "%a" pp t
+(* Format-free rendering (same notation as [pp]): box names key every
+   rendezvous-board match, so this sits on the transfer hot path. *)
+let to_string t =
+  let buf = Buffer.create 32 in
+  Buffer.add_char buf '[';
+  Array.iteri
+    (fun d tr ->
+      if d > 0 then Buffer.add_string buf ", ";
+      Triplet.bprint buf tr)
+    t;
+  Buffer.add_char buf ']';
+  Buffer.contents buf

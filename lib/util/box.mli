@@ -44,6 +44,11 @@ val offset_arr : t -> int array -> int
 (** Per-dimension intersection; [None] when empty in any dimension. *)
 val inter : t -> t -> t option
 
+val inter_count : t -> t -> int
+(** [inter_count a b = count (inter a b)] (0 when disjoint), computed
+    without building the intersection — the allocation-free form the
+    symbol table's per-query descriptor scans use. *)
+
 val subset : t -> t -> bool
 val disjoint : t -> t -> bool
 val equal : t -> t -> bool

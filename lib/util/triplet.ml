@@ -42,8 +42,14 @@ let rec egcd a b = if b = 0 then (a, 1, 0) else
 let inter a b =
   if is_empty a || is_empty b then None
   else
-    let lo = max a.lo b.lo and hi = min a.hi b.hi in
+    let lo = if a.lo >= b.lo then a.lo else b.lo in
+    let hi = if a.hi <= b.hi then a.hi else b.hi in
     if lo > hi then None
+    else if a.stride = 1 && b.stride = 1 then
+      (* dense sections (the overwhelmingly common case in segment
+         marshalling) reduce to interval clipping; the result is
+         already in [make]'s normal form *)
+      Some { lo; hi; stride = 1 }
     else
       (* Solve i = a.lo (mod a.stride), i = b.lo (mod b.stride). *)
       let g, x, _ = egcd a.stride b.stride in
@@ -73,12 +79,27 @@ let compare a b =
       | c -> c)
   | c -> c
 
+(* [count (inter a b)] without building the intersection: the
+   symbol-table descriptor scans call this per segment per query, and
+   the common dense case (both strides 1) reduces to interval
+   arithmetic with no allocation at all. *)
+let inter_count a b =
+  if is_empty a || is_empty b then 0
+  else
+    (* int-specialized bound arithmetic: this runs once per descriptor
+       per query, where a polymorphic [max]/[min] would dominate *)
+    let lo = if a.lo >= b.lo then a.lo else b.lo in
+    let hi = if a.hi <= b.hi then a.hi else b.hi in
+    if lo > hi then 0
+    else if a.stride = 1 && b.stride = 1 then hi - lo + 1
+    else match inter a b with None -> 0 | Some t -> count t
+
 let subset a b =
   if is_empty a then true
   else
     match inter a b with Some i -> count i = count a | None -> false
 
-let disjoint a b = match inter a b with None -> true | Some _ -> false
+let disjoint a b = inter_count a b = 0
 let contiguous t = t.stride = 1 || count t <= 1
 
 let of_sorted_list = function
@@ -96,10 +117,31 @@ let of_sorted_list = function
           Some (make ~lo:i ~hi:(List.nth l (List.length l - 1)) ~stride)
         else None
 
+(* [bprint]/[to_string] render the same notation as [pp] without going
+   through Format: section names are rendered on every rendezvous
+   (they are the match keys of the message board), where Format's
+   machinery would dominate the transfer path. *)
+let bprint buf t =
+  if is_empty t then Buffer.add_string buf "<empty>"
+  else begin
+    Buffer.add_string buf (string_of_int t.lo);
+    if t.hi <> t.lo then begin
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int t.hi);
+      if t.stride <> 1 then begin
+        Buffer.add_char buf ':';
+        Buffer.add_string buf (string_of_int t.stride)
+      end
+    end
+  end
+
 let pp ppf t =
   if is_empty t then Format.fprintf ppf "<empty>"
   else if count t = 1 then Format.fprintf ppf "%d" t.lo
   else if t.stride = 1 then Format.fprintf ppf "%d:%d" t.lo t.hi
   else Format.fprintf ppf "%d:%d:%d" t.lo t.hi t.stride
 
-let to_string t = Format.asprintf "%a" pp t
+let to_string t =
+  let buf = Buffer.create 16 in
+  bprint buf t;
+  Buffer.contents buf

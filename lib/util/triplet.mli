@@ -50,6 +50,11 @@ val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
     theorem, never by enumeration. *)
 val inter : t -> t -> t option
 
+val inter_count : t -> t -> int
+(** [inter_count a b] — member count of [inter a b] (0 when disjoint)
+    without allocating; dense inputs (both strides 1) reduce to
+    interval arithmetic. *)
+
 (** [subset a b] is [true] iff every member of [a] is a member of [b]. *)
 val subset : t -> t -> bool
 
@@ -70,3 +75,8 @@ val of_sorted_list : int list -> t option
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
+
+(** [bprint buf t] appends {!to_string}'s rendering to [buf] without
+    going through Format (section names key every rendezvous-board
+    match, so rendering sits on the transfer hot path). *)
+val bprint : Buffer.t -> t -> unit

@@ -277,6 +277,81 @@ let prop_engines =
     (QCheck.make ~print:print_cfg gen_cfg)
     check_cfg_engines
 
+(* Fatal fault plans: a crash-stopped processor or a permanently dead
+   link pushes some transfer past the transport's retry budget, so the
+   run aborts with Link_failed (or deadlocks, or — when the program
+   never touches the dead path — completes).  The staged engine must
+   abort *identically* to the interpreter: same exception constructor
+   with the same diagnostic (which names the pending links and
+   sections, i.e. the same statement was in flight when the run died).
+   This pins the fused runner's abort points: a superinstruction that
+   crossed an abortable boundary would either finish statements the
+   interpreter never reached or die naming different pending state.
+   Plans carry no jitter, so completed runs must match bit for bit,
+   stats record included. *)
+
+let fatal_fault_of_cfg cfg ~makespan =
+  let g = Xdp_util.Prng.stream 0x0DD5 [ Hashtbl.hash cfg; 0xFA7A ] in
+  if Xdp_util.Prng.bool g || cfg.nprocs = 1 then
+    (* crash-stop: one NIC goes dark mid-run *)
+    let pid = Xdp_util.Prng.int_in g 0 (cfg.nprocs - 1) in
+    let t = Xdp_util.Prng.float_in g 0.1 0.9 *. makespan in
+    Xdp_net.Faultplan.make ~crashes:[ (pid, t) ] ()
+  else
+    (* one link drops every packet forever, past eventual delivery *)
+    let src = Xdp_util.Prng.int_in g 0 (cfg.nprocs - 1) in
+    let dst = (src + Xdp_util.Prng.int_in g 1 (cfg.nprocs - 1)) mod cfg.nprocs in
+    Xdp_net.Faultplan.make
+      ~links:
+        [ ((src, dst), { Xdp_net.Faultplan.reliable with drop = 1.0 }) ]
+      ~deliver_after:1_000_000 ()
+
+let run_outcome engine p cfg fault =
+  match Exec.run ~engine ~fault ~init ~nprocs:cfg.nprocs p with
+  | r -> `Done (List.map (fun a -> Exec.array r a) arrays, r.Exec.stats)
+  | exception Xdp_net.Transport.Link_failed m -> `Link_failed m
+  | exception Exec.Deadlock m -> `Deadlock m
+
+let check_cfg_fatal cfg =
+  let p = build_program cfg in
+  let compiled = (Xdp.Compile.optimize ~nprocs:cfg.nprocs p).compiled in
+  let clean = Exec.run ~init ~nprocs:cfg.nprocs compiled in
+  let fault =
+    fatal_fault_of_cfg cfg ~makespan:clean.Exec.stats.Xdp_sim.Trace.makespan
+  in
+  let fail msg =
+    QCheck.Test.fail_reportf "fatal-fault outcomes differ (%s): %s\n%s"
+      (Xdp_net.Faultplan.describe fault)
+      msg (print_cfg cfg)
+  in
+  (match
+     ( run_outcome `Interp compiled cfg fault,
+       run_outcome `Compiled compiled cfg fault )
+   with
+  | `Link_failed a, `Link_failed b ->
+      if a <> b then fail (Printf.sprintf "Link_failed %S vs %S" a b)
+  | `Deadlock a, `Deadlock b ->
+      if a <> b then fail (Printf.sprintf "Deadlock %S vs %S" a b)
+  | `Done (ta, sa), `Done (tb, sb) ->
+      if not (List.for_all2 (Xdp_util.Tensor.equal ~eps:0.0) ta tb) then
+        fail "completed with different tensors";
+      if sa <> sb then fail "completed with different stats records"
+  | a, b ->
+      let label = function
+        | `Done _ -> "completed"
+        | `Link_failed m -> Printf.sprintf "Link_failed %S" m
+        | `Deadlock m -> Printf.sprintf "Deadlock %S" m
+      in
+      fail (Printf.sprintf "%s vs %s" (label a) (label b)));
+  true
+
+let prop_fatal_faults =
+  QCheck.Test.make
+    ~name:"engines abort identically under crash-stop and dead links"
+    ~count:40
+    (QCheck.make ~print:print_cfg gen_cfg)
+    check_cfg_fatal
+
 (* A couple of fixed regression seeds that exercise every spec form. *)
 let test_fixed_cases () =
   List.iter
@@ -319,5 +394,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_differential;
           QCheck_alcotest.to_alcotest prop_differential_faulty;
           QCheck_alcotest.to_alcotest prop_engines;
+          QCheck_alcotest.to_alcotest prop_fatal_faults;
         ] );
     ]

@@ -279,6 +279,44 @@ let test_engine_parity_goldens () =
            ~nprocs:4 ~trace:true farm))
     [ `Interp; `Compiled ]
 
+(* ---- fusion-statistics golden: the superinstruction pass's region
+   analysis is pinned by digest (Precompile.fusion_digest hashes the
+   full fusion_stats record: statement counts, run-length histogram,
+   specialized/batched loops, inlined kernel sites).  Compiled with
+   [~fuse:true] explicitly, so the pin holds regardless of what
+   XDP_NO_FUSE made the session default.  A drift here means the
+   analysis started classifying abortable boundaries differently —
+   exactly the kind of silent change the differential suite might
+   survive by accident (both engines agreeing on a *wrong* region). *)
+let test_fusion_digests () =
+  let digest prog =
+    let cp =
+      Xdp_runtime.Precompile.compile ~fuse:true
+        ~cost:Xdp_sim.Costmodel.message_passing ~kernels:Xdp.Kernels.default
+        ~scalars:[] prog
+    in
+    (Xdp_runtime.Precompile.fusion_digest cp,
+     Xdp_runtime.Precompile.fusion_stats cp)
+  in
+  let d_fft, fs_fft =
+    digest
+      (Xdp_apps.Fft3d.build ~n:8 ~nprocs:4 ~seg_rows:2
+         ~stage:Xdp_apps.Fft3d.Pipelined ())
+  in
+  Alcotest.(check string) "fft3d pipelined: fusion digest"
+    "76a467c597d7133add25fb26549616ae" d_fft;
+  Alcotest.(check int) "fft3d pipelined: inlined kernel sites" 3
+    fs_fft.Xdp_runtime.Precompile.fs_inlined_kernels;
+  let d_jac, fs_jac =
+    digest
+      (Xdp_apps.Jacobi2d.build ~n:8 ~pr:2 ~pc:2 ~sweeps:1
+         ~stage:Xdp_apps.Jacobi2d.Halo ())
+  in
+  Alcotest.(check string) "jacobi2d halo: fusion digest"
+    "b98954455b843cb883b9d114b2502bed" d_jac;
+  Alcotest.(check int) "jacobi2d halo: batched loops" 6
+    fs_jac.Xdp_runtime.Precompile.fs_batched_loops
+
 (* ---- fault-injection golden: the unreliable network is part of the
    deterministic surface too.  Same plan seed, same drops, same
    retransmit schedule, same digest over the full network trace
@@ -364,6 +402,8 @@ let () =
             test_determinism_farm_dynamic;
           Alcotest.test_case "both engines hit the goldens" `Quick
             test_engine_parity_goldens;
+          Alcotest.test_case "fusion statistics digests" `Quick
+            test_fusion_digests;
           Alcotest.test_case "fft3d pipelined under faults stats+trace" `Quick
             test_determinism_fft3d_faulty;
         ] );
