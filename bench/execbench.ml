@@ -206,45 +206,82 @@ let run ?(smoke = false) () =
     (1000.0 *. compile_s)
     (100.0 *. compile_frac)
     (1000.0 *. small_wall);
+  (* what kept statements out of superinstructions, per config: the
+     answer to "why is vecadd's speedup ~1x" is printed, not guessed *)
+  Printf.printf "\n  unfused statements by blocking reason:\n";
+  List.iter
+    (fun r ->
+      match r.r_fstats.Precompile.fs_blockers with
+      | [] -> ()
+      | blockers ->
+          Printf.printf "    %-36s %s\n" r.r_label
+            (String.concat ", "
+               (List.map
+                  (fun (reason, n) -> Printf.sprintf "%s x%d" reason n)
+                  blockers)))
+    rows;
   let best =
     List.fold_left (fun acc r -> Float.max acc r.r_speedup) 0.0 rows
   in
+  let json =
+    let module J = Xdp_util.Jsonw in
+    J.Obj
+      [
+        ("schema", J.Str "xdp-bench-exec/2");
+        ("smoke", J.Bool smoke);
+        ("fused", J.Bool Precompile.fuse_default);
+        ("compile_seconds", J.Fixed (compile_s, 6));
+        ("compile_frac_of_small_run", J.Fixed (compile_frac, 4));
+        ("best_speedup", J.Fixed (best, 2));
+        ( "apps",
+          J.Arr
+            (List.map
+               (fun r ->
+                 let fs = r.r_fstats in
+                 J.Obj
+                   [
+                     ("label", J.Str r.r_label);
+                     ("statements", J.Int r.r_statements);
+                     ("makespan", J.Fixed (r.r_makespan, 1));
+                     ("interp_wall_s", J.Fixed (r.r_interp_wall, 6));
+                     ("compiled_wall_s", J.Fixed (r.r_compiled_wall, 6));
+                     ("interp_stmts_per_s", J.Fixed (r.r_interp_rate, 0));
+                     ("compiled_stmts_per_s", J.Fixed (r.r_compiled_rate, 0));
+                     ("speedup", J.Fixed (r.r_speedup, 2));
+                     ("compile_s", J.Fixed (r.r_compile_s, 6));
+                     ( "fusion",
+                       J.Obj
+                         [
+                           ("fusable_statements", J.Int fs.Precompile.fs_fusable);
+                           ("fused_units", J.Int fs.Precompile.fs_fused_units);
+                           ( "run_length_hist",
+                             J.Arr
+                               (List.map
+                                  (fun (len, count) ->
+                                    J.Arr [ J.Int len; J.Int count ])
+                                  fs.Precompile.fs_run_hist) );
+                           ("spec_loops", J.Int fs.Precompile.fs_spec_loops);
+                           ("batched_loops", J.Int fs.Precompile.fs_batched_loops);
+                           ( "inlined_kernels",
+                             J.Int fs.Precompile.fs_inlined_kernels );
+                           (* why the rest never fused: blocking reason
+                              per unfusable statement *)
+                           ( "blockers",
+                             J.Obj
+                               (List.map
+                                  (fun (reason, count) -> (reason, J.Int count))
+                                  fs.Precompile.fs_blockers) );
+                           ("fused_turns", J.Int r.r_fused_turns);
+                           ("fused_statements", J.Int r.r_fused_stmts);
+                           ("turns_saved", J.Int (r.r_fused_stmts - r.r_fused_turns));
+                         ] );
+                     ("identical", J.Bool r.r_parity);
+                   ])
+               rows) );
+      ]
+  in
   let oc = open_out "BENCH_exec.json" in
-  Printf.fprintf oc
-    "{\n  \"schema\": \"xdp-bench-exec/2\",\n  \"smoke\": %b,\n  \
-     \"fused\": %b,\n  \"compile_seconds\": %.6f,\n  \
-     \"compile_frac_of_small_run\": %.4f,\n  \"best_speedup\": %.2f,\n  \
-     \"apps\": ["
-    smoke Precompile.fuse_default compile_s compile_frac best;
-  List.iteri
-    (fun i r ->
-      if i > 0 then output_string oc ",";
-      let fs = r.r_fstats in
-      let hist =
-        String.concat ", "
-          (List.map
-             (fun (len, count) -> Printf.sprintf "[%d, %d]" len count)
-             fs.Precompile.fs_run_hist)
-      in
-      Printf.fprintf oc
-        "\n    {\"label\": \"%s\", \"statements\": %d, \"makespan\": %.1f, \
-         \"interp_wall_s\": %.6f, \"compiled_wall_s\": %.6f, \
-         \"interp_stmts_per_s\": %.0f, \"compiled_stmts_per_s\": %.0f, \
-         \"speedup\": %.2f, \"compile_s\": %.6f,\n     \"fusion\": \
-         {\"fusable_statements\": %d, \"fused_units\": %d, \
-         \"run_length_hist\": [%s], \"spec_loops\": %d, \"batched_loops\": \
-         %d, \"inlined_kernels\": %d, \"fused_turns\": %d, \
-         \"fused_statements\": %d, \"turns_saved\": %d},\n     \
-         \"identical\": %b}"
-        r.r_label r.r_statements r.r_makespan r.r_interp_wall
-        r.r_compiled_wall r.r_interp_rate r.r_compiled_rate r.r_speedup
-        r.r_compile_s fs.Precompile.fs_fusable fs.Precompile.fs_fused_units
-        hist fs.Precompile.fs_spec_loops fs.Precompile.fs_batched_loops
-        fs.Precompile.fs_inlined_kernels r.r_fused_turns r.r_fused_stmts
-        (r.r_fused_stmts - r.r_fused_turns)
-        r.r_parity)
-    rows;
-  output_string oc "\n  ]\n}\n";
+  Xdp_util.Jsonw.to_channel ~indent:2 oc json;
   close_out oc;
   Printf.printf "\n  wrote BENCH_exec.json\n%!";
   if List.exists (fun r -> not r.r_parity) rows then

@@ -119,25 +119,39 @@ let run ?(smoke = false) () =
       results
   in
   if not ok then failwith "NET sweep: faulty run diverged from fault-free run";
+  let json =
+    let module J = Xdp_util.Jsonw in
+    J.Obj
+      [
+        ("schema", J.Str "xdp-bench-net/1");
+        ("smoke", J.Bool smoke);
+        ( "apps",
+          J.Arr
+            (List.map
+               (fun (app, points) ->
+                 J.Obj
+                   [
+                     ("label", J.Str app.label);
+                     ( "sweep",
+                       J.Arr
+                         (List.map
+                            (fun p ->
+                              J.Obj
+                                [
+                                  ("drop", J.Fixed (p.p_drop, 2));
+                                  ("makespan", J.Fixed (p.p_makespan, 1));
+                                  ("retransmits", J.Int p.p_retransmits);
+                                  ("acks", J.Int p.p_acks);
+                                  ("dup_suppressed", J.Int p.p_dups);
+                                  ("overhead_bytes", J.Int p.p_overhead);
+                                  ("identical", J.Bool p.p_identical);
+                                ])
+                            points) );
+                   ])
+               results) );
+      ]
+  in
   let oc = open_out "BENCH_net.json" in
-  Printf.fprintf oc "{\n  \"schema\": \"xdp-bench-net/1\",\n  \"smoke\": %b,\n  \"apps\": [" smoke;
-  List.iteri
-    (fun i (app, points) ->
-      if i > 0 then output_string oc ",";
-      Printf.fprintf oc "\n    {\n      \"label\": \"%s\",\n      \"sweep\": ["
-        app.label;
-      List.iteri
-        (fun j p ->
-          if j > 0 then output_string oc ",";
-          Printf.fprintf oc
-            "\n        {\"drop\": %.2f, \"makespan\": %.1f, \"retransmits\": \
-             %d, \"acks\": %d, \"dup_suppressed\": %d, \"overhead_bytes\": \
-             %d, \"identical\": %b}"
-            p.p_drop p.p_makespan p.p_retransmits p.p_acks p.p_dups
-            p.p_overhead p.p_identical)
-        points;
-      output_string oc "\n      ]\n    }")
-    results;
-  output_string oc "\n  ]\n}\n";
+  Xdp_util.Jsonw.to_channel ~indent:2 oc json;
   close_out oc;
   Printf.printf "  wrote BENCH_net.json\n%!"

@@ -1,167 +1,80 @@
 (* xdpc — command-line driver for the XDP reproduction.
 
-   Builds one of the bundled applications at a chosen optimization
-   stage, optionally dumps the IL+XDP code, runs it on the simulated
-   SPMD machine under a chosen cost model, verifies the result against
-   the sequential reference where one exists, and reports statistics. *)
+   The default command builds one of the bundled applications at a
+   chosen optimization stage, optionally dumps the IL+XDP code, runs
+   it on the simulated SPMD machine under a chosen cost model,
+   verifies the result against the sequential reference where one
+   exists, and reports statistics.
+
+   [xdpc batch] runs a whole manifest of such jobs across Domain
+   workers with a digest-keyed compiled-program cache, streaming one
+   JSONL record per job (DESIGN.md §8). *)
 
 open Cmdliner
+module Manifest = Xdp_batch.Manifest
+module Workload = Xdp_batch.Workload
+module Service = Xdp_batch.Service
 
-let cost_of_string = function
-  | "message_passing" | "mp" -> Ok Xdp_sim.Costmodel.message_passing
-  | "shared_address" | "sa" -> Ok Xdp_sim.Costmodel.shared_address
-  | "idealized" | "ideal" -> Ok Xdp_sim.Costmodel.idealized
-  | s -> Error (`Msg (Printf.sprintf "unknown cost model %s" s))
+let msg_of_string f s = Result.map_error (fun e -> `Msg e) (f s)
 
 let cost_conv =
   Arg.conv
-    ( cost_of_string,
+    ( msg_of_string Workload.cost_of_string,
       fun ppf (c : Xdp_sim.Costmodel.t) -> Format.fprintf ppf "%s" c.name )
-
-let engine_of_string = function
-  | "compiled" | "staged" -> Ok `Compiled
-  | "interp" | "interpreter" | "reference" -> Ok `Interp
-  | s ->
-      Error
-        (`Msg
-           (Printf.sprintf
-              "unknown engine %s (accepted: compiled, staged, interp, \
-               interpreter, reference)"
-              s))
 
 let engine_conv =
   Arg.conv
-    ( engine_of_string,
+    ( msg_of_string Workload.engine_of_string,
       fun ppf (e : Xdp_runtime.Exec.engine) ->
         Format.fprintf ppf "%s"
           (match e with `Compiled -> "compiled" | `Interp -> "interp") )
 
-type job = {
-  prog : Xdp.Ir.program;
-  init : string -> int list -> float;
-  reference : Xdp_util.Tensor.t option; (* expected contents of [check] *)
-  check : string;                       (* array to verify *)
-}
-
-let vecadd_job ~n ~nprocs ~stage ~misaligned =
-  let dist_b =
-    if misaligned then Xdp_dist.Dist.Cyclic else Xdp_dist.Dist.Block
-  in
-  let stage =
-    match stage with
-    | "naive" -> Xdp_apps.Vecadd.Naive
-    | "elim" -> Xdp_apps.Vecadd.Elim
-    | "localized" -> Xdp_apps.Vecadd.Localized
-    | "bound" -> Xdp_apps.Vecadd.Bound
-    | s -> failwith ("vecadd: unknown stage " ^ s ^ " (naive|elim|localized|bound)")
-  in
-  {
-    prog = Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b ~stage ();
-    init = Xdp_apps.Vecadd.init;
-    reference = Some (Xdp_apps.Vecadd.expected ~n);
-    check = "A";
-  }
-
-let fft3d_job ~n ~nprocs ~stage ~seg =
-  let stage =
-    match stage with
-    | "baseline" -> Xdp_apps.Fft3d.Baseline
-    | "localized" -> Xdp_apps.Fft3d.Localized
-    | "fused" -> Xdp_apps.Fft3d.Fused
-    | "pipelined" -> Xdp_apps.Fft3d.Pipelined
-    | s ->
-        failwith
-          ("fft3d: unknown stage " ^ s
-         ^ " (baseline|localized|fused|pipelined)")
-  in
-  let seq = Xdp_apps.Fft3d.sequential ~n ~nprocs in
-  let reference =
-    Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init:Xdp_apps.Fft3d.init seq) "A"
-  in
-  {
-    prog = Xdp_apps.Fft3d.build ~n ~nprocs ?seg_rows:seg ~stage ();
-    init = Xdp_apps.Fft3d.init;
-    reference = Some reference;
-    check = "A";
-  }
-
-let jacobi_job ~n ~nprocs ~stage ~sweeps =
-  let stage =
-    match stage with
-    | "naive" -> Xdp_apps.Jacobi.Naive
-    | "elim" -> Xdp_apps.Jacobi.Elim
-    | "auto" | "auto-halo" -> Xdp_apps.Jacobi.Auto_halo
-    | "halo" -> Xdp_apps.Jacobi.Halo
-    | s ->
-        failwith ("jacobi: unknown stage " ^ s ^ " (naive|elim|auto|halo)")
-  in
-  let seq =
-    Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage:Xdp_apps.Jacobi.Sequential
-      ()
-  in
-  let reference =
-    Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init:Xdp_apps.Jacobi.init seq) "A"
-  in
-  {
-    prog = Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps ~stage ();
-    init = Xdp_apps.Jacobi.init;
-    reference = Some reference;
-    check = "A";
-  }
-
-let jacobi2d_job ~n ~nprocs ~sweeps =
-  (* squarest grid whose product is nprocs *)
-  let rec best r = if nprocs mod r = 0 then r else best (r - 1) in
-  let pr = best (int_of_float (sqrt (float_of_int nprocs))) in
-  let pc = nprocs / pr in
-  let seq =
-    Xdp_apps.Jacobi2d.build ~n ~pr:1 ~pc:1 ~sweeps
-      ~stage:Xdp_apps.Jacobi2d.Sequential ()
-  in
-  let reference =
-    Xdp_runtime.Seq.array
-      (Xdp_runtime.Seq.run ~init:Xdp_apps.Jacobi2d.init seq) "A"
-  in
-  {
-    prog =
-      Xdp_apps.Jacobi2d.build ~n ~pr ~pc ~sweeps
-        ~stage:Xdp_apps.Jacobi2d.Halo ();
-    init = Xdp_apps.Jacobi2d.init;
-    reference = Some reference;
-    check = "A";
-  }
-
-let reduce_job ~n ~nprocs ~stage =
-  let stage =
-    match stage with
-    | "naive" -> Xdp_apps.Reduce.Naive
-    | "partial" -> Xdp_apps.Reduce.Partial
-    | s -> failwith ("reduce: unknown stage " ^ s ^ " (naive|partial)")
-  in
-  {
-    prog = Xdp_apps.Reduce.build ~n ~nprocs ~stage ();
-    init = Xdp_apps.Reduce.init;
-    reference = None;
-    check = "OUT";
-  }
-
-let farm_job ~ntasks ~nprocs ~stage =
-  let variant =
-    match stage with
-    | "static" -> Xdp_apps.Farm.Static
-    | "dynamic" -> Xdp_apps.Farm.Dynamic
-    | s -> failwith ("farm: unknown variant " ^ s ^ " (static|dynamic)")
-  in
-  {
-    prog = Xdp_apps.Farm.build ~ntasks ~nprocs ~variant ();
-    init = Xdp_apps.Farm.init ~base:20000.0 ~skew:Xdp_apps.Farm.Front_loaded ~ntasks;
-    reference = None;
-    check = "ACC";
-  }
+(* Sequential reference for the apps that have one — a CLI concern
+   (the batch service records digests instead of re-verifying). *)
+let reference_of (s : Manifest.spec) =
+  let seq_a ~init prog = Xdp_runtime.Seq.array (Xdp_runtime.Seq.run ~init prog) "A" in
+  match s.app with
+  | "vecadd" -> Some (Xdp_apps.Vecadd.expected ~n:s.n)
+  | "fft3d" ->
+      Some
+        (seq_a ~init:Xdp_apps.Fft3d.init
+           (Xdp_apps.Fft3d.sequential ~n:s.n ~nprocs:s.procs))
+  | "jacobi" ->
+      Some
+        (seq_a ~init:Xdp_apps.Jacobi.init
+           (Xdp_apps.Jacobi.build ~n:s.n ~nprocs:s.procs ~sweeps:s.sweeps
+              ~stage:Xdp_apps.Jacobi.Sequential ()))
+  | "jacobi2d" ->
+      Some
+        (seq_a ~init:Xdp_apps.Jacobi2d.init
+           (Xdp_apps.Jacobi2d.build ~n:s.n ~pr:1 ~pc:1 ~sweeps:s.sweeps
+              ~stage:Xdp_apps.Jacobi2d.Sequential ()))
+  | _ -> None
 
 let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
     drop dup jitter fault_seed timeout =
   try
+    let spec =
+      {
+        Manifest.default_spec with
+        app;
+        stage;
+        n;
+        procs = nprocs;
+        sweeps;
+        seg;
+        misaligned;
+        cost = cost.Xdp_sim.Costmodel.name;
+        drop;
+        dup;
+        jitter;
+        fault_seed;
+        timeout;
+      }
+    in
+    let spec =
+      match Workload.check_spec spec with Ok s -> s | Error e -> failwith e
+    in
     let fault =
       if drop = 0.0 && dup = 0.0 && jitter = 0.0 then
         Xdp_net.Faultplan.none
@@ -172,25 +85,16 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       | None -> Xdp_net.Transport.default_config
       | Some t -> { Xdp_net.Transport.default_config with timeout = t }
     in
-    let job =
-      match app with
-      | "vecadd" -> vecadd_job ~n ~nprocs ~stage ~misaligned
-      | "fft3d" -> fft3d_job ~n ~nprocs ~stage ~seg
-      | "jacobi" -> jacobi_job ~n ~nprocs ~stage ~sweeps
-      | "jacobi2d" -> jacobi2d_job ~n ~nprocs ~sweeps
-      | "reduce" -> reduce_job ~n ~nprocs ~stage
-      | "farm" -> farm_job ~ntasks:n ~nprocs ~stage
-      | s -> failwith ("unknown app " ^ s ^ " (vecadd|fft3d|jacobi|jacobi2d|reduce|farm)")
-    in
+    let w = Workload.build spec in
     if dump then begin
-      print_string (Xdp.Pp.program_to_string job.prog);
-      print_string (Xdp.Match_check.report job.prog)
+      print_string (Xdp.Pp.program_to_string w.prog);
+      print_string (Xdp.Match_check.report w.prog)
     end;
     if not (Xdp_net.Faultplan.is_none fault) then
       Format.printf "network: %s@." (Xdp_net.Faultplan.describe fault);
     let r =
-      Xdp_runtime.Exec.run ~engine ~cost ~init:job.init
-        ~trace:(trace || gantt) ~fault ~net ~nprocs job.prog
+      Xdp_runtime.Exec.run ~engine ~cost ~init:w.init
+        ~trace:(trace || gantt) ~fault ~net ~nprocs w.prog
     in
     Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
     if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
@@ -198,25 +102,23 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       print_string
         (Xdp_sim.Gantt.render ~nprocs ~makespan:r.stats.makespan
            (Xdp_sim.Trace.events r.trace));
-    (match job.reference with
+    (match reference_of spec with
     | Some expected ->
-        let got = Xdp_runtime.Exec.array r job.check in
+        let got = Xdp_runtime.Exec.array r w.check in
         let d = Xdp_util.Tensor.max_diff got expected in
         if d < 1e-9 then
-          Format.printf "verified: %s matches sequential reference@."
-            job.check
+          Format.printf "verified: %s matches sequential reference@." w.check
         else begin
-          Format.printf "VERIFICATION FAILED: max diff %g on %s@." d
-            job.check;
+          Format.printf "VERIFICATION FAILED: max diff %g on %s@." d w.check;
           exit 1
         end
     | None ->
-        let acc = Xdp_runtime.Exec.array r job.check in
+        let acc = Xdp_runtime.Exec.array r w.check in
         let sum = ref 0.0 in
         Xdp_util.Box.iter
           (fun idx -> sum := !sum +. Xdp_util.Tensor.get acc idx)
           (Xdp_util.Tensor.full_box acc);
-        Format.printf "sum(%s) = %.1f@." job.check !sum);
+        Format.printf "sum(%s) = %.1f@." w.check !sum);
     0
   with
   | Failure msg | Invalid_argument msg ->
@@ -230,7 +132,10 @@ let app_t =
   Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm.")
 
 let stage_t =
-  Arg.(value & opt string "naive" & info [ "stage"; "s" ] ~doc:"Optimization stage / variant of the app.")
+  Arg.(
+    value & opt string ""
+    & info [ "stage"; "s" ]
+        ~doc:"Optimization stage / variant of the app; defaults to the app's first stage.")
 
 let n_t = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Problem size (tasks for farm).")
 let procs_t = Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Number of simulated processors.")
@@ -285,13 +190,117 @@ let timeout_t =
     value & opt (some float) None
     & info [ "timeout" ] ~doc:"Retransmit timeout of the reliable transport.")
 
-let cmd =
-  let doc = "run a bundled XDP application on the simulated SPMD machine" in
+let run_term =
+  Term.(
+    const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
+    $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
+    $ jitter_t $ fault_seed_t $ timeout_t)
+
+(* ------------------------------------------------------------------ *)
+(* xdpc batch                                                          *)
+
+let batch manifest workers out engine timings quiet =
+  match Manifest.parse_file ~check:Workload.check_spec manifest with
+  | Error msg ->
+      Format.eprintf "xdpc batch: %s@." msg;
+      2
+  | exception Sys_error msg ->
+      Format.eprintf "xdpc batch: %s@." msg;
+      2
+  | Ok jobs -> (
+      let oc, close =
+        match out with
+        | None -> (stdout, fun () -> flush stdout)
+        | Some path ->
+            let oc = open_out path in
+            (oc, fun () -> close_out oc)
+      in
+      let s =
+        Fun.protect ~finally:close (fun () ->
+            Service.run ~workers ?engine ~timings ~write:(output_string oc)
+              jobs)
+      in
+      if not quiet then
+        Format.eprintf
+          "batch: %d jobs (%d failed), %d workers, cache %d hits / %d misses, \
+           staging %.3fs, wall %.3fs (%.1f runs/s)@."
+          s.jobs s.failed workers s.cache_hits s.cache_misses
+          s.compile_seconds s.wall_seconds
+          (float_of_int s.jobs /. Float.max 1e-9 s.wall_seconds);
+      match s.first_failure with
+      | None -> 0
+      | Some (id, label, diag) ->
+          Format.eprintf "xdpc batch: job %d (%s) failed: %s@." id label diag;
+          if s.failed > 1 then
+            Format.eprintf "xdpc batch: %d of %d jobs failed@." s.failed s.jobs;
+          1)
+
+let manifest_t =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "manifest"; "m" ] ~docv:"FILE"
+        ~doc:"Job manifest: a JSON object with defaults/jobs, a JSON array, \
+              or JSONL (one job object per line).  Fields expand over arrays \
+              and $(b,{from,count,step}) ranges.")
+
+let workers_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Domain workers executing jobs in parallel.  Output is \
+              byte-identical for every value of $(docv).")
+
+let out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Write the JSONL records to $(docv) instead of stdout.")
+
+let batch_engine_t =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine"; "e" ]
+        ~doc:"Engine for jobs without their own $(b,engine) field (default: \
+              the process default, see XDP_ENGINE).")
+
+let timings_t =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Add a wall_ms field to every record.  Forfeits byte-identical \
+              output across worker counts.")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the stderr summary line.")
+
+let batch_cmd =
+  let doc = "run a manifest of jobs across Domain workers with a staging cache" in
   Cmd.v
-    (Cmd.info "xdpc" ~doc)
+    (Cmd.info "batch" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Expands the manifest into a job list, executes it across \
+              $(b,--jobs) OCaml Domains (each simulated run stays \
+              deterministic and single-threaded) and streams one JSON record \
+              per job to stdout in canonical job-id order — the byte stream \
+              does not depend on the worker count.  Staging is deduped by an \
+              IR-digest compiled-program cache per worker.";
+           `P
+             "Exit status: 0 on success, 1 if any job fails (the first \
+              failing job id and diagnostic go to stderr), 2 on a malformed \
+              manifest.";
+         ])
     Term.(
-      const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
-      $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
-      $ jitter_t $ fault_seed_t $ timeout_t)
+      const batch $ manifest_t $ workers_t $ out_t $ batch_engine_t
+      $ timings_t $ quiet_t)
+
+let cmd =
+  let doc = "run bundled XDP applications on the simulated SPMD machine" in
+  Cmd.group ~default:run_term (Cmd.info "xdpc" ~doc) [ batch_cmd ]
 
 let () = exit (Cmd.eval' cmd)

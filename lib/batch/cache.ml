@@ -1,0 +1,34 @@
+type t = {
+  tbl : (string, Xdp_runtime.Precompile.cprog) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable compile_s : float;
+}
+
+let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0; compile_s = 0.0 }
+
+let digest ~cost ~fuse ~scalars p =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Xdp.Pp.program_to_string p);
+  Buffer.add_char b '\x00';
+  (* No_sharing: the bytes depend only on structure, so two
+     separately-built equal values produce one key *)
+  Buffer.add_string b (Marshal.to_string (cost, fuse, scalars) [ Marshal.No_sharing ]);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let find t key ~compile =
+  match Hashtbl.find_opt t.tbl key with
+  | Some cp ->
+      t.hits <- t.hits + 1;
+      cp
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let cp = compile () in
+      t.compile_s <- t.compile_s +. (Unix.gettimeofday () -. t0);
+      t.misses <- t.misses + 1;
+      Hashtbl.add t.tbl key cp;
+      cp
+
+let hits t = t.hits
+let misses t = t.misses
+let compile_seconds t = t.compile_s

@@ -1,0 +1,46 @@
+(** The compiled-program cache: the batch service's
+    compile-once/run-many move (DESIGN.md §8).
+
+    Staging ({!Xdp_runtime.Precompile.compile}) is keyed by a
+    canonical digest of everything that determines the staged closures
+    — the IL+XDP program's canonical text, the cost model, the fuse
+    flag and the scalar preload — so a 10k-job fault-seed sweep over
+    one program pays staging once, not 10k times, while two jobs that
+    differ in any compile input can never share a [cprog].
+
+    A cache is deliberately {e not} thread-safe: the batch pool gives
+    each Domain worker its own instance (per-domain re-staging from
+    cached IR), so compiled closures are never shared across domains
+    and no lock sits on the job hot path.  With W workers and D
+    distinct (program, cost, fuse) keys a campaign stages at most
+    W * D times. *)
+
+type t
+
+val create : unit -> t
+
+val digest :
+  cost:Xdp_sim.Costmodel.t ->
+  fuse:bool ->
+  scalars:(string * Xdp_runtime.Value.t) list ->
+  Xdp.Ir.program ->
+  string
+(** Hex digest of the compile inputs.  The program contributes its
+    {!Xdp.Pp.program_to_string} rendering (declarations, layouts and
+    body — the canonical form the golden tests also rely on); the cost
+    model, fuse flag and scalars contribute a structural
+    ([Marshal.No_sharing]) serialization, so equal-but-separately-built
+    values digest identically. *)
+
+val find : t -> string -> compile:(unit -> Xdp_runtime.Precompile.cprog) ->
+  Xdp_runtime.Precompile.cprog
+(** [find t key ~compile] — return the cached program for [key] or
+    stage it via [compile], recording hit/miss counts and staging
+    wall time. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val compile_seconds : t -> float
+(** Total wall-clock spent inside [compile] on misses — what the
+    bench reports as staging time paid (and, scaled by hits, saved). *)

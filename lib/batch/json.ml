@@ -1,0 +1,203 @@
+open Xdp_util
+
+exception Error of { line : int; col : int; msg : string }
+
+(* offset -> (line, col), both 1-based *)
+let position s off =
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to Int.min off (String.length s) - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, off - !bol + 1)
+
+type st = { src : string; mutable pos : int }
+
+let error st msg =
+  let line, col = position st.src st.pos in
+  raise (Error { line; col; msg })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  let n = String.length st.src in
+  while
+    st.pos < n
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> error st (Printf.sprintf "expected '%c', found '%c'" c c')
+  | None -> error st (Printf.sprintf "expected '%c', found end of input" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.src
+    && String.sub st.src st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else error st (Printf.sprintf "invalid literal (expected %s)" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' ->
+        st.pos <- st.pos + 1;
+        Buffer.contents b
+    | Some '\\' -> (
+        st.pos <- st.pos + 1;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            st.pos <- st.pos + 1;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then
+                  error st "truncated \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> error st ("invalid \\u escape: " ^ hex)
+                in
+                st.pos <- st.pos + 4;
+                (* manifests are ASCII in practice; encode BMP scalars
+                   as UTF-8 so round-trips stay lossless *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> error st (Printf.sprintf "invalid escape '\\%c'" c));
+            go ())
+    | Some c when Char.code c < 0x20 ->
+        error st "unescaped control character in string"
+    | Some c ->
+        st.pos <- st.pos + 1;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let n = String.length st.src in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < n && is_num_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.src start (st.pos - start) in
+  let is_float =
+    String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok
+  in
+  if is_float then
+    match float_of_string_opt tok with
+    | Some f -> Jsonw.Float f
+    | None ->
+        st.pos <- start;
+        error st ("invalid number: " ^ tok)
+  else
+    match int_of_string_opt tok with
+    | Some i -> Jsonw.Int i
+    | None ->
+        st.pos <- start;
+        error st ("invalid number: " ^ tok)
+
+let rec parse_value st : Jsonw.t =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Jsonw.Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Jsonw.Obj (List.rev ((k, v) :: acc))
+          | _ -> error st "expected ',' or '}' in object"
+        in
+        members []
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        Jsonw.Arr []
+      end
+      else
+        let rec elements acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elements (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              Jsonw.Arr (List.rev (v :: acc))
+          | _ -> error st "expected ',' or ']' in array"
+        in
+        elements []
+  | Some '"' -> Jsonw.Str (parse_string st)
+  | Some 't' -> literal st "true" (Jsonw.Bool true)
+  | Some 'f' -> literal st "false" (Jsonw.Bool false)
+  | Some 'n' -> literal st "null" Jsonw.Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character '%c'" c)
+
+let parse src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos < String.length src then error st "trailing garbage after value";
+  v
+
+let parse_result src =
+  match parse src with
+  | v -> Ok v
+  | exception Error { line; col; msg } ->
+      Result.Error (Printf.sprintf "line %d, column %d: %s" line col msg)

@@ -1,0 +1,16 @@
+(** A minimal JSON reader for batch manifests.
+
+    Parses the full JSON grammar (objects, arrays, strings with
+    escapes, numbers, booleans, null) into the {!Xdp_util.Jsonw.t}
+    tree — the same type the writer emits, so manifests and result
+    records share one value representation.  Errors carry the 1-based
+    line and column of the offending character: the batch CLI's
+    malformed-manifest diagnostics lead with them. *)
+
+exception Error of { line : int; col : int; msg : string }
+
+val parse : string -> Xdp_util.Jsonw.t
+(** @raise Error on malformed input or trailing garbage. *)
+
+val parse_result : string -> (Xdp_util.Jsonw.t, string) result
+(** [parse] with the error rendered as ["line L, column C: msg"]. *)

@@ -1,0 +1,34 @@
+let run ~workers ~njobs ~f ~emit =
+  if njobs > 0 then
+    if workers <= 1 then
+      for i = 0 to njobs - 1 do
+        emit i (f ~worker:0 i)
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker w () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < njobs then begin
+            emit i (f ~worker:w i);
+            go ()
+          end
+        in
+        go ()
+      in
+      let domains =
+        List.init (Int.min workers njobs) (fun w ->
+            Domain.spawn (worker (w + 1)))
+      in
+      (* join everyone before re-raising, so no domain outlives the
+         pool and a failing job cannot leave workers running *)
+      let first_exn =
+        List.fold_left
+          (fun acc d ->
+            match Domain.join d with
+            | () -> acc
+            | exception e -> ( match acc with None -> Some e | some -> some))
+          None domains
+      in
+      match first_exn with None -> () | Some e -> raise e
+    end

@@ -1,0 +1,25 @@
+type t = {
+  write : string -> unit;
+  total : int;
+  parked : (int, string) Hashtbl.t;
+  mutable next : int;
+  lock : Mutex.t;
+}
+
+let create ~total ~write =
+  { write; total; parked = Hashtbl.create 64; next = 0; lock = Mutex.create () }
+
+let push t ~id line =
+  Mutex.protect t.lock (fun () ->
+      if id < 0 || id >= t.total then
+        invalid_arg (Printf.sprintf "Sink.push: id %d outside 0..%d" id (t.total - 1));
+      if id < t.next || Hashtbl.mem t.parked id then
+        invalid_arg (Printf.sprintf "Sink.push: duplicate id %d" id);
+      Hashtbl.replace t.parked id line;
+      while Hashtbl.mem t.parked t.next do
+        t.write (Hashtbl.find t.parked t.next ^ "\n");
+        Hashtbl.remove t.parked t.next;
+        t.next <- t.next + 1
+      done)
+
+let flushed t = Mutex.protect t.lock (fun () -> t.next)

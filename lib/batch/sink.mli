@@ -1,0 +1,20 @@
+(** The ordered JSONL result sink.
+
+    Workers complete jobs in whatever order the scheduler serves them;
+    the sink re-serializes: a record pushed out of order is parked,
+    and every push flushes the maximal ready prefix in canonical
+    job-id order.  Output through [write] is therefore byte-identical
+    for any worker count — the batch determinism property.  [push] is
+    thread-safe (one internal mutex; [write] runs under it). *)
+
+type t
+
+val create : total:int -> write:(string -> unit) -> t
+
+val push : t -> id:int -> string -> unit
+(** Record [id]'s line (without trailing newline; [write] receives it
+    with one appended).  Each id in [0..total-1] must be pushed
+    exactly once. *)
+
+val flushed : t -> int
+(** Records written so far; equals [total] when every id was pushed. *)

@@ -1,0 +1,193 @@
+type t = {
+  prog : Xdp.Ir.program;
+  init : string -> int list -> float;
+  check : string;
+}
+
+(* (canonical_stage, aliases) per app; the first entry is the default
+   stage when a spec leaves [stage] empty. *)
+let stage_table =
+  [
+    ("vecadd", [ ("naive", []); ("elim", []); ("localized", []); ("bound", []) ]);
+    ( "fft3d",
+      [ ("baseline", []); ("localized", []); ("fused", []); ("pipelined", []) ]
+    );
+    ( "jacobi",
+      [
+        ("naive", []);
+        ("elim", []);
+        ("auto-halo", [ "auto" ]);
+        ("halo", []);
+      ] );
+    ("jacobi2d", [ ("halo", []) ]);
+    ("reduce", [ ("naive", []); ("partial", []) ]);
+    ("farm", [ ("static", []); ("dynamic", []) ]);
+  ]
+
+let known_apps = List.map fst stage_table
+
+let stages_of app =
+  match List.assoc_opt app stage_table with
+  | None -> []
+  | Some ss -> List.map fst ss
+
+let canonical_stage app stage =
+  match List.assoc_opt app stage_table with
+  | None -> Error (Printf.sprintf "unknown app '%s' (known: %s)" app
+                     (String.concat ", " known_apps))
+  | Some stages ->
+      if stage = "" then Ok (fst (List.hd stages))
+      else (
+        match
+          List.find_opt
+            (fun (canon, aliases) -> canon = stage || List.mem stage aliases)
+            stages
+        with
+        | Some (canon, _) -> Ok canon
+        | None ->
+            Error
+              (Printf.sprintf "app %s: unknown stage '%s' (known: %s)" app
+                 stage
+                 (String.concat ", " (List.map fst stages))))
+
+let cost_of_string = function
+  | "message_passing" | "mp" -> Ok Xdp_sim.Costmodel.message_passing
+  | "shared_address" | "sa" -> Ok Xdp_sim.Costmodel.shared_address
+  | "idealized" | "ideal" -> Ok Xdp_sim.Costmodel.idealized
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown cost model '%s' (known: message_passing, shared_address, \
+            idealized)"
+           s)
+
+let engine_of_string = function
+  | "compiled" | "staged" -> Ok `Compiled
+  | "interp" | "interpreter" | "reference" -> Ok `Interp
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown engine '%s' (accepted: compiled, staged, interp, \
+            interpreter, reference)"
+           s)
+
+let engine_name = function `Compiled -> "compiled" | `Interp -> "interp"
+
+let check_spec (s : Manifest.spec) =
+  match canonical_stage s.app s.stage with
+  | Error e -> Error e
+  | Ok stage -> (
+      match cost_of_string s.cost with
+      | Error e -> Error e
+      | Ok cm -> (
+          match s.engine with
+          | None -> Ok { s with stage; cost = cm.Xdp_sim.Costmodel.name }
+          | Some e -> (
+              match engine_of_string e with
+              | Error err -> Error err
+              | Ok eng ->
+                  Ok
+                    {
+                      s with
+                      stage;
+                      cost = cm.Xdp_sim.Costmodel.name;
+                      engine = Some (engine_name eng);
+                    })))
+
+(* squarest grid whose product is nprocs (jacobi2d's processor mesh) *)
+let squarest nprocs =
+  let rec best r = if nprocs mod r = 0 then r else best (r - 1) in
+  let pr = best (int_of_float (sqrt (float_of_int nprocs))) in
+  (pr, nprocs / pr)
+
+let build (s : Manifest.spec) : t =
+  let nprocs = s.procs and n = s.n in
+  let stage =
+    match canonical_stage s.app s.stage with
+    | Ok st -> st
+    | Error e -> failwith e
+  in
+  match s.app with
+  | "vecadd" ->
+      let dist_b =
+        if s.misaligned then Xdp_dist.Dist.Cyclic else Xdp_dist.Dist.Block
+      in
+      let stage =
+        match stage with
+        | "naive" -> Xdp_apps.Vecadd.Naive
+        | "elim" -> Xdp_apps.Vecadd.Elim
+        | "localized" -> Xdp_apps.Vecadd.Localized
+        | "bound" -> Xdp_apps.Vecadd.Bound
+        | st -> failwith ("vecadd: unknown stage " ^ st)
+      in
+      {
+        prog = Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b ~stage ();
+        init = Xdp_apps.Vecadd.init;
+        check = "A";
+      }
+  | "fft3d" ->
+      let stage =
+        match stage with
+        | "baseline" -> Xdp_apps.Fft3d.Baseline
+        | "localized" -> Xdp_apps.Fft3d.Localized
+        | "fused" -> Xdp_apps.Fft3d.Fused
+        | "pipelined" -> Xdp_apps.Fft3d.Pipelined
+        | st -> failwith ("fft3d: unknown stage " ^ st)
+      in
+      {
+        prog = Xdp_apps.Fft3d.build ~n ~nprocs ?seg_rows:s.seg ~stage ();
+        init = Xdp_apps.Fft3d.init;
+        check = "A";
+      }
+  | "jacobi" ->
+      let stage =
+        match stage with
+        | "naive" -> Xdp_apps.Jacobi.Naive
+        | "elim" -> Xdp_apps.Jacobi.Elim
+        | "auto-halo" -> Xdp_apps.Jacobi.Auto_halo
+        | "halo" -> Xdp_apps.Jacobi.Halo
+        | st -> failwith ("jacobi: unknown stage " ^ st)
+      in
+      {
+        prog = Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps:s.sweeps ~stage ();
+        init = Xdp_apps.Jacobi.init;
+        check = "A";
+      }
+  | "jacobi2d" ->
+      let pr, pc = squarest nprocs in
+      {
+        prog =
+          Xdp_apps.Jacobi2d.build ~n ~pr ~pc ~sweeps:s.sweeps
+            ~stage:Xdp_apps.Jacobi2d.Halo ();
+        init = Xdp_apps.Jacobi2d.init;
+        check = "A";
+      }
+  | "reduce" ->
+      let stage =
+        match stage with
+        | "naive" -> Xdp_apps.Reduce.Naive
+        | "partial" -> Xdp_apps.Reduce.Partial
+        | st -> failwith ("reduce: unknown stage " ^ st)
+      in
+      {
+        prog = Xdp_apps.Reduce.build ~n ~nprocs ~stage ();
+        init = Xdp_apps.Reduce.init;
+        check = "OUT";
+      }
+  | "farm" ->
+      let variant =
+        match stage with
+        | "static" -> Xdp_apps.Farm.Static
+        | "dynamic" -> Xdp_apps.Farm.Dynamic
+        | st -> failwith ("farm: unknown variant " ^ st)
+      in
+      {
+        prog = Xdp_apps.Farm.build ~ntasks:n ~nprocs ~variant ();
+        init =
+          Xdp_apps.Farm.init ~base:20000.0 ~skew:Xdp_apps.Farm.Front_loaded
+            ~ntasks:n;
+        check = "ACC";
+      }
+  | app ->
+      failwith
+        ("unknown app " ^ app ^ " (known: " ^ String.concat ", " known_apps ^ ")")

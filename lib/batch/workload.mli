@@ -1,0 +1,36 @@
+(** From a manifest {!Manifest.spec} to a runnable IL+XDP program.
+
+    One shared catalogue of the bundled applications and their
+    optimization stages, used by the [xdpc] CLI (both the single-run
+    command and [xdpc batch]), the batch benchmarks and the tests —
+    the app/stage string tables used to live inside [bin/xdpc.ml]. *)
+
+type t = {
+  prog : Xdp.Ir.program;
+  init : string -> int list -> float;
+  check : string;  (** the result array an app is judged by *)
+}
+
+val known_apps : string list
+
+val stages_of : string -> string list
+(** Accepted stage names of an app (aliases included); the first is
+    its default. *)
+
+val cost_of_string : string -> (Xdp_sim.Costmodel.t, string) result
+(** Accepts [message_passing]/[mp], [shared_address]/[sa],
+    [idealized]/[ideal]. *)
+
+val engine_of_string : string -> (Xdp_runtime.Exec.engine, string) result
+(** Accepts [compiled]/[staged], [interp]/[interpreter]/[reference]. *)
+
+val check_spec : Manifest.spec -> (Manifest.spec, string) result
+(** Validate app, stage, cost and engine names and canonicalize them
+    (aliases and defaulted stages are rewritten to canonical names, so
+    equal jobs get equal labels and cache keys).  The [?check]
+    callback [xdpc batch] passes to {!Manifest.parse}. *)
+
+val build : Manifest.spec -> t
+(** Build the program for a validated spec.
+    @raise Failure on an unknown app or stage (reachable only when
+    {!check_spec} was skipped). *)

@@ -24,11 +24,16 @@ let is_pow2 n = n > 0 && n land (n - 1) = 0
    is a mask).  The table is shared by every caller — the registry
    kernel, the staged engine's inlined call path, and through them the
    sequential reference — so all execution paths see bit-identical
-   transform values. *)
-let cas_tables : (int, float array) Hashtbl.t = Hashtbl.create 8
+   transform values.  The memo is domain-local: the batch driver runs
+   simulations on concurrent OCaml Domains, and a per-domain table
+   needs no lock while still yielding bit-identical values everywhere
+   (each entry is a pure function of n). *)
+let cas_tables : (int, float array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let cas_table n =
-  match Hashtbl.find_opt cas_tables n with
+  let tables = Domain.DLS.get cas_tables in
+  match Hashtbl.find_opt tables n with
   | Some t -> t
   | None ->
       let w = 2.0 *. Float.pi /. float_of_int n in
@@ -37,7 +42,7 @@ let cas_table n =
             let a = w *. float_of_int k in
             cos a +. sin a)
       in
-      Hashtbl.add cas_tables n t;
+      Hashtbl.add tables n t;
       t
 
 let dht_sub ~buf ~tmp ~off ~stride ~n =

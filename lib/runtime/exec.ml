@@ -85,12 +85,14 @@ let array r name =
 
 let section_name arr box = arr ^ Box.to_string box
 
-let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
+let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
     ?(kernels = Xdp.Kernels.default) ?(init = fun _ _ -> 0.0) ?(scalars = [])
     ?(trace = false) ?(free_on_release = true) ?(max_steps = 20_000_000)
     ?(fault = Faultplan.none) ?(net = Transport.default_config) ~nprocs
     (p : program) =
   if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
+  if staged <> None && engine = `Interp then
+    invalid_arg "Exec.run: ~staged supplied but engine is `Interp";
   List.iter
     (fun d ->
       let np = Xdp_dist.Layout.nprocs d.layout in
@@ -385,11 +387,20 @@ let run ?(engine = default_engine) ?(cost = Costmodel.message_passing)
     }
   in
   (* Stage once, share the code across processors; each gets its own
-     slot frames and inline caches. *)
+     slot frames and inline caches.  A caller that runs the same
+     program many times (the batch service) passes the staged [cprog]
+     back in via [?staged] — it must have been compiled from this
+     program with the same cost model, kernel registry and scalar
+     preload, which the batch cache guarantees by keying on a digest
+     of exactly those inputs. *)
   (match engine with
   | `Interp -> ()
   | `Compiled ->
-      let cp = Precompile.compile ~cost ~kernels ~scalars p in
+      let cp =
+        match staged with
+        | Some cp -> cp
+        | None -> Precompile.compile ~cost ~kernels ~scalars p
+      in
       let codes = Precompile.body cp in
       Array.iter
         (fun pr ->

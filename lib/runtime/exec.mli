@@ -73,6 +73,7 @@ type result = {
 
 val run :
   ?engine:engine ->
+  ?staged:Precompile.cprog ->
   ?cost:Xdp_sim.Costmodel.t ->
   ?kernels:Xdp.Kernels.registry ->
   ?init:(string -> int list -> float) ->
@@ -87,7 +88,18 @@ val run :
   result
 (** [run ~nprocs p] — execute [p] on [nprocs] processors.  [engine]
     (default {!default_engine}) selects the staged engine or the
-    reference interpreter; [init]
+    reference interpreter; [staged] skips the one-time
+    {!Precompile.compile} and reuses an already-staged program — the
+    compile-once/run-many seam the batch service's digest-keyed cache
+    drives.  The caller owns the coherence obligation: the [cprog]
+    must have been compiled from this very program with the same
+    [cost], [kernels] and [scalars] (the cache keys on a digest of all
+    four), and a [cprog] must only be shared {e within} a domain —
+    per-processor mutable state lives in the {!Precompile.machine}s
+    built here, but cross-domain reuse is not part of the contract.
+    Supplying [staged] with [engine = `Interp] is an
+    [Invalid_argument].  A reused staged program is bit-identical to a
+    fresh compile (enforced by the batch qcheck suite).  [init]
     seeds every owned element (applied identically by {!Seq}, enabling
     bit-for-bit verification); [scalars] preloads universal scalars on
     every processor; [trace] records an event log; [free_on_release]

@@ -294,6 +294,7 @@ type ctx = {
   mutable fs_loops : int; (* natively specialized loop statements *)
   mutable fs_batched : int; (* loops charging one batched tally *)
   mutable fs_kernels : int; (* inlined kernel call sites *)
+  mutable fs_blockers : (string * int) list; (* blocking reason -> count *)
 }
 
 let record_run ctx len =
@@ -302,6 +303,12 @@ let record_run ctx len =
     (match List.assoc_opt len ctx.fs_run_hist with
     | Some n -> (len, n + 1) :: List.remove_assoc len ctx.fs_run_hist
     | None -> (len, 1) :: ctx.fs_run_hist)
+
+let record_blocker ctx reason =
+  ctx.fs_blockers <-
+    (match List.assoc_opt reason ctx.fs_blockers with
+    | Some n -> (reason, n + 1) :: List.remove_assoc reason ctx.fs_blockers
+    | None -> (reason, 1) :: ctx.fs_blockers)
 
 let ty ctx e = ty_of ctx.tys SDyn e
 
@@ -1279,6 +1286,45 @@ let plan_solid site n =
       | _ -> None)
   | _ -> None
 
+(* Why a statement has no fused form — the per-statement observability
+   the BENCH_exec fusion tables report, so a 1.0x row (e.g. the
+   misaligned vecadd copy loop) names its blocker instead of being
+   silent.  The classification mirrors [cstmt_k]'s fusability
+   conditions exactly: [None] iff the statement gets an [sc_fast].
+   Compound statements propagate the first blocked inner statement's
+   reason, so a guard whose body receives reports "transfer", not a
+   generic "blocked body". *)
+let rec block_reason kernels (s : stmt) : string option =
+  let awaits es = not (List.for_all no_await_e es) in
+  match s with
+  | Send_value _ | Send_owner _ | Send_owner_value _ | Recv_value _
+  | Recv_owner _ | Recv_owner_value _ ->
+      Some "transfer"
+  | Assign (Lvar _, e) -> if awaits [ e ] then Some "await-in-expr" else None
+  | Assign (Lelem (_, idxs), e) ->
+      if awaits (e :: idxs) then Some "await-in-expr" else None
+  | Guard (g, body) ->
+      if awaits [ g ] then Some "await-in-guard"
+      else block_reason_block kernels body
+  | For { lo; hi; step; body; _ } ->
+      if awaits [ lo; hi; step ] then Some "await-in-bounds"
+      else block_reason_block kernels body
+  | If (c, a, b) -> (
+      if awaits [ c ] then Some "await-in-cond"
+      else
+        match block_reason_block kernels a with
+        | Some r -> Some r
+        | None -> block_reason_block kernels b)
+  | Apply { fn; args } -> (
+      match Xdp.Kernels.find kernels fn with
+      | None -> Some "unknown-kernel"
+      | Some _ ->
+          if not (List.for_all no_await_sec args) then Some "await-in-args"
+          else None)
+
+and block_reason_block kernels stmts =
+  List.find_map (block_reason kernels) stmts
+
 (* A compiled statement: the turn-stepped form plus, when fusable, the
    fused form (returning statements executed).  [sc_solo] marks
    statements worth fusing even alone: compound statements and inlined
@@ -1306,7 +1352,14 @@ let compose_fast (fasts : (machine -> int) array) =
 let rec cstmt ctx (s : stmt) : sc =
   let sc = cstmt_k ctx s in
   ctx.fs_total <- ctx.fs_total + 1;
-  if sc.sc_fast <> None then ctx.fs_fusable <- ctx.fs_fusable + 1;
+  if sc.sc_fast <> None then ctx.fs_fusable <- ctx.fs_fusable + 1
+  else if ctx.fuse then
+    (* [block_reason] re-derives exactly the fusability analysis, so a
+       fusable statement can never reach the [None] fallback; "other"
+       would mean the two drifted apart (the blocker-sum invariant in
+       the tests would catch it). *)
+    record_blocker ctx
+      (Option.value ~default:"other" (block_reason ctx.kernels s));
   sc
 
 and cstmt_k ctx (s : stmt) : sc =
@@ -1729,6 +1782,7 @@ type fusion_stats = {
   fs_spec_loops : int;
   fs_batched_loops : int;
   fs_inlined_kernels : int;
+  fs_blockers : (string * int) list;
 }
 
 type cprog = {
@@ -1753,6 +1807,8 @@ let fusion_digest cp =
     s.fs_statements s.fs_fusable s.fs_fused_units s.fs_spec_loops
     s.fs_batched_loops s.fs_inlined_kernels;
   List.iter (fun (l, n) -> Printf.bprintf b "%d:%d," l n) s.fs_run_hist;
+  Printf.bprintf b " blockers=";
+  List.iter (fun (r, n) -> Printf.bprintf b "%s:%d," r n) s.fs_blockers;
   Digest.to_hex (Digest.string (Buffer.contents b))
 
 let fuse_default =
@@ -1802,6 +1858,7 @@ let compile ?(fuse = fuse_default) ~cost ~kernels ~scalars (p : program) =
       fs_loops = 0;
       fs_batched = 0;
       fs_kernels = 0;
+      fs_blockers = [];
     }
   in
   let body = (cblock ctx p.body).b_units in
@@ -1823,6 +1880,7 @@ let compile ?(fuse = fuse_default) ~cost ~kernels ~scalars (p : program) =
         fs_spec_loops = ctx.fs_loops;
         fs_batched_loops = ctx.fs_batched;
         fs_inlined_kernels = ctx.fs_kernels;
+        fs_blockers = List.sort compare ctx.fs_blockers;
       };
   }
 

@@ -151,6 +151,18 @@ type fusion_stats = {
   fs_spec_loops : int;  (** natively specialized loop statements *)
   fs_batched_loops : int;  (** loops charging one batched tally *)
   fs_inlined_kernels : int;  (** inlined kernel call sites *)
+  fs_blockers : (string * int) list;
+      (** why statements have no fused form: blocking reason -> count,
+          sorted by reason.  Reasons: ["transfer"] (the statement posts
+          or consumes board state and may raise [Blocked_on]),
+          ["await-in-guard"]/["await-in-expr"]/["await-in-bounds"]/
+          ["await-in-cond"]/["await-in-args"] (an [await] intrinsic in
+          the named position), ["unknown-kernel"].  Compound statements
+          report the first blocked inner statement's reason, so a
+          transfer-bound copy loop (the misaligned vecadd gap) shows
+          up as ["transfer"], not a generic blocked-body.  Empty with
+          fusion off; with fusion on the counts sum to
+          [fs_statements - fs_fusable]. *)
 }
 
 val fusion_stats : cprog -> fusion_stats

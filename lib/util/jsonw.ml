@@ -1,0 +1,84 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Fixed of float * int
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr x =
+  if Float.is_nan x || x = infinity || x = neg_infinity then "null"
+  else Printf.sprintf "%.12g" x
+
+let rec write b ~indent ~depth v =
+  let pad d =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (indent * d) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float x -> Buffer.add_string b (float_repr x)
+  | Fixed (x, d) ->
+      if Float.is_nan x || x = infinity || x = neg_infinity then
+        Buffer.add_string b "null"
+      else Buffer.add_string b (Printf.sprintf "%.*f" d x)
+  | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | Arr [] -> Buffer.add_string b "[]"
+  | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (depth + 1);
+          write b ~indent ~depth:(depth + 1) x)
+        xs;
+      pad depth;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_char b ',';
+          pad (depth + 1);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b (if indent > 0 then "\": " else "\":");
+          write b ~indent ~depth:(depth + 1) x)
+        kvs;
+      pad depth;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = 0) v =
+  let b = Buffer.create 256 in
+  write b ~indent ~depth:0 v;
+  Buffer.contents b
+
+let to_channel ?indent oc v =
+  output_string oc (to_string ?indent v);
+  output_char oc '\n'

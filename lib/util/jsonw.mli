@@ -1,0 +1,35 @@
+(** A small JSON tree with a deterministic writer.
+
+    The benchmark harnesses each used to hand-roll their [Printf]-based
+    JSON emission; this module is the one shared writer for every
+    BENCH_*.json artifact and for the batch driver's JSONL result
+    records.  Output is fully deterministic — key order is the order
+    given, floats render through explicit formats — which is what lets
+    the batch service promise byte-identical output for any worker
+    count.
+
+    [Float] renders with ["%.17g"]-free shortest-exact semantics via
+    ["%.12g"] (enough for every simulated-cycle quantity we emit) and
+    maps non-finite values to [null]; [Fixed (x, d)] renders with
+    exactly [d] decimals, matching the tabular style of the BENCH
+    files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Fixed of float * int  (** value, decimals *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string escaping, without the surrounding quotes. *)
+
+val to_string : ?indent:int -> t -> string
+(** [indent] > 0 pretty-prints with that step; default [0] is the
+    compact single-line form used for JSONL records. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+(** [to_string] plus a trailing newline. *)

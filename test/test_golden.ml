@@ -304,7 +304,7 @@ let test_fusion_digests () =
          ~stage:Xdp_apps.Fft3d.Pipelined ())
   in
   Alcotest.(check string) "fft3d pipelined: fusion digest"
-    "76a467c597d7133add25fb26549616ae" d_fft;
+    "d81e4678032879ccd4acd55329f86b05" d_fft;
   Alcotest.(check int) "fft3d pipelined: inlined kernel sites" 3
     fs_fft.Xdp_runtime.Precompile.fs_inlined_kernels;
   let d_jac, fs_jac =
@@ -313,7 +313,7 @@ let test_fusion_digests () =
          ~stage:Xdp_apps.Jacobi2d.Halo ())
   in
   Alcotest.(check string) "jacobi2d halo: fusion digest"
-    "b98954455b843cb883b9d114b2502bed" d_jac;
+    "9de284aa6343c7f216ca0966421214a4" d_jac;
   Alcotest.(check int) "jacobi2d halo: batched loops" 6
     fs_jac.Xdp_runtime.Precompile.fs_batched_loops
 
