@@ -32,12 +32,14 @@ let items : (string * (unit -> unit)) list =
     ("net", (fun () -> Netbench.run ()));
     ("exec", (fun () -> Execbench.run ()));
     ("batch", (fun () -> Batchbench.run ()));
+    ("nic", (fun () -> Nicbench.run ()));
     (* tiny sizes, same code paths: the `bench-smoke` dune alias runs
        these under `dune runtest` so the harness cannot bit-rot *)
     ("micro-smoke", (fun () -> Micro.run ~smoke:true ()));
     ("net-smoke", (fun () -> Netbench.run ~smoke:true ()));
     ("exec-smoke", (fun () -> Execbench.run ~smoke:true ()));
     ("batch-smoke", (fun () -> Batchbench.run ~smoke:true ()));
+    ("nic-smoke", (fun () -> Nicbench.run ~smoke:true ()));
   ]
 
 let () =

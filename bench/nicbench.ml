@@ -1,0 +1,177 @@
+(* NIC: in-network reduction vs endpoint reduction (experiment for
+   the programmable-NIC fabric, DESIGN.md section 9).
+
+   Sweeps the machine size on the reduce app and compares the Partial
+   endpoint combining tree against the Nic stage, where every
+   processor's NIC folds its subtree's partial sums in-flight and the
+   root NIC multicasts the total.  For each P the sweep records both
+   makespans, the endpoint message counts and the fabric counters,
+   then re-runs the NIC configuration under a dup-heavy fault plan
+   and checks the output tensors bit-identical — the fabric sits
+   above the wire, so retransmits and duplicates must not touch NIC
+   state (the subsystem's headline idempotence property).
+
+   Tripwires (armed in smoke and full runs alike — the simulation is
+   deterministic): in-network reduction must deliver strictly fewer
+   endpoint messages at every P, and a strictly lower makespan from
+   P = 16 up; any faulty-vs-clean divergence fails outright.  Results
+   go to stdout and BENCH_nic.json in the working directory. *)
+
+module Exec = Xdp_runtime.Exec
+module Faultplan = Xdp_net.Faultplan
+module Reduce = Xdp_apps.Reduce
+
+let arity = 4
+
+type point = {
+  p_procs : int;
+  p_n : int;
+  p_partial_makespan : float;
+  p_partial_msgs : int;
+  p_nic_makespan : float;
+  p_nic_msgs : int;
+  p_absorbed : int;
+  p_emitted : int;
+  p_saved : int;
+  p_faulty_identical : bool;
+}
+
+let run_stage ~n ~nprocs ~fault stage =
+  let nic =
+    match stage with
+    | Reduce.Nic a -> Reduce.nic_spec ~nprocs ~arity:a
+    | _ -> []
+  in
+  Exec.run ~init:Reduce.init ~fault ~nic ~nprocs
+    (Reduce.build ~n ~nprocs ~stage ())
+
+let check_out ~n ~nprocs what (r : Exec.result) =
+  let out = Exec.array r "OUT" in
+  let want = Reduce.expected_sum ~n in
+  for p = 1 to nprocs do
+    let got = Xdp_util.Tensor.get out [ p ] in
+    if Float.abs (got -. want) > 1e-6 then
+      failwith
+        (Printf.sprintf "NIC sweep: %s P=%d: OUT[%d] = %g, want %g" what
+           nprocs p got want)
+  done
+
+let measure nprocs =
+  let n = 4 * nprocs in
+  let partial = run_stage ~n ~nprocs ~fault:Faultplan.none Reduce.Partial in
+  let nic = run_stage ~n ~nprocs ~fault:Faultplan.none (Reduce.Nic arity) in
+  check_out ~n ~nprocs "partial" partial;
+  check_out ~n ~nprocs "nic" nic;
+  (* the idempotence property: a dup-heavy faulty run must reproduce
+     the clean run's tensors and fabric counters bit-for-bit *)
+  let faulty =
+    let fault =
+      Faultplan.make ~seed:4801 ~drop:0.15 ~dup:0.5 ~jitter:0.4 ()
+    in
+    run_stage ~n ~nprocs ~fault (Reduce.Nic arity)
+  in
+  let identical =
+    Xdp_util.Tensor.equal (Exec.array faulty "OUT") (Exec.array nic "OUT")
+    && faulty.stats.nic_packets = nic.stats.nic_packets
+    && faulty.stats.nic_aggregated = nic.stats.nic_aggregated
+    && faulty.stats.nic_emitted = nic.stats.nic_emitted
+    && faulty.stats.nic_fanout_copies = nic.stats.nic_fanout_copies
+  in
+  {
+    p_procs = nprocs;
+    p_n = n;
+    p_partial_makespan = partial.stats.makespan;
+    p_partial_msgs = partial.stats.messages;
+    p_nic_makespan = nic.stats.makespan;
+    p_nic_msgs = nic.stats.messages;
+    p_absorbed = nic.stats.nic_aggregated;
+    p_emitted = nic.stats.nic_emitted;
+    p_saved = nic.stats.nic_msgs_saved;
+    p_faulty_identical = identical;
+  }
+
+let run ?(smoke = false) () =
+  Printf.printf
+    "\n============ NIC: in-network vs endpoint reduction ============\n\n%!";
+  let procs = if smoke then [ 8; 16 ] else [ 64; 128; 256; 512; 1024 ] in
+  let points = List.map measure procs in
+  Xdp_util.Table.print
+    ~title:(Printf.sprintf "reduce: partial vs nic (arity=%d)" arity)
+    ~header:
+      [ "P"; "n"; "partial ms"; "nic ms"; "speedup"; "partial msgs";
+        "nic msgs"; "saved"; "faulty" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.p_procs;
+           string_of_int p.p_n;
+           Printf.sprintf "%.0f" p.p_partial_makespan;
+           Printf.sprintf "%.0f" p.p_nic_makespan;
+           Printf.sprintf "%.2fx" (p.p_partial_makespan /. p.p_nic_makespan);
+           string_of_int p.p_partial_msgs;
+           string_of_int p.p_nic_msgs;
+           string_of_int p.p_saved;
+           (if p.p_faulty_identical then "identical" else "MISMATCH");
+         ])
+       points);
+  (* tripwires — deterministic simulation, so they arm everywhere *)
+  List.iter
+    (fun p ->
+      if not p.p_faulty_identical then
+        failwith
+          (Printf.sprintf
+             "NIC sweep: faulty run diverged from fault-free run at P=%d"
+             p.p_procs);
+      if p.p_nic_msgs >= p.p_partial_msgs then
+        failwith
+          (Printf.sprintf
+             "NIC sweep: P=%d: in-network used %d endpoint messages, \
+              endpoint tree %d"
+             p.p_procs p.p_nic_msgs p.p_partial_msgs);
+      if p.p_procs >= 16 && p.p_nic_makespan >= p.p_partial_makespan then
+        failwith
+          (Printf.sprintf
+             "NIC sweep: P=%d: in-network makespan %.1f not below endpoint \
+              %.1f"
+             p.p_procs p.p_nic_makespan p.p_partial_makespan);
+      if p.p_nic_msgs <> p.p_procs + 1 then
+        failwith
+          (Printf.sprintf "NIC sweep: P=%d: expected P+1 endpoint messages, \
+                           got %d"
+             p.p_procs p.p_nic_msgs))
+    points;
+  let json =
+    let module J = Xdp_util.Jsonw in
+    J.Obj
+      [
+        ("schema", J.Str "xdp-bench-nic/1");
+        ("smoke", J.Bool smoke);
+        ("arity", J.Int arity);
+        ("cost", J.Str "message_passing");
+        ( "sweep",
+          J.Arr
+            (List.map
+               (fun p ->
+                 J.Obj
+                   [
+                     ("procs", J.Int p.p_procs);
+                     ("n", J.Int p.p_n);
+                     ("partial_makespan", J.Fixed (p.p_partial_makespan, 1));
+                     ("partial_messages", J.Int p.p_partial_msgs);
+                     ("nic_makespan", J.Fixed (p.p_nic_makespan, 1));
+                     ("nic_messages", J.Int p.p_nic_msgs);
+                     ( "speedup",
+                       J.Fixed (p.p_partial_makespan /. p.p_nic_makespan, 3)
+                     );
+                     ("nic_aggregated", J.Int p.p_absorbed);
+                     ("nic_emitted", J.Int p.p_emitted);
+                     ("nic_msgs_saved", J.Int p.p_saved);
+                     ("faulty_identical", J.Bool p.p_faulty_identical);
+                   ])
+               points) );
+      ]
+  in
+  let oc = open_out "BENCH_nic.json" in
+  Xdp_util.Jsonw.to_channel ~indent:2 oc json;
+  close_out oc;
+  Printf.printf "  wrote BENCH_nic.json\n%!"

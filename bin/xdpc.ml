@@ -29,6 +29,79 @@ let engine_conv =
         Format.fprintf ppf "%s"
           (match e with `Compiled -> "compiled" | `Interp -> "interp") )
 
+(* --nic-reduce: "off" or a combining-tree arity >= 2.  Strict in the
+   --engine style: anything else is rejected at parse time. *)
+let nic_reduce_conv =
+  let parse s =
+    match s with
+    | "off" -> Ok None
+    | _ -> (
+        match int_of_string_opt s with
+        | Some a when a >= 2 -> Ok (Some a)
+        | Some a ->
+            Error
+              (`Msg (Printf.sprintf "tree arity must be >= 2 (got %d)" a))
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "expected 'off' or a tree arity >= 2 (got '%s')" s)))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf -> function
+        | None -> Format.fprintf ppf "off"
+        | Some a -> Format.fprintf ppf "%d" a )
+
+(* --nic-filter: a NIC filter program attached to every processor. *)
+type nic_filter = Filt_none | Filt_count | Filt_drop_src of int
+
+let nic_filter_conv =
+  let parse s =
+    match s with
+    | "none" -> Ok Filt_none
+    | "count" -> Ok Filt_count
+    | _ -> (
+        match String.index_opt s '=' with
+        | Some i when String.sub s 0 i = "drop-src" -> (
+            let v = String.sub s (i + 1) (String.length s - i - 1) in
+            match int_of_string_opt v with
+            | Some k when k >= 1 -> Ok (Filt_drop_src k)
+            | _ ->
+                Error
+                  (`Msg
+                    (Printf.sprintf
+                       "drop-src takes a 1-based processor id (got '%s')" v)))
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "expected 'none', 'count' or 'drop-src=K' (got '%s')" s)))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf -> function
+        | Filt_none -> Format.fprintf ppf "none"
+        | Filt_count -> Format.fprintf ppf "count"
+        | Filt_drop_src k -> Format.fprintf ppf "drop-src=%d" k )
+
+let filter_programs ~nprocs = function
+  | Filt_none -> []
+  | Filt_count ->
+      (* pass-through: every directed value packet is counted and
+         charged NIC ingress, nothing else changes *)
+      let p =
+        Xdp_nic.Prog.(make ~name:"cli-count" [ instr True Pass ])
+      in
+      List.init nprocs (fun pid -> (pid, p))
+  | Filt_drop_src k ->
+      let p =
+        Xdp_nic.Prog.(
+          make ~name:(Printf.sprintf "cli-drop-src%d" k)
+            [ instr (eq src (lit k)) Drop ])
+      in
+      List.init nprocs (fun pid -> (pid, p))
+
 (* Sequential reference for the apps that have one — a CLI concern
    (the batch service records digests instead of re-verifying). *)
 let reference_of (s : Manifest.spec) =
@@ -52,8 +125,19 @@ let reference_of (s : Manifest.spec) =
   | _ -> None
 
 let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
-    drop dup jitter fault_seed timeout =
+    drop dup jitter fault_seed timeout nic_reduce nic_filter =
   try
+    (* --nic-reduce forces the in-network reduce stage *)
+    let app, stage, nic_arity =
+      match nic_reduce with
+      | None -> (app, stage, Manifest.default_spec.nic_arity)
+      | Some arity ->
+          if app <> "reduce" && app <> "vecadd" (* the --app default *) then
+            failwith
+              (Printf.sprintf "--nic-reduce selects app reduce (got --app %s)"
+                 app);
+          ("reduce", "nic", arity)
+    in
     let spec =
       {
         Manifest.default_spec with
@@ -70,6 +154,7 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
         jitter;
         fault_seed;
         timeout;
+        nic_arity;
       }
     in
     let spec =
@@ -86,15 +171,25 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       | Some t -> { Xdp_net.Transport.default_config with timeout = t }
     in
     let w = Workload.build spec in
+    let nic =
+      match (w.nic, nic_filter) with
+      | [], f -> filter_programs ~nprocs f
+      | nic, Filt_none -> nic
+      | _ :: _, _ ->
+          failwith
+            "--nic-filter cannot combine with the in-network reduce stage \
+             (each processor takes one NIC program)"
+    in
     if dump then begin
       print_string (Xdp.Pp.program_to_string w.prog);
-      print_string (Xdp.Match_check.report w.prog)
+      print_string (Xdp.Match_check.report w.prog);
+      List.iter (fun (_, p) -> print_string (Xdp_nic.Prog.to_string p)) nic
     end;
     if not (Xdp_net.Faultplan.is_none fault) then
       Format.printf "network: %s@." (Xdp_net.Faultplan.describe fault);
     let r =
       Xdp_runtime.Exec.run ~engine ~cost ~init:w.init
-        ~trace:(trace || gantt) ~fault ~net ~nprocs w.prog
+        ~trace:(trace || gantt) ~fault ~net ~nic ~nprocs w.prog
     in
     Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
     if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
@@ -127,6 +222,12 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
   | Xdp_net.Transport.Link_failed msg ->
       Format.eprintf "xdpc: link failure@.%s@." msg;
       1
+  | Xdp_nic.Fabric.Nic_misuse msg ->
+      Format.eprintf "xdpc: nic misuse: %s@." msg;
+      1
+  | Xdp_runtime.Exec.Deadlock msg ->
+      Format.eprintf "xdpc: deadlock: %s@." msg;
+      1
 
 let app_t =
   Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm.")
@@ -147,7 +248,10 @@ let cost_t =
   Arg.(
     value
     & opt cost_conv Xdp_sim.Costmodel.message_passing
-    & info [ "cost"; "c" ] ~doc:"Cost model: message_passing, shared_address, idealized.")
+    & info [ "cost"; "c" ]
+        ~doc:"Cost model: message_passing, shared_address, idealized, \
+              nic_compute (message-passing wire with a fast in-fabric \
+              compute path).")
 
 let engine_t =
   Arg.(
@@ -190,11 +294,36 @@ let timeout_t =
     value & opt (some float) None
     & info [ "timeout" ] ~doc:"Retransmit timeout of the reliable transport.")
 
+let nic_reduce_t =
+  Arg.(
+    value
+    & opt nic_reduce_conv None
+    & info [ "nic-reduce" ] ~docv:"ARITY"
+        ~doc:
+          "Run the in-network reduction: shorthand for $(b,--app reduce \
+           --stage nic) with the combining tree's fan-in set to $(docv) \
+           (an integer >= 2, or $(b,off)).  Each processor's NIC folds \
+           its subtree's partial sums in-flight and the root NIC \
+           multicasts the total, so only P+1 messages reach endpoints.")
+
+let nic_filter_t =
+  Arg.(
+    value
+    & opt nic_filter_conv Filt_none
+    & info [ "nic-filter" ] ~docv:"SPEC"
+        ~doc:
+          "Attach a verified NIC filter program to every processor: \
+           $(b,none) (default), $(b,count) (pass-through, counts and \
+           prices every directed value packet at the NIC) or \
+           $(b,drop-src=K) (drop packets whose source is processor K — \
+           expect deadlocks when the app needed them).  Cannot combine \
+           with $(b,--nic-reduce).")
+
 let run_term =
   Term.(
     const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
     $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
-    $ jitter_t $ fault_seed_t $ timeout_t)
+    $ jitter_t $ fault_seed_t $ timeout_t $ nic_reduce_t $ nic_filter_t)
 
 (* ------------------------------------------------------------------ *)
 (* xdpc batch                                                          *)

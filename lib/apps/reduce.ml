@@ -1,12 +1,13 @@
 open Xdp.Ir
 open Xdp.Build
 
-type stage = Sequential | Naive | Partial
+type stage = Sequential | Naive | Partial | Nic of int
 
 let stage_name = function
   | Sequential -> "sequential"
   | Naive -> "naive"
   | Partial -> "partial-sums"
+  | Nic _ -> "nic"
 
 let grid nprocs = Xdp_dist.Grid.linear nprocs
 
@@ -89,12 +90,114 @@ let partial ~n ~nprocs =
   in
   program ~name:"reduce-partial" ~decls body
 
+(* ------------------------------------------------------------------ *)
+(* In-network reduction: the host side.
+
+   Every processor computes its local partial and hands it to its own
+   NIC with a single self-directed send; the verified NIC programs of
+   {!nic_spec} collapse the partials up a k-ary tree entirely
+   in-fabric and deliver the total to P1's host under the fixed
+   rendezvous name {!nic_emit_name}.  P1 hands the total straight
+   back to its NIC, which multicasts it to every processor in one
+   fan-out.  Endpoint-delivered messages: [P + 1] (P fan-out copies
+   plus the root's total), against [2P - 1] for [Partial]. *)
+
+let nic_emit_name = "RED" ^ Xdp_util.Box.to_string (Xdp_util.Box.point [ 1 ])
+
+let in_network ~n ~nprocs =
+  let decls =
+    base_decls ~n ~nprocs
+    @ [
+        per_proc "PART" nprocs;
+        on_p1 "RED" 1 nprocs;
+        on_p1 "TOT" 1 nprocs;
+        per_proc "T2" nprocs;
+      ]
+  in
+  let iv = var "i" in
+  let a_all = sec "A" [ all ] in
+  let body =
+    [
+      setv "part" (f 0.0);
+      loop "i" (mylb a_all 1) (myub a_all 1)
+        [ setv "part" (var "part" +: elem "A" [ iv ]) ];
+      set "PART" [ mypid ] (var "part");
+      (* hand the partial to my own NIC: a self-directed send the
+         attached program absorbs into its aggregation bank *)
+      send_to (sec "PART" [ at mypid ]) [ mypid ];
+      (* the root host is the only endpoint the up-sweep touches: it
+         receives the fabric's combined total... *)
+      (mypid =: i 1)
+      @: [
+           recv ~into:(sec "TOT" [ at (i 1) ]) ~from:(sec "RED" [ at (i 1) ]);
+           await (sec "TOT" [ at (i 1) ])
+           @: [
+                (* ...and hands it straight back to its NIC, which
+                   fans it out to every processor in one shot *)
+                send_to (sec "TOT" [ at (i 1) ]) [ i 1 ];
+              ];
+         ];
+      recv ~into:(sec "T2" [ at mypid ]) ~from:(sec "TOT" [ at (i 1) ]);
+      await (sec "T2" [ at mypid ])
+      @: [ set "OUT" [ mypid ] (elem "T2" [ mypid ]) ];
+    ]
+  in
+  program ~name:"reduce-nic" ~decls body
+
+(* The per-processor NIC programs of the k-ary aggregation tree
+   (0-based pids; children of [p] are [a*p+1 .. a*p+a]).  Each NIC
+   folds its own host's partial (slot 0) and its children's subtree
+   sums (slots 1..c, keyed off the packet's source field with a
+   branchless select) and forwards the combined payload one fabric
+   hop up; the root emits to its host instead, and multicasts the
+   total on the way back down.  The root's scratch register r0
+   distinguishes its host's two self-directed sends: the first (the
+   partial) finds r0 = 0 and is aggregated, setting r0 = 1; the
+   second (the received total) fires the fan-out. *)
+let nic_spec ~nprocs ~arity =
+  if arity < 2 then invalid_arg "Reduce.nic_spec: arity < 2";
+  if nprocs < 2 then []
+  else
+    List.init nprocs (fun p ->
+        let open Xdp_nic.Prog in
+        let me1 = p + 1 in
+        let lo = (arity * p) + 1 in
+        let hi = min ((arity * p) + arity) (nprocs - 1) in
+        let nchildren = if lo > nprocs - 1 then 0 else hi - lo + 1 in
+        (* child q (0-based) arrives with src = q+1: slot = q+1-lo *)
+        let slot =
+          if nchildren = 0 then lit 0
+          else sel (eq src (lit me1)) (lit 0) (sub src (lit lo))
+        in
+        let agg emit =
+          Aggregate { slot; arity = nchildren + 1; op = A_sum; emit }
+        in
+        if p = 0 then
+          ( p,
+            make ~name:"reduce-tree-root"
+              [
+                instr
+                  (All [ eq src (lit me1); eq (reg 0) (lit 1) ])
+                  (Fanout (List.init nprocs (fun q -> lit (q + 1))));
+                instr
+                  ~sets:[ (0, sel (eq src (lit me1)) (lit 1) (reg 0)) ]
+                  True
+                  (agg (To_host nic_emit_name));
+              ] )
+        else
+          ( p,
+            make
+              ~name:(Printf.sprintf "reduce-tree-up%d" me1)
+              [ instr True (agg (To_nic (((p - 1) / arity) + 1))) ] ))
+
 let build ~n ~nprocs ~stage () =
   match stage with
   | Sequential -> sequential ~n ~nprocs
   | Naive -> Xdp.Lower.run ~nprocs (sequential ~n ~nprocs)
   | Partial ->
       if nprocs < 2 then sequential ~n ~nprocs else partial ~n ~nprocs
+  | Nic _ ->
+      if nprocs < 2 then sequential ~n ~nprocs else in_network ~n ~nprocs
 
 let init name idx =
   match (name, idx) with

@@ -10,19 +10,38 @@
     - [Partial]: hand-written IL+XDP using the paper's [mylb]/[myub]
       intrinsics — each processor reduces its own block locally, sends
       one partial to P1 (directed), P1 combines and broadcasts the
-      total back ([2P - 1] messages).
+      total back ([2P - 1] messages);
+    - [Nic arity]: in-network reduction — each processor hands its
+      partial to its own NIC with one self-directed send; the
+      verified NIC programs of {!nic_spec} fold the partials up a
+      k-ary tree entirely in-fabric, the root's host receives the
+      total once and its NIC multicasts it back down ([P + 1]
+      endpoint messages).  Run it with
+      [Exec.run ~nic:(nic_spec ~nprocs ~arity)].
 
-    Both leave the result replicated in [OUT[mypid]] on every
+    All leave the result replicated in [OUT[mypid]] on every
     processor, verified against the closed-form sum. *)
 
 open Xdp.Ir
 
-type stage = Sequential | Naive | Partial
+type stage = Sequential | Naive | Partial | Nic of int
 
 val stage_name : stage -> string
 
-(** [build ~n ~nprocs ~stage ()]. *)
+(** [build ~n ~nprocs ~stage ()].  [Nic]'s host program is
+    arity-independent (the tree shape lives in the NIC programs);
+    [Partial] and [Nic] fall back to [Sequential] when [nprocs < 2]. *)
 val build : n:int -> nprocs:int -> stage:stage -> unit -> program
+
+(** The per-processor NIC programs of the [Nic] stage's k-ary
+    aggregation tree ([(0-based pid, program)]; empty when
+    [nprocs < 2], matching [build]'s sequential fallback).
+    @raise Invalid_argument when [arity < 2]. *)
+val nic_spec : nprocs:int -> arity:int -> (int * Xdp_nic.Prog.t) list
+
+(** The rendezvous name under which the root NIC delivers the
+    combined total to P1's host ("RED[1]"). *)
+val nic_emit_name : string
 
 val init : string -> int list -> float
 

@@ -16,6 +16,7 @@ type spec = {
   fault_seed : int;
   timeout : float option;
   max_retries : int option;
+  nic_arity : int;
 }
 
 let default_spec =
@@ -35,6 +36,7 @@ let default_spec =
     fault_seed = 1;
     timeout = None;
     max_retries = None;
+    nic_arity = 4;
   }
 
 type job = { id : int; label : string; spec : spec }
@@ -55,6 +57,7 @@ let label_of_spec s =
   (match s.max_retries with
   | Some r -> Printf.bprintf b " retries=%d" r
   | None -> ());
+  if s.stage = "nic" then Printf.bprintf b " arity=%d" s.nic_arity;
   Buffer.contents b
 
 let jobs_of_specs specs =
@@ -75,6 +78,7 @@ let known_fields =
   [
     "app"; "stage"; "n"; "procs"; "sweeps"; "seg"; "misaligned"; "cost";
     "engine"; "drop"; "dup"; "jitter"; "fault_seed"; "timeout"; "max_retries";
+    "nic_arity";
   ]
 
 (* Expand one field value into its axis of scalars: an array lists
@@ -167,6 +171,7 @@ let apply_field where spec field v =
       match v with
       | Jsonw.Null -> { spec with max_retries = None }
       | v -> { spec with max_retries = Some (as_int where field v) })
+  | "nic_arity" -> { spec with nic_arity = as_int where field v }
   | f -> fail where "unknown field '%s' (known: %s)" f
            (String.concat ", " known_fields)
 
@@ -190,6 +195,8 @@ let validate_ranges where (s : spec) =
   (match s.max_retries with
   | Some r when r < 0 -> fail where "field 'max_retries': must be >= 0"
   | _ -> ());
+  if s.nic_arity < 2 then
+    fail where "field 'nic_arity': must be >= 2 (got %d)" s.nic_arity;
   s
 
 (* Cross-product expansion of one job object over its axes, canonical

@@ -22,9 +22,9 @@
     Fields: ["app"] (required: vecadd, fft3d, jacobi, jacobi2d,
     reduce, farm), ["stage"], ["n"], ["procs"], ["sweeps"], ["seg"],
     ["misaligned"], ["cost"], ["engine"], ["drop"], ["dup"],
-    ["jitter"], ["fault_seed"], ["timeout"], ["max_retries"].
-    Anything else is rejected with the offending job and field
-    named. *)
+    ["jitter"], ["fault_seed"], ["timeout"], ["max_retries"],
+    ["nic_arity"].  Anything else is rejected with the offending job
+    and field named. *)
 
 type spec = {
   app : string;
@@ -45,6 +45,10 @@ type spec = {
       (** transport give-up threshold; [None] = the transport default.
           Lowering it under heavy [drop] is how a campaign provokes
           link failures on purpose. *)
+  nic_arity : int;
+      (** combining-tree fan-in for the in-network reduce stage
+          ([app = "reduce"], [stage = "nic"]); ignored elsewhere.
+          Must be >= 2. *)
 }
 
 val default_spec : spec

@@ -48,7 +48,7 @@ let exec ~cache ~engine (s : Manifest.spec) =
   in
   let res =
     Exec.run ~engine ?staged ~cost ~init:w.Workload.init ~fault ~net
-      ~nprocs:s.procs w.Workload.prog
+      ~nic:w.Workload.nic ~nprocs:s.procs w.Workload.prog
   in
   (key, res)
 
@@ -90,6 +90,13 @@ let record_fields (job : Manifest.job) ~engine ~outcome : (string * J.t) list =
                 ("packets_dropped", J.Int st.packets_dropped);
                 ("net_overhead_bytes", J.Int st.net_overhead_bytes);
                 ("link_failures", J.Int st.link_failures);
+                ("nic_packets", J.Int st.nic_packets);
+                ("nic_filtered", J.Int st.nic_filtered);
+                ("nic_aggregated", J.Int st.nic_aggregated);
+                ("nic_emitted", J.Int st.nic_emitted);
+                ("nic_fanout_copies", J.Int st.nic_fanout_copies);
+                ("nic_msgs_saved", J.Int st.nic_msgs_saved);
+                ("nic_bytes", J.Int st.nic_bytes);
               ] );
           ( "fusion",
             J.Obj
@@ -123,6 +130,7 @@ let run_job ~cache ~engine:default_engine ~timings (job : Manifest.job) =
     | Invalid_argument msg -> Error ("invalid argument: " ^ msg)
     | Exec.Deadlock msg -> Error ("deadlock: " ^ msg)
     | Exec.Xdp_misuse msg -> Error ("xdp misuse: " ^ msg)
+    | Xdp_nic.Fabric.Nic_misuse msg -> Error ("nic misuse: " ^ msg)
     | Xdp_net.Transport.Link_failed msg -> Error ("link failed: " ^ msg)
     | e -> Error (Printexc.to_string e)
   in

@@ -2,6 +2,7 @@ type t = {
   prog : Xdp.Ir.program;
   init : string -> int list -> float;
   check : string;
+  nic : (int * Xdp_nic.Prog.t) list;
 }
 
 (* (canonical_stage, aliases) per app; the first entry is the default
@@ -20,7 +21,7 @@ let stage_table =
         ("halo", []);
       ] );
     ("jacobi2d", [ ("halo", []) ]);
-    ("reduce", [ ("naive", []); ("partial", []) ]);
+    ("reduce", [ ("naive", []); ("partial", []); ("nic", [ "in-network" ]) ]);
     ("farm", [ ("static", []); ("dynamic", []) ]);
   ]
 
@@ -54,11 +55,12 @@ let cost_of_string = function
   | "message_passing" | "mp" -> Ok Xdp_sim.Costmodel.message_passing
   | "shared_address" | "sa" -> Ok Xdp_sim.Costmodel.shared_address
   | "idealized" | "ideal" -> Ok Xdp_sim.Costmodel.idealized
+  | "nic_compute" | "nic" -> Ok Xdp_sim.Costmodel.nic_compute
   | s ->
       Error
         (Printf.sprintf
            "unknown cost model '%s' (known: message_passing, shared_address, \
-            idealized)"
+            idealized, nic_compute)"
            s)
 
 let engine_of_string = function
@@ -124,6 +126,7 @@ let build (s : Manifest.spec) : t =
         prog = Xdp_apps.Vecadd.build ~n ~nprocs ~dist_b ~stage ();
         init = Xdp_apps.Vecadd.init;
         check = "A";
+        nic = [];
       }
   | "fft3d" ->
       let stage =
@@ -138,6 +141,7 @@ let build (s : Manifest.spec) : t =
         prog = Xdp_apps.Fft3d.build ~n ~nprocs ?seg_rows:s.seg ~stage ();
         init = Xdp_apps.Fft3d.init;
         check = "A";
+        nic = [];
       }
   | "jacobi" ->
       let stage =
@@ -152,6 +156,7 @@ let build (s : Manifest.spec) : t =
         prog = Xdp_apps.Jacobi.build ~n ~nprocs ~sweeps:s.sweeps ~stage ();
         init = Xdp_apps.Jacobi.init;
         check = "A";
+        nic = [];
       }
   | "jacobi2d" ->
       let pr, pc = squarest nprocs in
@@ -161,18 +166,23 @@ let build (s : Manifest.spec) : t =
             ~stage:Xdp_apps.Jacobi2d.Halo ();
         init = Xdp_apps.Jacobi2d.init;
         check = "A";
+        nic = [];
       }
   | "reduce" ->
-      let stage =
+      let stage, nic =
         match stage with
-        | "naive" -> Xdp_apps.Reduce.Naive
-        | "partial" -> Xdp_apps.Reduce.Partial
+        | "naive" -> (Xdp_apps.Reduce.Naive, [])
+        | "partial" -> (Xdp_apps.Reduce.Partial, [])
+        | "nic" ->
+            ( Xdp_apps.Reduce.Nic s.nic_arity,
+              Xdp_apps.Reduce.nic_spec ~nprocs ~arity:s.nic_arity )
         | st -> failwith ("reduce: unknown stage " ^ st)
       in
       {
         prog = Xdp_apps.Reduce.build ~n ~nprocs ~stage ();
         init = Xdp_apps.Reduce.init;
         check = "OUT";
+        nic;
       }
   | "farm" ->
       let variant =
@@ -187,6 +197,7 @@ let build (s : Manifest.spec) : t =
           Xdp_apps.Farm.init ~base:20000.0 ~skew:Xdp_apps.Farm.Front_loaded
             ~ntasks:n;
         check = "ACC";
+        nic = [];
       }
   | app ->
       failwith

@@ -9,6 +9,9 @@ type t = {
   prog : Xdp.Ir.program;
   init : string -> int list -> float;
   check : string;  (** the result array an app is judged by *)
+  nic : (int * Xdp_nic.Prog.t) list;
+      (** per-processor NIC programs to attach ([reduce]'s [nic]
+          stage); empty for every other app/stage *)
 }
 
 val known_apps : string list
@@ -19,7 +22,7 @@ val stages_of : string -> string list
 
 val cost_of_string : string -> (Xdp_sim.Costmodel.t, string) result
 (** Accepts [message_passing]/[mp], [shared_address]/[sa],
-    [idealized]/[ideal]. *)
+    [idealized]/[ideal], [nic_compute]/[nic]. *)
 
 val engine_of_string : string -> (Xdp_runtime.Exec.engine, string) result
 (** Accepts [compiled]/[staged], [interp]/[interpreter]/[reference]. *)

@@ -1,0 +1,185 @@
+(* The NIC program IR: a deliberately tiny, loop-free fragment.
+
+   A program is a first-match-wins list of guarded instructions over
+   the integer header fields of a packet (source, destination, element
+   count, wire bytes) and a bounded bank of per-NIC scratch registers.
+   Expressions are straight-line integer arithmetic; the only
+   "control flow" is the branchless select [Sel], eBPF's cmov.  The
+   action of the firing instruction decides the packet's fate:
+   pass/drop/redirect (filters), fold into an aggregation bank
+   (in-network reduction), or replicate to k destinations (multicast
+   fan-out).  No loops, no symbol-table access, no floats in guards —
+   which is what makes attach-time verification (see {!Verify})
+   decidable and the per-packet cost statically bounded. *)
+
+type field = F_src | F_dst | F_elems | F_bytes
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type exp =
+  | Lit of int
+  | Fld of field
+  | Reg of int
+  | Bin of binop * exp * exp
+  | Sel of cond * exp * exp  (* branchless if: cond ? a : b *)
+
+and cond =
+  | True
+  | Cmp of cmp * exp * exp
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type aggop = A_sum | A_prod | A_min | A_max
+
+(* Where an aggregation bank emits once every contributor slot is
+   filled: deliver to the host this NIC serves (under a fixed
+   rendezvous name a normal [recv] can match), or forward one hop to
+   another processor's NIC.  The [To_nic] target is a static pid so
+   the attach-time acyclicity check over the forwarding graph is
+   decidable. *)
+type emit = To_host of string | To_nic of int  (* 1-based pid *)
+
+type action =
+  | Pass
+  | Drop
+  | Redirect of exp  (* 1-based destination pid *)
+  | Fanout of exp list  (* 1-based destination pids *)
+  | Aggregate of { slot : exp; arity : int; op : aggop; emit : emit }
+
+type instr = { guard : cond; sets : (int * exp) list; action : action }
+
+type t = { name : string; instrs : instr list }
+
+(* Hard bounds enforced by {!Verify}: the register file and program
+   length are what make "straight-line" a real resource bound. *)
+let max_regs = 16
+let max_instrs = 64
+
+(* ------------------------------------------------------------------ *)
+(* Builders, so attached programs read like programs and not like
+   constructor soup. *)
+
+let lit n = Lit n
+let src = Fld F_src
+let dst = Fld F_dst
+let elems = Fld F_elems
+let bytes = Fld F_bytes
+let reg r = Reg r
+let add a b = Bin (Add, a, b)
+let sub a b = Bin (Sub, a, b)
+let mul a b = Bin (Mul, a, b)
+let sel c a b = Sel (c, a, b)
+let eq a b = Cmp (Eq, a, b)
+let ne a b = Cmp (Ne, a, b)
+let lt a b = Cmp (Lt, a, b)
+let le a b = Cmp (Le, a, b)
+let gt a b = Cmp (Gt, a, b)
+let ge a b = Cmp (Ge, a, b)
+let between x lo hi = All [ ge x (lit lo); le x (lit hi) ]
+let instr ?(sets = []) guard action = { guard; sets; action }
+let make ~name instrs = { name; instrs }
+
+(* ------------------------------------------------------------------ *)
+(* Printing (diagnostics and traces). *)
+
+let field_name = function
+  | F_src -> "src"
+  | F_dst -> "dst"
+  | F_elems -> "elems"
+  | F_bytes -> "bytes"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Min -> "min"
+  | Max -> "max"
+
+let cmp_name = function
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let aggop_name = function
+  | A_sum -> "sum"
+  | A_prod -> "prod"
+  | A_min -> "min"
+  | A_max -> "max"
+
+let rec exp_to_string = function
+  | Lit n -> string_of_int n
+  | Fld f -> field_name f
+  | Reg r -> Printf.sprintf "r%d" r
+  | Bin (((Min | Max) as op), a, b) ->
+      Printf.sprintf "%s(%s, %s)" (binop_name op) (exp_to_string a)
+        (exp_to_string b)
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (exp_to_string a) (binop_name op)
+        (exp_to_string b)
+  | Sel (c, a, b) ->
+      Printf.sprintf "(%s ? %s : %s)" (cond_to_string c) (exp_to_string a)
+        (exp_to_string b)
+
+and cond_to_string = function
+  | True -> "true"
+  | Cmp (c, a, b) ->
+      Printf.sprintf "%s %s %s" (exp_to_string a) (cmp_name c)
+        (exp_to_string b)
+  | All cs -> "(" ^ String.concat " && " (List.map cond_to_string cs) ^ ")"
+  | Any cs -> "(" ^ String.concat " || " (List.map cond_to_string cs) ^ ")"
+  | Not c -> "!" ^ cond_to_string c
+
+let action_to_string = function
+  | Pass -> "pass"
+  | Drop -> "drop"
+  | Redirect e -> "redirect -> P" ^ exp_to_string e
+  | Fanout es ->
+      "fanout -> ["
+      ^ String.concat ", " (List.map (fun e -> "P" ^ exp_to_string e) es)
+      ^ "]"
+  | Aggregate { slot; arity; op; emit } ->
+      Printf.sprintf "aggregate %s slot=%s arity=%d %s" (aggop_name op)
+        (exp_to_string slot) arity
+        (match emit with
+        | To_host name -> Printf.sprintf "emit-> host %s" name
+        | To_nic p -> Printf.sprintf "emit-> nic P%d" p)
+
+let instr_to_string i =
+  let sets =
+    match i.sets with
+    | [] -> ""
+    | ss ->
+        " { "
+        ^ String.concat "; "
+            (List.map
+               (fun (r, e) -> Printf.sprintf "r%d := %s" r (exp_to_string e))
+               ss)
+        ^ " }"
+  in
+  Printf.sprintf "when %s%s: %s" (cond_to_string i.guard) sets
+    (action_to_string i.action)
+
+let to_string p =
+  Printf.sprintf "nic program '%s':\n%s" p.name
+    (String.concat "\n"
+       (List.mapi
+          (fun k i -> Printf.sprintf "  %2d. %s" k (instr_to_string i))
+          p.instrs))
+
+(* Forwarding edges of the program: the static [To_nic] targets
+   (1-based), used by the fabric's attach-time acyclicity check. *)
+let forward_targets p =
+  List.filter_map
+    (fun i ->
+      match i.action with
+      | Aggregate { emit = To_nic q; _ } -> Some q
+      | _ -> None)
+    p.instrs

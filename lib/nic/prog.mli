@@ -1,0 +1,122 @@
+(** The NIC program IR: a tiny, statically verifiable fragment that
+    runs on simulated packet arrival (ROADMAP's eBPF/XDP-style
+    in-network compute).
+
+    A program is a first-match-wins list of guarded instructions over
+    a packet's integer header fields and a bounded per-NIC scratch
+    register bank.  Expressions are straight-line integer arithmetic
+    (the only conditional is the branchless [Sel]); there are no
+    loops and no symbol-table access, so the per-packet cost is
+    statically bounded and {!Verify.check} is decidable.  The firing
+    instruction's action decides the packet's fate:
+
+    - {b filter}: [Pass] / [Drop] / [Redirect] — the packet goes on
+      to the rendezvous board, disappears, or is re-routed to a
+      different destination;
+    - {b aggregate}: the payload is folded into a per-instruction
+      bank of contributor slots; when every slot is filled the
+      combined payload is emitted (to the local host, or one hop up
+      to another NIC — how [reduce] trees collapse partial sums
+      in-flight);
+    - {b multicast fan-out}: the packet is replicated to k
+      destinations (one upstream packet, k downstream deliveries). *)
+
+type field =
+  | F_src  (** 1-based source processor *)
+  | F_dst  (** 1-based destination processor (this NIC's host) *)
+  | F_elems  (** payload length in elements *)
+  | F_bytes  (** wire size in bytes (payload + header) *)
+
+type binop = Add | Sub | Mul | Div | Mod | Min | Max
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type exp =
+  | Lit of int
+  | Fld of field
+  | Reg of int  (** scratch register, persistent across packets *)
+  | Bin of binop * exp * exp
+      (** [Div]/[Mod] by zero yield 0 (total, deterministic) *)
+  | Sel of cond * exp * exp  (** branchless select: cond ? a : b *)
+
+and cond =
+  | True
+  | Cmp of cmp * exp * exp
+  | All of cond list
+  | Any of cond list
+  | Not of cond
+
+type aggop = A_sum | A_prod | A_min | A_max
+
+(** Where a full aggregation bank emits: [To_host name] delivers the
+    combined payload to this NIC's host as a directed value send
+    under the fixed rendezvous [name] (matched by an ordinary IL
+    [recv]); [To_nic p] forwards it one fabric hop to processor [p]'s
+    NIC.  [To_nic] targets are static pids so the fabric can check
+    the forwarding graph for cycles at attach time. *)
+type emit = To_host of string | To_nic of int
+
+type action =
+  | Pass
+  | Drop
+  | Redirect of exp  (** 1-based destination pid *)
+  | Fanout of exp list  (** 1-based destination pids *)
+  | Aggregate of { slot : exp; arity : int; op : aggop; emit : emit }
+
+type instr = {
+  guard : cond;
+  sets : (int * exp) list;
+      (** scratch updates, applied in order when the guard fires *)
+  action : action;
+}
+
+type t = { name : string; instrs : instr list }
+(** Instructions are scanned top-down; the first true guard applies
+    its [sets] and its action, the rest are skipped.  No matching
+    guard means [Pass]. *)
+
+val max_regs : int
+(** Scratch registers per NIC (16). *)
+
+val max_instrs : int
+(** Maximum program length (64). *)
+
+(** {1 Builders} *)
+
+val lit : int -> exp
+val src : exp
+val dst : exp
+val elems : exp
+val bytes : exp
+val reg : int -> exp
+val add : exp -> exp -> exp
+val sub : exp -> exp -> exp
+val mul : exp -> exp -> exp
+val sel : cond -> exp -> exp -> exp
+val eq : exp -> exp -> cond
+val ne : exp -> exp -> cond
+val lt : exp -> exp -> cond
+val le : exp -> exp -> cond
+val gt : exp -> exp -> cond
+val ge : exp -> exp -> cond
+
+val between : exp -> int -> int -> cond
+(** [between x lo hi] — [lo <= x && x <= hi]. *)
+
+val instr : ?sets:(int * exp) list -> cond -> action -> instr
+val make : name:string -> instr list -> t
+
+(** {1 Printing} *)
+
+val field_name : field -> string
+val binop_name : binop -> string
+val cmp_name : cmp -> string
+val aggop_name : aggop -> string
+val exp_to_string : exp -> string
+val cond_to_string : cond -> string
+val action_to_string : action -> string
+val instr_to_string : instr -> string
+val to_string : t -> string
+
+val forward_targets : t -> int list
+(** The static [To_nic] targets (1-based) — the program's edges in
+    the fabric's forwarding graph. *)

@@ -1,0 +1,115 @@
+(* Attach-time verification of NIC programs.
+
+   The point of the restricted IR is that every obligation here is
+   decidable by a single walk: bounded program length, bounded
+   expression size, register indices inside the bank, literal
+   destinations inside the machine, no constant division by zero,
+   non-degenerate aggregations and fan-outs.  A program that passes
+   cannot loop, cannot touch memory beyond its scratch bank, and has
+   a per-packet cost bounded by its static size — the eBPF bargain.
+
+   Every rejection is positioned: it names the program and, when the
+   defect is inside an instruction, the instruction index (and the
+   register/operand concerned), so `attach` failures read like
+   compiler diagnostics, not asserts. *)
+
+type error = { prog : string; instr : int option; what : string }
+
+let error_to_string e =
+  match e.instr with
+  | None -> Printf.sprintf "nic program '%s': %s" e.prog e.what
+  | Some k -> Printf.sprintf "nic program '%s', instr %d: %s" e.prog k e.what
+
+exception Reject of error
+
+let max_exp_nodes = 256
+
+let check ~nprocs (p : Prog.t) =
+  let fail ?instr fmt =
+    Printf.ksprintf
+      (fun what -> raise (Reject { prog = p.Prog.name; instr; what }))
+      fmt
+  in
+  let check_pid ~instr what pid1 =
+    if pid1 < 1 || pid1 > nprocs then
+      fail ~instr "%s P%d outside the machine (1..%d)" what pid1 nprocs
+  in
+  (* One walk counts nodes, range-checks registers and literal
+     destinations, and rejects constant zero divisors. *)
+  let rec exp_nodes ~instr e =
+    match e with
+    | Prog.Lit _ | Prog.Fld _ -> 1
+    | Prog.Reg r ->
+        if r < 0 || r >= Prog.max_regs then
+          fail ~instr "scratch register r%d out of range [0,%d)" r
+            Prog.max_regs;
+        1
+    | Prog.Bin (((Div | Mod) as op), a, Prog.Lit 0) ->
+        ignore (exp_nodes ~instr a);
+        fail ~instr "%s by constant zero" (Prog.binop_name op)
+    | Prog.Bin (_, a, b) ->
+        1 + exp_nodes ~instr a + exp_nodes ~instr b
+    | Prog.Sel (c, a, b) ->
+        1 + cond_nodes ~instr c + exp_nodes ~instr a + exp_nodes ~instr b
+  and cond_nodes ~instr c =
+    match c with
+    | Prog.True -> 1
+    | Prog.Cmp (_, a, b) -> 1 + exp_nodes ~instr a + exp_nodes ~instr b
+    | Prog.All cs | Prog.Any cs ->
+        List.fold_left (fun n c -> n + cond_nodes ~instr c) 1 cs
+    | Prog.Not c -> 1 + cond_nodes ~instr c
+  in
+  let bound ~instr what n =
+    if n > max_exp_nodes then
+      fail ~instr "%s has %d nodes (bound %d)" what n max_exp_nodes
+  in
+  try
+    if p.Prog.name = "" then fail "program has no name";
+    let len = List.length p.Prog.instrs in
+    if len > Prog.max_instrs then
+      fail "%d instructions (bound %d)" len Prog.max_instrs;
+    List.iteri
+      (fun instr (i : Prog.instr) ->
+        bound ~instr "guard" (cond_nodes ~instr i.guard);
+        List.iter
+          (fun (r, e) ->
+            if r < 0 || r >= Prog.max_regs then
+              fail ~instr "scratch register r%d out of range [0,%d)" r
+                Prog.max_regs;
+            bound ~instr "register update" (exp_nodes ~instr e))
+          i.sets;
+        match i.action with
+        | Prog.Pass | Prog.Drop -> ()
+        | Prog.Redirect e -> (
+            bound ~instr "redirect destination" (exp_nodes ~instr e);
+            match e with
+            | Prog.Lit d -> check_pid ~instr "redirect to" d
+            | _ -> ())
+        | Prog.Fanout [] -> fail ~instr "empty fan-out"
+        | Prog.Fanout es when List.length es > nprocs ->
+            fail ~instr "fan-out to %d destinations on a %d-processor machine"
+              (List.length es) nprocs
+        | Prog.Fanout es ->
+            List.iter
+              (fun e ->
+                bound ~instr "fan-out destination" (exp_nodes ~instr e);
+                match e with
+                | Prog.Lit d -> check_pid ~instr "fan-out to" d
+                | _ -> ())
+              es
+        | Prog.Aggregate { slot; arity; op = _; emit } -> (
+            bound ~instr "aggregation slot" (exp_nodes ~instr slot);
+            if arity < 1 then
+              fail ~instr "aggregation arity %d (must be >= 1)" arity;
+            if arity > nprocs + 1 then
+              fail ~instr
+                "aggregation arity %d exceeds contributors available \
+                 (nprocs + 1 = %d)"
+                arity (nprocs + 1);
+            match emit with
+            | Prog.To_host "" -> fail ~instr "emit to host with empty name"
+            | Prog.To_host _ -> ()
+            | Prog.To_nic q -> check_pid ~instr "emit forwarded to" q))
+      p.Prog.instrs;
+    Ok ()
+  with Reject e -> Error e

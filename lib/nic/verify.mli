@@ -1,0 +1,28 @@
+(** Attach-time verification of NIC programs.
+
+    Rejects programs that would be unbounded or ill-typed at the NIC:
+    over-long programs, oversized expressions, scratch registers
+    outside the bank, literal destinations outside the machine,
+    constant division by zero, empty fan-outs, degenerate or
+    oversized aggregations, emits without a rendezvous name.  A
+    program that passes runs in statically bounded time per packet.
+
+    Rejections are {e positioned}: [error_to_string] renders
+    ["nic program 'rtree', instr 2: scratch register r19 out of range
+    [0,16)"] — the program name and instruction index always
+    identify the defect site.  (Acyclicity of [To_nic] forwarding is
+    a whole-fabric property and is checked by {!Fabric.create}, which
+    sees every attached program.) *)
+
+type error = {
+  prog : string;  (** program name *)
+  instr : int option;  (** offending instruction index, if any *)
+  what : string;
+}
+
+val error_to_string : error -> string
+
+val max_exp_nodes : int
+(** Node bound per expression (256). *)
+
+val check : nprocs:int -> Prog.t -> (unit, error) result

@@ -88,8 +88,8 @@ let section_name arr box = arr ^ Box.to_string box
 let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
     ?(kernels = Xdp.Kernels.default) ?(init = fun _ _ -> 0.0) ?(scalars = [])
     ?(trace = false) ?(free_on_release = true) ?(max_steps = 20_000_000)
-    ?(fault = Faultplan.none) ?(net = Transport.default_config) ~nprocs
-    (p : program) =
+    ?(fault = Faultplan.none) ?(net = Transport.default_config) ?(nic = [])
+    ~nprocs (p : program) =
   if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
   if staged <> None && engine = `Interp then
     invalid_arg "Exec.run: ~staged supplied but engine is `Interp";
@@ -113,11 +113,40 @@ let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
     if Faultplan.is_none fault then None
     else Some (Transport.create ~config:net ~plan:fault ~trace:tr board ~cost)
   in
-  let post_send ~time ~src ~name ~kind ~payload ~directed =
+  let wire_send ~time ~src ~name ~kind ~payload ~directed =
     match transport with
     | None -> Board.post_send board ~time ~src ~name ~kind ~payload ~directed
     | Some n ->
         Transport.post_send n ~time ~src ~name ~kind ~payload ~directed
+  in
+  (* The NIC fabric interposes above the board/transport: a directed
+     value send to a processor with a program attached is offered to
+     that NIC instead of going on the wire; everything the fabric
+     emits re-enters through [wire_send] below it (and so pays full
+     endpoint prices and suffers the fault plan).  Retransmits and
+     duplicates happen strictly below this seam, which is what makes
+     NIC programs idempotent under retransmit. *)
+  let fabric =
+    match nic with
+    | [] -> None
+    | specs -> (
+        match
+          Xdp_nic.Fabric.create ~nprocs ~cost ~trace:tr ~post:wire_send specs
+        with
+        | Ok f -> Some f
+        | Error e -> invalid_arg ("Exec.run: " ^ e))
+  in
+  let post_send ~time ~src ~name ~kind ~payload ~directed =
+    match (fabric, kind, directed) with
+    | Some f, Board.Value, Some dsts
+      when List.exists (Xdp_nic.Fabric.handles f) dsts ->
+        let nicked, plain = List.partition (Xdp_nic.Fabric.handles f) dsts in
+        if plain <> [] then
+          wire_send ~time ~src ~name ~kind ~payload ~directed:(Some plain);
+        List.iter
+          (fun dst -> Xdp_nic.Fabric.offer f ~time ~src ~dst ~name ~payload)
+          nicked
+    | _ -> wire_send ~time ~src ~name ~kind ~payload ~directed
   in
   let post_recv ~time ~dst ~name ~kind ~token =
     match transport with
@@ -793,6 +822,24 @@ let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
       link_failures =
         (match transport with
         | Some n -> List.length (Transport.failures n)
+        | None -> 0);
+      nic_packets =
+        (match fabric with Some f -> Xdp_nic.Fabric.packets f | None -> 0);
+      nic_filtered =
+        (match fabric with Some f -> Xdp_nic.Fabric.filtered f | None -> 0);
+      nic_aggregated =
+        (match fabric with Some f -> Xdp_nic.Fabric.absorbed f | None -> 0);
+      nic_emitted =
+        (match fabric with Some f -> Xdp_nic.Fabric.emitted f | None -> 0);
+      nic_fanout_copies =
+        (match fabric with
+        | Some f -> Xdp_nic.Fabric.fanout_copies f
+        | None -> 0);
+      nic_msgs_saved =
+        (match fabric with Some f -> Xdp_nic.Fabric.msgs_saved f | None -> 0);
+      nic_bytes =
+        (match fabric with
+        | Some f -> Xdp_nic.Fabric.fabric_bytes f
         | None -> 0);
     }
   in

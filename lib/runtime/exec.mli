@@ -83,6 +83,7 @@ val run :
   ?max_steps:int ->
   ?fault:Xdp_net.Faultplan.t ->
   ?net:Xdp_net.Transport.config ->
+  ?nic:(int * Xdp_nic.Prog.t) list ->
   nprocs:int ->
   Xdp.Ir.program ->
   result
@@ -108,8 +109,21 @@ val run :
     (default 20,000,000); [fault] (default {!Xdp_net.Faultplan.none})
     injects network faults and routes every message through the
     reliable transport configured by [net].
+
+    [nic] attaches verified {!Xdp_nic.Prog} programs to processors
+    ([(pid, program)], 0-based): every directed value send to a
+    processor with a program attached is diverted through its NIC
+    ({!Xdp_nic.Fabric}) before reaching the board, under the
+    [nic_alpha]/[nic_beta]/[nic_op] cost axis.  The fabric sits above
+    the transport, so NIC state never sees retransmits or duplicates
+    — NIC programs are idempotent under faults.  Attach-time
+    verification failures (ill-typed programs, forwarding cycles,
+    forwarding to an unattached processor) raise [Invalid_argument]
+    with the positioned diagnostic.
     @raise Xdp_net.Transport.Link_failed when a message is lost past
-    the transport's retry budget. *)
+    the transport's retry budget.
+    @raise Xdp_nic.Fabric.Nic_misuse when an attached program
+    misbehaves dynamically (computed target or slot out of range). *)
 
 val array : result -> string -> Tensor.t
 

@@ -13,6 +13,9 @@ type t = {
   header_bytes : int;
   time_owner_admin : float;
   nic_serialize : bool;
+  nic_alpha : float;
+  nic_beta : float;
+  nic_op : float;
 }
 
 let message_passing =
@@ -31,6 +34,14 @@ let message_passing =
     header_bytes = 16;
     time_owner_admin = 50.0;
     nic_serialize = false;
+    (* The programmable-NIC fabric (lib/nic): a fabric hop is far
+       cheaper than an endpoint message (no software send/recv
+       initiation, switch-port latency instead of end-to-end alpha),
+       and running a verified NIC program costs nic_op per
+       instruction — all dyadic so batched charges stay exact. *)
+    nic_alpha = 50.0;
+    nic_beta = 0.25;
+    nic_op = 0.5;
   }
 
 let shared_address =
@@ -52,6 +63,23 @@ let idealized =
     alpha = 0.0;
     beta = 0.0;
     time_owner_admin = 0.0;
+    nic_alpha = 0.0;
+    nic_beta = 0.0;
+    nic_op = 0.0;
+  }
+
+(* A machine whose NICs are built for in-network compute: same hosts
+   as [message_passing], but the programmable fabric is an order of
+   magnitude cheaper per hop and per instruction (distinct alpha/beta
+   for NIC-originated traffic).  Used to ask "what if the network
+   were the accelerator" without touching endpoint costs. *)
+let nic_compute =
+  {
+    message_passing with
+    name = "nic_compute";
+    nic_alpha = 5.0;
+    nic_beta = 0.03125;
+    nic_op = 0.0625;
   }
 
 (* Batched charging support for the staged executor: a tally counts

@@ -32,6 +32,15 @@ type t = {
           bursts of sends queue behind each other (the common 1993
           reality; off in the default presets for the simpler postal
           model) *)
+  nic_alpha : float;
+      (** per-hop latency of the programmable NIC fabric ([lib/nic]):
+          host-to-NIC ingress and NIC-to-NIC forwarding both pay
+          [nic_alpha + nic_beta*bytes] — the distinct, much cheaper
+          alpha/beta of NIC-originated traffic *)
+  nic_beta : float;  (** per-byte cost of a fabric hop *)
+  nic_op : float;
+      (** per-instruction cost of running a verified NIC program on a
+          packet (per-packet program cost ≪ endpoint compute) *)
 }
 
 (** 1993-era distributed-memory multicomputer: expensive message
@@ -44,6 +53,13 @@ val shared_address : t
 
 (** Zero-cost communication; isolates pure compute time. *)
 val idealized : t
+
+(** [message_passing] hosts with an in-network-compute-grade fabric:
+    NIC hops and per-packet program cost an order of magnitude below
+    the default preset's.  The preset for asking how far in-network
+    reduction can go when the fabric, not the endpoint, is the fast
+    path. *)
+val nic_compute : t
 
 (** {1 Batched charging}
 

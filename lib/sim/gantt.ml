@@ -48,6 +48,18 @@ let render ~nprocs ~makespan ?(width = 72) events =
         | Trace.Retransmit { time; dst; _ } ->
             if rexmit_start.(dst) = None then rexmit_start.(dst) <- Some time
         | Trace.Ack _ | Trace.Duped _ -> ()
+        (* NIC fabric activity shows on the lane of the processor the
+           NIC serves; 'a' marks in-flight aggregation (absorb/emit),
+           'f' a multicast fan-out, '!' a filtered packet. *)
+        | Trace.Nic_absorb { time; pid; _ } | Trace.Nic_emit { time; pid; _ }
+          ->
+            if buckets.(pid).(bucket time) = ' ' then
+              buckets.(pid).(bucket time) <- 'a'
+        | Trace.Nic_fanout { time; pid; _ } ->
+            buckets.(pid).(bucket time) <- 'f'
+        | Trace.Nic_drop { time; pid; _ }
+        | Trace.Nic_redirect { time; pid; _ } ->
+            buckets.(pid).(bucket time) <- '!'
         | Trace.Note { time; pid; _ } -> last_seen.(pid) <- time)
       events;
     let buf = Buffer.create ((nprocs + 2) * (width + 8)) in
@@ -61,5 +73,5 @@ let render ~nprocs ~makespan ?(width = 72) events =
     done;
     Buffer.add_string buf
       "     ('#' busy  '.' blocked  'v' delivery  'x' drop  'r' retransmit \
-       window)\n";
+       window  'a' nic-aggregate  'f' nic-fanout  '!' nic-filter)\n";
     Buffer.contents buf

@@ -29,6 +29,23 @@ type event =
     }
   | Ack of { time : float; src : int; dst : int; name : string }
   | Duped of { time : float; src : int; dst : int; name : string }
+  | Nic_drop of { time : float; pid : int; src : int; name : string }
+  | Nic_redirect of {
+      time : float;
+      pid : int;
+      src : int;
+      name : string;
+      dest : int;
+    }
+  | Nic_absorb of {
+      time : float;
+      pid : int;
+      src : int;
+      name : string;
+      slot : int;
+    }
+  | Nic_emit of { time : float; pid : int; name : string; parts : int }
+  | Nic_fanout of { time : float; pid : int; name : string; copies : int }
 
 type t = { enabled : bool; mutable events : event list (* reversed *) }
 
@@ -65,6 +82,21 @@ let pp_event ppf = function
   | Duped { time; src; dst; name } ->
       Format.fprintf ppf "[%10.1f] P%d -> P%d duplicate suppressed %s" time
         (src + 1) (dst + 1) name
+  | Nic_drop { time; pid; src; name } ->
+      Format.fprintf ppf "[%10.1f] P%d nic: dropped %s from P%d" time
+        (pid + 1) name (src + 1)
+  | Nic_redirect { time; pid; src; name; dest } ->
+      Format.fprintf ppf "[%10.1f] P%d nic: redirect %s from P%d -> P%d" time
+        (pid + 1) name (src + 1) (dest + 1)
+  | Nic_absorb { time; pid; src; name; slot } ->
+      Format.fprintf ppf "[%10.1f] P%d nic: absorb %s from P%d (slot %d)"
+        time (pid + 1) name (src + 1) slot
+  | Nic_emit { time; pid; name; parts } ->
+      Format.fprintf ppf "[%10.1f] P%d nic: emit %s (%d parts combined)" time
+        (pid + 1) name parts
+  | Nic_fanout { time; pid; name; copies } ->
+      Format.fprintf ppf "[%10.1f] P%d nic: fanout %s x%d" time (pid + 1)
+        name copies
 
 let pp ppf t =
   List.iter (fun e -> Format.fprintf ppf "%a@." pp_event e) (events t)
@@ -88,6 +120,13 @@ type stats = {
   packets_dropped : int;
   net_overhead_bytes : int;
   link_failures : int;
+  nic_packets : int;
+  nic_filtered : int;
+  nic_aggregated : int;
+  nic_emitted : int;
+  nic_fanout_copies : int;
+  nic_msgs_saved : int;
+  nic_bytes : int;
 }
 
 let idle_fraction s =
@@ -118,4 +157,9 @@ let pp_stats ppf s =
       s.acks s.dup_suppressed s.packets_dropped s.net_overhead_bytes
       (if s.link_failures > 0 then
          Printf.sprintf " LINK_FAILURES=%d" s.link_failures
-       else "")
+       else "");
+  if s.nic_packets > 0 then
+    Format.fprintf ppf
+      " nic(pkts=%d filtered=%d agg=%d emit=%d fanout=%d saved=%d %dB)"
+      s.nic_packets s.nic_filtered s.nic_aggregated s.nic_emitted
+      s.nic_fanout_copies s.nic_msgs_saved s.nic_bytes

@@ -40,6 +40,26 @@ type event =
       (** receiver acknowledged; [src]/[dst] are the {e data} endpoints *)
   | Duped of { time : float; src : int; dst : int; name : string }
       (** receiver suppressed a duplicate by sequence-number dedup *)
+  | Nic_drop of { time : float; pid : int; src : int; name : string }
+      (** a NIC program filtered the packet out *)
+  | Nic_redirect of {
+      time : float;
+      pid : int;
+      src : int;
+      name : string;
+      dest : int;
+    }  (** a NIC program re-routed the packet to [dest] *)
+  | Nic_absorb of {
+      time : float;
+      pid : int;
+      src : int;
+      name : string;
+      slot : int;
+    }  (** payload folded into an in-network aggregation bank *)
+  | Nic_emit of { time : float; pid : int; name : string; parts : int }
+      (** a full aggregation bank emitted its combined payload *)
+  | Nic_fanout of { time : float; pid : int; name : string; copies : int }
+      (** one upstream packet replicated to [copies] destinations *)
 
 type t
 
@@ -77,6 +97,13 @@ type stats = {
   packets_dropped : int;   (** data + ack packets the fault plan dropped *)
   net_overhead_bytes : int;(** retransmitted payload + ack bytes, beyond [bytes] *)
   link_failures : int;     (** messages abandoned after max retries *)
+  nic_packets : int;       (** packets processed by attached NIC programs *)
+  nic_filtered : int;      (** packets a NIC program dropped *)
+  nic_aggregated : int;    (** payloads folded into aggregation banks *)
+  nic_emitted : int;       (** combined payloads emitted by full banks *)
+  nic_fanout_copies : int; (** copies produced by multicast fan-out *)
+  nic_msgs_saved : int;    (** endpoint messages saved by in-flight folding *)
+  nic_bytes : int;         (** bytes carried on NIC fabric hops *)
 }
 
 (** Idle fraction: 1 - sum(busy)/(nprocs * makespan). *)

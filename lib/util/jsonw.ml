@@ -8,20 +8,54 @@ type t =
   | Arr of t list
   | Obj of (string * t) list
 
+(* Escaping hardened for arbitrary byte strings: every control
+   character (C0 and DEL) becomes a \uXXXX escape, well-formed UTF-8
+   passes through verbatim, and invalid UTF-8 bytes are replaced by
+   U+FFFD — the emitted document is always valid UTF-8 JSON, whatever
+   bytes a label or diagnostic happened to carry.  The replacement
+   makes [escape] a fixpoint: escaping the parse of an escaped string
+   reproduces it byte-for-byte (the round-trip property tested against
+   the batch manifest parser). *)
 let escape s =
   let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        Buffer.add_string b "\\\"";
+        incr i
+    | '\\' ->
+        Buffer.add_string b "\\\\";
+        incr i
+    | '\n' ->
+        Buffer.add_string b "\\n";
+        incr i
+    | '\r' ->
+        Buffer.add_string b "\\r";
+        incr i
+    | '\t' ->
+        Buffer.add_string b "\\t";
+        incr i
+    | c when Char.code c < 0x20 || Char.code c = 0x7F ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c));
+        incr i
+    | c when Char.code c < 0x80 ->
+        Buffer.add_char b c;
+        incr i
+    | _ ->
+        (* multi-byte sequence: validate, pass through or replace *)
+        let d = String.get_utf_8_uchar s !i in
+        if Uchar.utf_decode_is_valid d then begin
+          Buffer.add_substring b s !i (Uchar.utf_decode_length d);
+          i := !i + Uchar.utf_decode_length d
+        end
+        else begin
+          (* U+FFFD replacement character, UTF-8 encoded *)
+          Buffer.add_string b "\xef\xbf\xbd";
+          i := !i + Uchar.utf_decode_length d
+        end)
+  done;
   Buffer.contents b
 
 let float_repr x =

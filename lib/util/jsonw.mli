@@ -25,7 +25,12 @@ type t =
   | Obj of (string * t) list
 
 val escape : string -> string
-(** JSON string escaping, without the surrounding quotes. *)
+(** JSON string escaping, without the surrounding quotes.  Total on
+    arbitrary byte strings: every control character (C0 and DEL)
+    escapes to [\uXXXX], well-formed UTF-8 passes through verbatim,
+    and bytes that are not valid UTF-8 are replaced by U+FFFD — the
+    output is always a valid UTF-8 JSON string body, and escaping is
+    a fixpoint under parse-then-escape round-trips. *)
 
 val to_string : ?indent:int -> t -> string
 (** [indent] > 0 pretty-prints with that step; default [0] is the

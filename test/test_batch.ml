@@ -107,6 +107,53 @@ let test_manifest_canonicalization () =
   Alcotest.(check string) "empty stage takes the app default" "baseline"
     defaulted.(0).spec.stage
 
+let test_manifest_nic_arity () =
+  (* nic_arity is a sweepable axis; the label carries it only for the
+     in-network reduce stage *)
+  let jobs =
+    parse_ok ~check:Workload.check_spec
+      {|{"jobs": [{"app": "reduce", "stage": "nic", "procs": 8,
+                   "nic_arity": [2, 4]}]}|}
+  in
+  Alcotest.(check int) "arity axis expands" 2 (Array.length jobs);
+  Alcotest.(check int) "first arity" 2 jobs.(0).spec.nic_arity;
+  Alcotest.(check int) "second arity" 4 jobs.(1).spec.nic_arity;
+  Array.iter
+    (fun (j : Manifest.job) ->
+      let suffix = Printf.sprintf "arity=%d" j.spec.nic_arity in
+      let l = j.label in
+      let ls = String.length l and ss = String.length suffix in
+      Alcotest.(check bool)
+        (Printf.sprintf "label %S ends with %S" l suffix)
+        true
+        (ls >= ss && String.sub l (ls - ss) ss = suffix);
+      (* the built workload really attaches one program per processor *)
+      let w = Workload.build j.spec in
+      Alcotest.(check int) "one NIC program per processor" j.spec.procs
+        (List.length w.nic))
+    jobs;
+  (* other stages neither label nor attach *)
+  let partial =
+    parse_ok ~check:Workload.check_spec
+      {|{"jobs": [{"app": "reduce", "stage": "partial", "nic_arity": 3}]}|}
+  in
+  Alcotest.(check bool) "partial label has no arity" true
+    (not
+       (String.length partial.(0).label >= 6
+       && String.sub partial.(0).label (String.length partial.(0).label - 7) 7
+          = "arity=3"));
+  Alcotest.(check int) "partial attaches nothing" 0
+    (List.length (Workload.build partial.(0).spec).nic);
+  let bad =
+    parse_err ~check:Workload.check_spec
+      {|{"jobs": [{"app": "reduce", "stage": "nic", "nic_arity": 1}]}|}
+  in
+  Alcotest.(check bool) "arity < 2 rejected with the field named" true
+    (let needle = "nic_arity" in
+     let ln = String.length needle and lh = String.length bad in
+     let rec go i = i + ln <= lh && (String.sub bad i ln = needle || go (i + 1)) in
+     go 0)
+
 (* ---- the ordered sink ---- *)
 
 let test_sink_ordering () =
@@ -148,6 +195,60 @@ let test_json_roundtrip () =
       Alcotest.(check bool) ("position in " ^ e) true
         (String.length e >= 6 && String.sub e 0 6 = "line 2")
   | Ok _ -> Alcotest.fail "expected a parse error")
+
+(* ---- hardened string escaping: control chars, UTF-8, junk bytes ---- *)
+
+let test_escape_hardening () =
+  let esc = Xdp_util.Jsonw.escape in
+  Alcotest.(check string) "C0 and DEL escape to \\u"
+    "\\u0000\\u0001\\u001f\\u007f"
+    (esc "\x00\x01\x1f\x7f");
+  Alcotest.(check string) "named escapes preferred" "a\\\"b\\\\c\\n\\t\\r"
+    (esc "a\"b\\c\n\t\r");
+  Alcotest.(check string) "valid UTF-8 passes verbatim" "caf\xc3\xa9 \xe2\x82\xac"
+    (esc "caf\xc3\xa9 \xe2\x82\xac");
+  Alcotest.(check string) "invalid byte replaced by U+FFFD" "x\xef\xbf\xbdy"
+    (esc "x\xffy");
+  Alcotest.(check string) "truncated sequence replaced" "ab\xef\xbf\xbd"
+    (esc "ab\xc3");
+  (* continuation byte with no lead *)
+  Alcotest.(check string) "stray continuation replaced" "\xef\xbf\xbdz"
+    (esc "\x80z")
+
+(* For ANY byte string: the emitted JSON parses (with the batch
+   manifest parser), parsing is idempotent, and strings that were
+   ASCII or valid UTF-8 round-trip byte-for-byte. *)
+let prop_escape_roundtrip =
+  QCheck.Test.make ~name:"escape round-trips against the batch parser"
+    ~count:300 QCheck.string (fun s ->
+      let quoted x = Jsonw.to_string (Jsonw.Str x) in
+      match Json.parse_result (quoted s) with
+      | Error e -> QCheck.Test.fail_reportf "emitted JSON unparseable: %s" e
+      | Ok (Jsonw.Str s') ->
+          (* fixpoint: a parsed-back string re-escapes identically... *)
+          if quoted s' <> quoted s then
+            QCheck.Test.fail_reportf "escape not a fixpoint for %S" s;
+          (* ...and ASCII input survives exactly *)
+          if String.for_all (fun c -> Char.code c < 0x80) s && s' <> s then
+            QCheck.Test.fail_reportf "ASCII string mangled: %S <> %S" s' s;
+          true
+      | Ok _ -> QCheck.Test.fail_reportf "parsed to a non-string for %S" s)
+
+let prop_escape_utf8_exact =
+  (* valid UTF-8 (BMP scalars, as the parser's \u decoder is BMP-only)
+     round-trips byte-for-byte *)
+  QCheck.Test.make ~name:"valid UTF-8 round-trips exactly" ~count:200
+    QCheck.(list (int_range 0x20 0xFFFF))
+    (fun codes ->
+      let codes =
+        List.filter (fun u -> u < 0xD800 || u > 0xDFFF) codes
+      in
+      let b = Buffer.create 64 in
+      List.iter (fun u -> Buffer.add_utf_8_uchar b (Uchar.of_int u)) codes;
+      let s = Buffer.contents b in
+      match Json.parse_result (Jsonw.to_string (Jsonw.Str s)) with
+      | Ok (Jsonw.Str s') -> s' = s
+      | _ -> false)
 
 (* ---- fusion blockers: full accounting, and vecadd's answer ---- *)
 
@@ -409,9 +510,16 @@ let () =
           Alcotest.test_case "errors" `Quick test_manifest_errors;
           Alcotest.test_case "canonicalization" `Quick
             test_manifest_canonicalization;
+          Alcotest.test_case "nic_arity axis" `Quick test_manifest_nic_arity;
         ] );
       ("sink", [ Alcotest.test_case "ordering" `Quick test_sink_ordering ]);
-      ("json", [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip ]);
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escape hardening" `Quick test_escape_hardening;
+          QCheck_alcotest.to_alcotest prop_escape_roundtrip;
+          QCheck_alcotest.to_alcotest prop_escape_utf8_exact;
+        ] );
       ( "fusion",
         [ Alcotest.test_case "blockers" `Quick test_fusion_blockers ] );
       ( "service",

@@ -31,6 +31,9 @@ type app = {
   init : string -> int list -> float;
   arrays : string list;
   nprocs : int;
+  nic : (int * Xdp_nic.Prog.t) list;
+      (* attached NIC programs; the headline idempotence property
+         extends to them: fabric state must be invisible to faults *)
 }
 
 let apps =
@@ -43,6 +46,7 @@ let apps =
       init = Xdp_apps.Vecadd.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "vecadd/bound/misaligned";
@@ -52,6 +56,7 @@ let apps =
       init = Xdp_apps.Vecadd.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "fft3d/baseline";
@@ -60,6 +65,7 @@ let apps =
       init = Xdp_apps.Fft3d.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "fft3d/pipelined";
@@ -69,6 +75,7 @@ let apps =
       init = Xdp_apps.Fft3d.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "jacobi/auto-halo";
@@ -78,6 +85,7 @@ let apps =
       init = Xdp_apps.Jacobi.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "jacobi2d/halo";
@@ -87,6 +95,7 @@ let apps =
       init = Xdp_apps.Jacobi2d.init;
       arrays = [ "A" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "reduce/naive";
@@ -94,6 +103,7 @@ let apps =
       init = Xdp_apps.Reduce.init;
       arrays = [ "OUT" ];
       nprocs = 4;
+      nic = [];
     };
     {
       label = "reduce/partial";
@@ -102,6 +112,17 @@ let apps =
       init = Xdp_apps.Reduce.init;
       arrays = [ "OUT" ];
       nprocs = 4;
+      nic = [];
+    };
+    {
+      label = "reduce/nic";
+      prog =
+        Xdp_apps.Reduce.build ~n:16 ~nprocs:4
+          ~stage:(Xdp_apps.Reduce.Nic 2) ();
+      init = Xdp_apps.Reduce.init;
+      arrays = [ "OUT" ];
+      nprocs = 4;
+      nic = Xdp_apps.Reduce.nic_spec ~nprocs:4 ~arity:2;
     };
   ]
 
@@ -128,6 +149,13 @@ let plan_of_seed ~nprocs seed =
       ]
     else []
   in
+  (* every fifth plan combines heavy duplication with heavy jitter:
+     duplicated packets arriving out of order is the sharpest test of
+     receiver-side dedup (and of NIC-state idempotence) *)
+  let drop, dup, jitter =
+    if seed mod 5 = 0 then (drop /. 2.0, 0.5 +. (dup /. 2.0), 1.0 +. jitter)
+    else (drop, dup, jitter)
+  in
   (* every fourth plan stalls a processor's NIC for a window *)
   let stalls =
     if seed mod 4 = 0 && nprocs > 0 then
@@ -139,11 +167,11 @@ let plan_of_seed ~nprocs seed =
   Faultplan.make ~seed ~drop ~dup ~jitter ~slowdown ~links ~stalls
     ~deliver_after ()
 
-let seeds_per_app = 40 (* 8 apps x 40 = 320 cases, >= the 300 floor *)
+let seeds_per_app = 40 (* 9 apps x 40 = 360 cases, >= the 300 floor *)
 
 let check_case app clean seed =
   let fault = plan_of_seed ~nprocs:app.nprocs seed in
-  let r = Exec.run ~init:app.init ~nprocs:app.nprocs ~fault app.prog in
+  let r = Exec.run ~init:app.init ~nprocs:app.nprocs ~fault ~nic:app.nic app.prog in
   List.iter
     (fun a ->
       if not (Xdp_util.Tensor.equal (Exec.array r a) (Exec.array clean a))
@@ -163,7 +191,7 @@ let test_differential_sweep () =
   let cases = ref 0 in
   List.iter
     (fun app ->
-      let clean = Exec.run ~init:app.init ~nprocs:app.nprocs app.prog in
+      let clean = Exec.run ~init:app.init ~nprocs:app.nprocs ~nic:app.nic app.prog in
       for seed = 1 to seeds_per_app do
         check_case app clean seed;
         incr cases
@@ -276,7 +304,7 @@ let digest_events evs =
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let run_traced app fault =
-  Exec.run ~init:app.init ~nprocs:app.nprocs ~fault ~trace:true app.prog
+  Exec.run ~init:app.init ~nprocs:app.nprocs ~fault ~nic:app.nic ~trace:true app.prog
 
 let test_determinism () =
   List.iter
@@ -452,6 +480,26 @@ let test_board_differential () =
       (List.length prr) (List.length prh)
   done
 
+(* The worst combination at the board layer: EVERY op posted twice
+   (dup) on already non-monotonic, jittered post times — heap and
+   reference must still agree delivery-for-delivery. *)
+let test_board_combined_dup_jitter () =
+  for seed = 51 to 70 do
+    let ops = List.concat_map (fun op -> [ op; op ]) (gen_ops seed) in
+    let dh, psh, prh = apply_board ops in
+    let dr, psr, prr = apply_reference ops in
+    let render ds = String.concat "\n" (List.map pp_delivery ds) in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d all-dup deliveries" seed)
+      (render dr) (render dh);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d all-dup pending sends" seed)
+      (List.length psr) (List.length psh);
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d all-dup pending recvs" seed)
+      (List.length prr) (List.length prh)
+  done
+
 let test_board_mismatch_agree () =
   (* same mismatched pair must raise Mismatch in both implementations *)
   let mismatch post_send post_recv create =
@@ -486,7 +534,7 @@ let () =
     [
       ( "differential",
         [
-          Alcotest.test_case "320 randomized app x plan x seed cases" `Slow
+          Alcotest.test_case "360 randomized app x plan x seed cases" `Slow
             test_differential_sweep;
           Alcotest.test_case "faults exercise the transport" `Quick
             test_faults_do_something;
@@ -518,6 +566,8 @@ let () =
         [
           Alcotest.test_case "heap vs reference, dup/reordered ops" `Quick
             test_board_differential;
+          Alcotest.test_case "combined dup+jitter, every op doubled" `Quick
+            test_board_combined_dup_jitter;
           Alcotest.test_case "mismatch detection agrees" `Quick
             test_board_mismatch_agree;
         ] );

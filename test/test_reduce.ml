@@ -58,6 +58,53 @@ let test_balance () =
   | Xdp.Match_check.Unbalanced m -> Alcotest.failf "unbalanced: %s" m
   | Xdp.Match_check.Unknown m -> Alcotest.failf "unknown: %s" m
 
+(* ------------------------------------------------------------------ *)
+(* In-network reduction (the Nic stage + Reduce.nic_spec programs). *)
+
+let run_nic ~n ~nprocs ~arity =
+  Exec.run ~init:Xdp_apps.Reduce.init ~nprocs
+    ~nic:(Xdp_apps.Reduce.nic_spec ~nprocs ~arity)
+    (Xdp_apps.Reduce.build ~n ~nprocs ~stage:(Xdp_apps.Reduce.Nic arity) ())
+
+let test_nic_correct () =
+  List.iter
+    (fun (n, nprocs, arity) ->
+      check_all_replicas ~n ~nprocs (run_nic ~n ~nprocs ~arity))
+    [ (8, 2, 2); (16, 4, 2); (24, 3, 3); (32, 8, 4); (36, 9, 2); (40, 10, 3) ]
+
+let test_nic_message_economy () =
+  let n = 256 and nprocs = 16 in
+  let partial = run ~n ~nprocs Xdp_apps.Reduce.Partial in
+  let nic = run_nic ~n ~nprocs ~arity:4 in
+  (* up-sweep folded in-fabric: the endpoints see only the root's
+     total and the P fan-out copies *)
+  Alcotest.(check int) "endpoint messages P+1" (nprocs + 1) nic.stats.messages;
+  Alcotest.(check bool) "strictly fewer endpoint messages" true
+    (nic.stats.messages < partial.stats.messages);
+  Alcotest.(check bool) "lower makespan" true
+    (nic.stats.makespan < partial.stats.makespan);
+  (* every NIC absorbs its host's partial (P) and every non-root
+     NIC's subtree sum is absorbed one hop up (P - 1) *)
+  Alcotest.(check int) "absorbed = 2P-1"
+    ((2 * nprocs) - 1)
+    nic.stats.nic_aggregated;
+  Alcotest.(check int) "every NIC emits once" nprocs nic.stats.nic_emitted;
+  Alcotest.(check int) "messages saved = P-1" (nprocs - 1)
+    nic.stats.nic_msgs_saved
+
+let prop_nic_random =
+  QCheck.Test.make ~name:"in-network reduction correct on random configs"
+    ~count:20
+    QCheck.(triple (int_range 2 9) (int_range 1 5) (int_range 2 4))
+    (fun (nprocs, mult, arity) ->
+      let n = nprocs * mult * 2 in
+      let r = run_nic ~n ~nprocs ~arity in
+      let out = Exec.array r "OUT" in
+      let want = Xdp_apps.Reduce.expected_sum ~n in
+      List.for_all
+        (fun p -> Float.abs (Xdp_util.Tensor.get out [ p ] -. want) < 1e-6)
+        (List.init nprocs (fun p -> p + 1)))
+
 let prop_random =
   QCheck.Test.make ~name:"reduction correct on random configs" ~count:20
     QCheck.(pair (int_range 2 6) (int_range 1 5))
@@ -79,6 +126,13 @@ let () =
           Alcotest.test_case "all configs" `Quick test_correct_across_configs;
           Alcotest.test_case "message counts" `Quick test_message_counts;
           Alcotest.test_case "balance" `Quick test_balance;
+          Alcotest.test_case "in-network: all configs" `Quick test_nic_correct;
+          Alcotest.test_case "in-network: message economy" `Quick
+            test_nic_message_economy;
         ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_random ]);
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_random;
+          QCheck_alcotest.to_alcotest prop_nic_random;
+        ] );
     ]

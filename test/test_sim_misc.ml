@@ -56,6 +56,13 @@ let stats_zero n =
     packets_dropped = 0;
     net_overhead_bytes = 0;
     link_failures = 0;
+    nic_packets = 0;
+    nic_filtered = 0;
+    nic_aggregated = 0;
+    nic_emitted = 0;
+    nic_fanout_copies = 0;
+    nic_msgs_saved = 0;
+    nic_bytes = 0;
   }
 
 let test_idle_fraction () =
