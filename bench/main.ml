@@ -33,6 +33,7 @@ let items : (string * (unit -> unit)) list =
     ("exec", (fun () -> Execbench.run ()));
     ("batch", (fun () -> Batchbench.run ()));
     ("nic", (fun () -> Nicbench.run ()));
+    ("redist", (fun () -> Redistbench.run ()));
     (* tiny sizes, same code paths: the `bench-smoke` dune alias runs
        these under `dune runtest` so the harness cannot bit-rot *)
     ("micro-smoke", (fun () -> Micro.run ~smoke:true ()));
@@ -40,6 +41,7 @@ let items : (string * (unit -> unit)) list =
     ("exec-smoke", (fun () -> Execbench.run ~smoke:true ()));
     ("batch-smoke", (fun () -> Batchbench.run ~smoke:true ()));
     ("nic-smoke", (fun () -> Nicbench.run ~smoke:true ()));
+    ("redist-smoke", (fun () -> Redistbench.run ~smoke:true ()));
   ]
 
 let () =

@@ -53,6 +53,32 @@ let nic_reduce_conv =
         | None -> Format.fprintf ppf "off"
         | Some a -> Format.fprintf ppf "%d" a )
 
+(* --redist: redistribution lowering strategy.  Strict in the --engine
+   style: exactly "naive" or "collectives". *)
+let redist_conv =
+  let parse s =
+    match Workload.redist_of_string s with
+    | Ok _ -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* --redist-budget: per-processor peak bytes, 0 = unbounded. *)
+let redist_budget_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some b when b >= 0 -> Ok b
+    | Some b ->
+        Error
+          (`Msg (Printf.sprintf "budget must be >= 0 bytes (got %d)" b))
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "expected a byte budget >= 0, or 0 for \
+                             unbounded (got '%s')" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 (* --nic-filter: a NIC filter program attached to every processor. *)
 type nic_filter = Filt_none | Filt_count | Filt_drop_src of int
 
@@ -122,10 +148,15 @@ let reference_of (s : Manifest.spec) =
         (seq_a ~init:Xdp_apps.Jacobi2d.init
            (Xdp_apps.Jacobi2d.build ~n:s.n ~pr:1 ~pc:1 ~sweeps:s.sweeps
               ~stage:Xdp_apps.Jacobi2d.Sequential ()))
+  | "redist" ->
+      (* redistribution moves ownership, never values: the expected
+         tensor is the init applied to the whole index space *)
+      Some (Xdp_apps.Redistflow.reference ~n:s.n ())
   | _ -> None
 
 let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
-    drop dup jitter fault_seed timeout nic_reduce nic_filter =
+    drop dup jitter fault_seed timeout nic_reduce nic_filter redist
+    redist_budget =
   try
     (* --nic-reduce forces the in-network reduce stage *)
     let app, stage, nic_arity =
@@ -155,6 +186,8 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
         fault_seed;
         timeout;
         nic_arity;
+        redist;
+        redist_budget;
       }
     in
     let spec =
@@ -189,14 +222,25 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       Format.printf "network: %s@." (Xdp_net.Faultplan.describe fault);
     let r =
       Xdp_runtime.Exec.run ~engine ~cost ~init:w.init
-        ~trace:(trace || gantt) ~fault ~net ~nic ~nprocs w.prog
+        ~trace:(trace || gantt) ~fault ~net ~nic
+        ~redist_stages:w.redist_stages ~nprocs w.prog
     in
     Format.printf "stats: %a@." Xdp_sim.Trace.pp_stats r.stats;
     if trace then Format.printf "%a" Xdp_sim.Trace.pp r.trace;
-    if gantt then
+    if gantt then begin
       print_string
         (Xdp_sim.Gantt.render ~nprocs ~makespan:r.stats.makespan
            (Xdp_sim.Trace.events r.trace));
+      (* Staged redistributions show as the await-gate '.' columns
+         sweeping each lane — label them so the chart reads at a
+         glance. *)
+      if r.stats.Xdp_sim.Trace.redist_stages > 0 then
+        Printf.printf
+          "     (redist: %d staged collectives; '.' columns are stage \
+           gates; peak in-flight %dB)\n"
+          r.stats.Xdp_sim.Trace.redist_stages
+          (Xdp_sim.Trace.max_peak_inflight r.stats)
+    end;
     (match reference_of spec with
     | Some expected ->
         let got = Xdp_runtime.Exec.array r w.check in
@@ -230,7 +274,7 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       1
 
 let app_t =
-  Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm.")
+  Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm, redist.")
 
 let stage_t =
   Arg.(
@@ -319,11 +363,35 @@ let nic_filter_t =
            expect deadlocks when the app needed them).  Cannot combine \
            with $(b,--nic-reduce).")
 
+let redist_t =
+  Arg.(
+    value
+    & opt redist_conv "naive"
+    & info [ "redist" ] ~docv:"STRATEGY"
+        ~doc:
+          "Redistribution lowering for $(b,--app redist): $(b,naive) posts \
+           every point-to-point ownership transfer at once (peak in-flight \
+           bytes grow with P), $(b,collectives) runs the planner of \
+           DESIGN.md section 10 and lowers a staged collective schedule \
+           kept within $(b,--redist-budget).  Both produce bit-identical \
+           array contents.")
+
+let redist_budget_t =
+  Arg.(
+    value
+    & opt redist_budget_conv 0
+    & info [ "redist-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Per-processor peak in-flight byte budget for $(b,--redist \
+           collectives); $(b,0) (the default) means unbounded, so the \
+           planner simply minimizes estimated makespan.")
+
 let run_term =
   Term.(
     const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
     $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
-    $ jitter_t $ fault_seed_t $ timeout_t $ nic_reduce_t $ nic_filter_t)
+    $ jitter_t $ fault_seed_t $ timeout_t $ nic_reduce_t $ nic_filter_t
+    $ redist_t $ redist_budget_t)
 
 (* ------------------------------------------------------------------ *)
 (* xdpc batch                                                          *)

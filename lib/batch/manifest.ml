@@ -17,6 +17,8 @@ type spec = {
   timeout : float option;
   max_retries : int option;
   nic_arity : int;
+  redist : string;
+  redist_budget : int;
 }
 
 let default_spec =
@@ -37,6 +39,8 @@ let default_spec =
     timeout = None;
     max_retries = None;
     nic_arity = 4;
+    redist = "naive";
+    redist_budget = 0;
   }
 
 type job = { id : int; label : string; spec : spec }
@@ -58,6 +62,9 @@ let label_of_spec s =
   | Some r -> Printf.bprintf b " retries=%d" r
   | None -> ());
   if s.stage = "nic" then Printf.bprintf b " arity=%d" s.nic_arity;
+  if s.redist <> "naive" then (
+    Printf.bprintf b " redist=%s" s.redist;
+    if s.redist_budget > 0 then Printf.bprintf b " budget=%d" s.redist_budget);
   Buffer.contents b
 
 let jobs_of_specs specs =
@@ -78,7 +85,7 @@ let known_fields =
   [
     "app"; "stage"; "n"; "procs"; "sweeps"; "seg"; "misaligned"; "cost";
     "engine"; "drop"; "dup"; "jitter"; "fault_seed"; "timeout"; "max_retries";
-    "nic_arity";
+    "nic_arity"; "redist"; "redist_budget";
   ]
 
 (* Expand one field value into its axis of scalars: an array lists
@@ -172,6 +179,8 @@ let apply_field where spec field v =
       | Jsonw.Null -> { spec with max_retries = None }
       | v -> { spec with max_retries = Some (as_int where field v) })
   | "nic_arity" -> { spec with nic_arity = as_int where field v }
+  | "redist" -> { spec with redist = as_str where field v }
+  | "redist_budget" -> { spec with redist_budget = as_int where field v }
   | f -> fail where "unknown field '%s' (known: %s)" f
            (String.concat ", " known_fields)
 
@@ -197,6 +206,8 @@ let validate_ranges where (s : spec) =
   | _ -> ());
   if s.nic_arity < 2 then
     fail where "field 'nic_arity': must be >= 2 (got %d)" s.nic_arity;
+  if s.redist_budget < 0 then
+    fail where "field 'redist_budget': must be >= 0 (got %d)" s.redist_budget;
   s
 
 (* Cross-product expansion of one job object over its axes, canonical

@@ -20,11 +20,11 @@
     which worker finishes first.
 
     Fields: ["app"] (required: vecadd, fft3d, jacobi, jacobi2d,
-    reduce, farm), ["stage"], ["n"], ["procs"], ["sweeps"], ["seg"],
-    ["misaligned"], ["cost"], ["engine"], ["drop"], ["dup"],
+    reduce, farm, redist), ["stage"], ["n"], ["procs"], ["sweeps"],
+    ["seg"], ["misaligned"], ["cost"], ["engine"], ["drop"], ["dup"],
     ["jitter"], ["fault_seed"], ["timeout"], ["max_retries"],
-    ["nic_arity"].  Anything else is rejected with the offending job
-    and field named. *)
+    ["nic_arity"], ["redist"], ["redist_budget"].  Anything else is
+    rejected with the offending job and field named. *)
 
 type spec = {
   app : string;
@@ -49,6 +49,14 @@ type spec = {
       (** combining-tree fan-in for the in-network reduce stage
           ([app = "reduce"], [stage = "nic"]); ignored elsewhere.
           Must be >= 2. *)
+  redist : string;
+      (** redistribution lowering strategy for [app = "redist"]:
+          ["naive"] or ["collectives"] (a sweepable axis); ignored
+          elsewhere. *)
+  redist_budget : int;
+      (** per-processor peak in-flight byte budget handed to the
+          collective planner when [redist = "collectives"]; [0] means
+          unbounded.  Must be >= 0. *)
 }
 
 val default_spec : spec

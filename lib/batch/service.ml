@@ -48,7 +48,8 @@ let exec ~cache ~engine (s : Manifest.spec) =
   in
   let res =
     Exec.run ~engine ?staged ~cost ~init:w.Workload.init ~fault ~net
-      ~nic:w.Workload.nic ~nprocs:s.procs w.Workload.prog
+      ~nic:w.Workload.nic ~redist_stages:w.Workload.redist_stages
+      ~nprocs:s.procs w.Workload.prog
   in
   (key, res)
 
@@ -97,6 +98,9 @@ let record_fields (job : Manifest.job) ~engine ~outcome : (string * J.t) list =
                 ("nic_fanout_copies", J.Int st.nic_fanout_copies);
                 ("nic_msgs_saved", J.Int st.nic_msgs_saved);
                 ("nic_bytes", J.Int st.nic_bytes);
+                ( "peak_inflight_bytes",
+                  J.Int (Xdp_sim.Trace.max_peak_inflight st) );
+                ("redist_stages", J.Int st.redist_stages);
               ] );
           ( "fusion",
             J.Obj

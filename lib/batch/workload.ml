@@ -3,6 +3,7 @@ type t = {
   init : string -> int list -> float;
   check : string;
   nic : (int * Xdp_nic.Prog.t) list;
+  redist_stages : int;
 }
 
 (* (canonical_stage, aliases) per app; the first entry is the default
@@ -23,6 +24,7 @@ let stage_table =
     ("jacobi2d", [ ("halo", []) ]);
     ("reduce", [ ("naive", []); ("partial", []); ("nic", [ "in-network" ]) ]);
     ("farm", [ ("static", []); ("dynamic", []) ]);
+    ("redist", [ ("a2a", []) ]);
   ]
 
 let known_apps = List.map fst stage_table
@@ -75,10 +77,22 @@ let engine_of_string = function
 
 let engine_name = function `Compiled -> "compiled" | `Interp -> "interp"
 
+let redist_of_string = function
+  | "naive" -> Ok `Naive
+  | "collectives" -> Ok `Collectives
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown redistribution strategy '%s' (accepted: naive, collectives)"
+           s)
+
 let check_spec (s : Manifest.spec) =
   match canonical_stage s.app s.stage with
   | Error e -> Error e
   | Ok stage -> (
+      match redist_of_string s.redist with
+      | Error e -> Error e
+      | Ok _ -> (
       match cost_of_string s.cost with
       | Error e -> Error e
       | Ok cm -> (
@@ -94,7 +108,7 @@ let check_spec (s : Manifest.spec) =
                       stage;
                       cost = cm.Xdp_sim.Costmodel.name;
                       engine = Some (engine_name eng);
-                    })))
+                    }))))
 
 (* squarest grid whose product is nprocs (jacobi2d's processor mesh) *)
 let squarest nprocs =
@@ -127,6 +141,7 @@ let build (s : Manifest.spec) : t =
         init = Xdp_apps.Vecadd.init;
         check = "A";
         nic = [];
+        redist_stages = 0;
       }
   | "fft3d" ->
       let stage =
@@ -142,6 +157,7 @@ let build (s : Manifest.spec) : t =
         init = Xdp_apps.Fft3d.init;
         check = "A";
         nic = [];
+        redist_stages = 0;
       }
   | "jacobi" ->
       let stage =
@@ -157,6 +173,7 @@ let build (s : Manifest.spec) : t =
         init = Xdp_apps.Jacobi.init;
         check = "A";
         nic = [];
+        redist_stages = 0;
       }
   | "jacobi2d" ->
       let pr, pc = squarest nprocs in
@@ -167,6 +184,7 @@ let build (s : Manifest.spec) : t =
         init = Xdp_apps.Jacobi2d.init;
         check = "A";
         nic = [];
+        redist_stages = 0;
       }
   | "reduce" ->
       let stage, nic =
@@ -183,6 +201,7 @@ let build (s : Manifest.spec) : t =
         init = Xdp_apps.Reduce.init;
         check = "OUT";
         nic;
+        redist_stages = 0;
       }
   | "farm" ->
       let variant =
@@ -198,6 +217,26 @@ let build (s : Manifest.spec) : t =
             ~ntasks:n;
         check = "ACC";
         nic = [];
+        redist_stages = 0;
+      }
+  | "redist" ->
+      let strategy =
+        match s.redist with
+        | "naive" -> `Naive
+        | "collectives" ->
+            `Collectives { Xdp.Plan_redist.peak_budget = s.redist_budget }
+        | r -> failwith ("redist: unknown strategy " ^ r)
+      in
+      let prog, info =
+        Xdp_apps.Redistflow.build_info ~n ~nprocs ~strategy ()
+      in
+      {
+        prog;
+        init = Xdp_apps.Redistflow.init;
+        check = "A";
+        nic = [];
+        redist_stages =
+          (match info with Some i -> i.Xdp.Plan_redist.stages | None -> 0);
       }
   | app ->
       failwith

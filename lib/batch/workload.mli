@@ -12,6 +12,10 @@ type t = {
   nic : (int * Xdp_nic.Prog.t) list;
       (** per-processor NIC programs to attach ([reduce]'s [nic]
           stage); empty for every other app/stage *)
+  redist_stages : int;
+      (** stage count of the planned collective schedule ([redist]'s
+          [collectives] strategy) — forwarded to [Exec.run
+          ?redist_stages] so stats report it; [0] everywhere else *)
 }
 
 val known_apps : string list
@@ -26,6 +30,11 @@ val cost_of_string : string -> (Xdp_sim.Costmodel.t, string) result
 
 val engine_of_string : string -> (Xdp_runtime.Exec.engine, string) result
 (** Accepts [compiled]/[staged], [interp]/[interpreter]/[reference]. *)
+
+val redist_of_string : string -> ([ `Naive | `Collectives ], string) result
+(** Accepts exactly [naive] and [collectives] (the [redist] manifest
+    field and the [--redist] CLI flag; the budget travels separately
+    as [redist_budget]). *)
 
 val check_spec : Manifest.spec -> (Manifest.spec, string) result
 (** Validate app, stage, cost and engine names and canonicalize them

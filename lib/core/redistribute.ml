@@ -21,7 +21,8 @@ let split_by_segments layout seg_shape src box =
       | _ -> None)
     segs
 
-let gen ~decls ~array ~new_layout ?(granularity = `Pairwise) () =
+let gen_info ~decls ~array ~new_layout ?(granularity = `Pairwise)
+    ?(strategy = `Naive) ?(params = Plan_redist.default_params) () =
   let d =
     match List.find_opt (fun d -> d.arr_name = array) decls with
     | Some d -> d
@@ -39,21 +40,39 @@ let gen ~decls ~array ~new_layout ?(granularity = `Pairwise) () =
         List.map (fun b -> (m.src, m.dst, b)) boxes)
       moves
   in
-  let sends =
-    List.map
-      (fun (_, _, box) ->
-        let s = sec array (sel_of_box box) in
-        iown s @: [ send_owner_value s ])
-      pieces
-  in
-  let recvs =
-    List.map
-      (fun (_, dst, box) ->
-        let s = sec array (sel_of_box box) in
-        (mypid =: i (dst + 1)) @: [ recv_owner_value s ])
-      pieces
-  in
-  sends @ recvs
+  match strategy with
+  | `Naive ->
+      let sends =
+        List.map
+          (fun (_, _, box) ->
+            let s = sec array (sel_of_box box) in
+            iown s @: [ send_owner_value s ])
+          pieces
+      in
+      let recvs =
+        List.map
+          (fun (_, dst, box) ->
+            let s = sec array (sel_of_box box) in
+            (mypid =: i (dst + 1)) @: [ recv_owner_value s ])
+          pieces
+      in
+      (sends @ recvs, None)
+  | `Collectives { Plan_redist.peak_budget } ->
+      let moves =
+        List.map
+          (fun (src, dst, box) -> { Xdp_dist.Redistribution.src; dst; box })
+          pieces
+      in
+      let sched, info =
+        Plan_redist.plan ~params
+          ~nprocs:(Xdp_dist.Layout.nprocs new_layout)
+          ~budget:peak_budget moves
+      in
+      (Plan_redist.lower ~array sched, Some info)
+
+let gen ~decls ~array ~new_layout ?granularity ?strategy ?params () =
+  fst
+    (gen_info ~decls ~array ~new_layout ?granularity ?strategy ?params ())
 
 (* Nested literal-bound loops copying [src_arr] to [dst_arr] over the
    elements of [box]. *)

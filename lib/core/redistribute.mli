@@ -15,7 +15,17 @@
     (fewest, largest messages); [`Segment] splits each transfer along
     the source's declared segment shape (more, smaller messages that
     can be pipelined against computation — the §3.1 trade-off measured
-    by experiment T3). *)
+    by experiment T3).
+
+    [strategy] selects the lowering: [`Naive] (default) is the flat
+    all-at-once transfer list above; [`Collectives b] runs the
+    {!Plan_redist} planner to emit a staged collective schedule whose
+    per-processor peak in-flight bytes stay within [b.peak_budget]
+    ([0] = unbounded, plan purely for makespan).  Both lowerings move
+    the same pieces, so final array contents are bit-identical; only
+    posting order, peak memory and makespan differ.  [params] feeds
+    the planner's cost estimator (default mirrors
+    [Costmodel.message_passing]). *)
 
 open Ir
 
@@ -24,8 +34,23 @@ val gen :
   array:string ->
   new_layout:Xdp_dist.Layout.t ->
   ?granularity:[ `Pairwise | `Segment ] ->
+  ?strategy:Plan_redist.strategy ->
+  ?params:Plan_redist.params ->
   unit ->
   stmt list
+
+(** Like {!gen}, also returning the planner's {!Plan_redist.info}
+    ([None] under [`Naive]) so callers can record stage counts and
+    check feasibility. *)
+val gen_info :
+  decls:array_decl list ->
+  array:string ->
+  new_layout:Xdp_dist.Layout.t ->
+  ?granularity:[ `Pairwise | `Segment ] ->
+  ?strategy:Plan_redist.strategy ->
+  ?params:Plan_redist.params ->
+  unit ->
+  stmt list * Plan_redist.info option
 
 (** The declarations after redistribution (same array, new layout) —
     needed if later passes reason about ownership statically. *)

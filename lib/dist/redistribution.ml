@@ -30,15 +30,45 @@ let plan ~src ~dst =
       | c -> c)
     !moves
 
+(* Overflow-checked non-negative arithmetic.  Large-P redistribution
+   accounting multiplies per-dimension extents and sums per-processor
+   byte totals; on 63-bit ints a silent wrap would turn a
+   budget-violation into an apparent pass, so all aggregate counts go
+   through these.  Arguments must be non-negative (all counts are). *)
+let overflow what = invalid_arg ("Redistribution: " ^ what ^ " overflows")
+
+let checked_add what a b =
+  if a < 0 || b < 0 then invalid_arg ("Redistribution: negative " ^ what);
+  let s = a + b in
+  if s < 0 then overflow what;
+  s
+
+let checked_mul what a b =
+  if a < 0 || b < 0 then invalid_arg ("Redistribution: negative " ^ what);
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then overflow what;
+    p
+
+let box_elems box =
+  List.fold_left
+    (fun acc tr -> checked_mul "element count" acc (Triplet.count tr))
+    1 (Box.dims box)
+
 let volume moves =
-  List.fold_left (fun acc m -> acc + Box.count m.box) 0 moves
+  List.fold_left
+    (fun acc m -> checked_add "volume" acc (box_elems m.box))
+    0 moves
 
 let stationary ~src ~dst =
   if Layout.shape src <> Layout.shape dst then
     invalid_arg "Redistribution.stationary: shape mismatch";
   Box.fold
     (fun acc idx ->
-      if Layout.owner src idx = Layout.owner dst idx then acc + 1 else acc)
+      if Layout.owner src idx = Layout.owner dst idx then
+        checked_add "stationary" acc 1
+      else acc)
     0 (Layout.full_box src)
 
 let pp_move ppf m =

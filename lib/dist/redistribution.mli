@@ -17,10 +17,28 @@ type move = { src : int; dst : int; box : Box.t }
     (src, dst, box). @raise Invalid_argument on shape mismatch. *)
 val plan : src:Layout.t -> dst:Layout.t -> move list
 
-(** Total elements moved by a plan. *)
+(** Total elements moved by a plan.  Overflow-checked: raises
+    [Invalid_argument] instead of wrapping when the total exceeds
+    [max_int] (large P × large boxes). *)
 val volume : move list -> int
 
-(** Elements that stay put (same owner in both layouts). *)
+(** Elements that stay put (same owner in both layouts).
+    Overflow-checked like {!volume}. *)
 val stationary : src:Layout.t -> dst:Layout.t -> int
+
+(** {2 Overflow-checked counting}
+
+    Helpers shared with the collective planner's byte accounting.
+    All take non-negative operands and raise [Invalid_argument]
+    (naming the quantity) instead of silently wrapping. *)
+
+(** [checked_add what a b] / [checked_mul what a b]. *)
+val checked_add : string -> int -> int -> int
+
+val checked_mul : string -> int -> int -> int
+
+(** Element count of a box, with the per-dimension product checked
+    (unlike [Box.count], which wraps). *)
+val box_elems : Box.t -> int
 
 val pp_move : Format.formatter -> move -> unit

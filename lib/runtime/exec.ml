@@ -89,7 +89,7 @@ let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
     ?(kernels = Xdp.Kernels.default) ?(init = fun _ _ -> 0.0) ?(scalars = [])
     ?(trace = false) ?(free_on_release = true) ?(max_steps = 20_000_000)
     ?(fault = Faultplan.none) ?(net = Transport.default_config) ?(nic = [])
-    ~nprocs (p : program) =
+    ?(redist_stages = 0) ~nprocs (p : program) =
   if nprocs <= 0 then invalid_arg "Exec.run: nprocs <= 0";
   if staged <> None && engine = `Interp then
     invalid_arg "Exec.run: ~staged supplied but engine is `Interp";
@@ -841,6 +841,12 @@ let run ?(engine = default_engine) ?staged ?(cost = Costmodel.message_passing)
         (match fabric with
         | Some f -> Xdp_nic.Fabric.fabric_bytes f
         | None -> 0);
+      peak_inflight_bytes =
+        (* pad the board's highest-pid-seen array to the machine size *)
+        (let raw = Board.peak_inflight board in
+         Array.init nprocs (fun pid ->
+             if pid < Array.length raw then raw.(pid) else 0));
+      redist_stages;
     }
   in
   {

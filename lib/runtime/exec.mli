@@ -84,6 +84,7 @@ val run :
   ?fault:Xdp_net.Faultplan.t ->
   ?net:Xdp_net.Transport.config ->
   ?nic:(int * Xdp_nic.Prog.t) list ->
+  ?redist_stages:int ->
   nprocs:int ->
   Xdp.Ir.program ->
   result
@@ -120,6 +121,13 @@ val run :
     verification failures (ill-typed programs, forwarding cycles,
     forwarding to an unattached processor) raise [Invalid_argument]
     with the positioned diagnostic.
+    @raise Xdp_net.Transport.Link_failed when a message is lost past
+    the transport's retry budget.
+    [redist_stages] (default 0) is static planner metadata recorded
+    verbatim into [stats.redist_stages]: the caller that lowered a
+    collective redistribution schedule ({!Xdp.Plan_redist}) passes the
+    stage count so reports and batch records can carry it next to the
+    measured [stats.peak_inflight_bytes].
     @raise Xdp_net.Transport.Link_failed when a message is lost past
     the transport's retry budget.
     @raise Xdp_nic.Fabric.Nic_misuse when an attached program

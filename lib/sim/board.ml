@@ -73,6 +73,13 @@ type t = {
   mutable matched : int;
   mutable bytes : int;
   nic_free : (int, float) Hashtbl.t; (* per-src NIC availability *)
+  (* Per-processor in-flight byte occupancy: a message's wire bytes
+     are charged to the source when the send is posted, to the
+     destination when it is matched into a delivery, and released from
+     both when the delivery is popped.  Indexed by pid, grown on
+     demand (the board does not know the machine size). *)
+  mutable occ : int array;
+  mutable occ_peak : int array;
 }
 
 let cmp_delivery a b =
@@ -89,7 +96,41 @@ let create cost =
     matched = 0;
     bytes = 0;
     nic_free = Hashtbl.create 16;
+    occ = [||];
+    occ_peak = [||];
   }
+
+let occ_add t pid bytes =
+  let n = Array.length t.occ in
+  if pid >= n then begin
+    let n' = max (pid + 1) (max 16 (2 * n)) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.occ <- grow t.occ;
+    t.occ_peak <- grow t.occ_peak
+  end;
+  let v = t.occ.(pid) + bytes in
+  t.occ.(pid) <- v;
+  if v > t.occ_peak.(pid) then t.occ_peak.(pid) <- v
+
+let occ_sub t pid bytes =
+  if pid < Array.length t.occ then t.occ.(pid) <- t.occ.(pid) - bytes
+
+(* Wire bytes of a send, known at post time: the destination decides
+   the header (footnote 2) and the kind decides the payload — the
+   same formula [make_delivery] uses. *)
+let send_bytes (cost : Costmodel.t) ~kind ~payload ~dst =
+  let header =
+    match dst with Some _ -> 0 | None -> cost.Costmodel.header_bytes
+  in
+  let p =
+    if kind = Owner then 0
+    else Array.length payload * cost.Costmodel.elem_bytes
+  in
+  p + header
 
 let next_seq t =
   let s = t.seq in
@@ -199,6 +240,7 @@ let make_delivery t ~name (s : send) (r : recv) =
   in
   t.matched <- t.matched + 1;
   t.bytes <- t.bytes + bytes;
+  occ_add t r.r_dst bytes;
   insert_delivery t
     {
       arrival;
@@ -236,6 +278,7 @@ let post_one_send t ~time ~src ~name ~kind ~payload ~dst =
     { s_seq = next_seq t; s_time = depart; s_src = src; s_kind = kind;
       s_payload = payload; s_dst = dst }
   in
+  occ_add t src (send_bytes t.cost ~kind ~payload ~dst);
   let rq = recv_queue t name in
   match take_recv rq ~dst with
   | Some r -> make_delivery t ~name s r
@@ -268,7 +311,14 @@ let post_recv t ~time ~dst ~name ~kind ~token =
 
 let has_delivery t = not (Heap.is_empty t.deliveries)
 let peek_delivery t = Heap.peek t.deliveries
-let pop_delivery t = Heap.pop t.deliveries
+
+let pop_delivery t =
+  match Heap.pop t.deliveries with
+  | None -> None
+  | Some d ->
+      occ_sub t d.src d.bytes;
+      occ_sub t d.dst d.bytes;
+      Some d
 
 (* Pending queries preserve the seed's output exactly: every waiting
    operation, projected and sorted by [compare]. Linear in the number
@@ -299,3 +349,4 @@ let pending_recvs t =
 
 let messages_matched t = t.matched
 let bytes_matched t = t.bytes
+let peak_inflight t = Array.copy t.occ_peak

@@ -92,4 +92,13 @@ val messages_matched : t -> int
 
 val bytes_matched : t -> int
 
+(** Per-processor peak in-flight bytes seen so far.  A message's wire
+    bytes occupy its source from [post_send], its destination from the
+    moment it is matched into a delivery, and both until the delivery
+    is popped.  Indexed by pid; the array covers the highest pid seen
+    (callers pad to the machine size).  Under the fault-injecting
+    transport the window is the board-resident part only, but the
+    accounting stays deterministic and engine-independent. *)
+val peak_inflight : t -> int array
+
 val kind_to_string : kind -> string

@@ -54,6 +54,10 @@ type t = {
   mutable matched : int;
   mutable bytes : int;
   nic_free : (int, float) Hashtbl.t; (* per-src NIC availability *)
+  (* In-flight occupancy, mirroring Board exactly: charged to the
+     source at post, to the destination at match, released at pop. *)
+  mutable occ : int array;
+  mutable occ_peak : int array;
 }
 
 let create cost =
@@ -66,7 +70,38 @@ let create cost =
     matched = 0;
     bytes = 0;
     nic_free = Hashtbl.create 16;
+    occ = [||];
+    occ_peak = [||];
   }
+
+let occ_add t pid bytes =
+  let n = Array.length t.occ in
+  if pid >= n then begin
+    let n' = max (pid + 1) (max 16 (2 * n)) in
+    let grow a =
+      let b = Array.make n' 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    t.occ <- grow t.occ;
+    t.occ_peak <- grow t.occ_peak
+  end;
+  let v = t.occ.(pid) + bytes in
+  t.occ.(pid) <- v;
+  if v > t.occ_peak.(pid) then t.occ_peak.(pid) <- v
+
+let occ_sub t pid bytes =
+  if pid < Array.length t.occ then t.occ.(pid) <- t.occ.(pid) - bytes
+
+let send_bytes (cost : Costmodel.t) ~kind ~payload ~dst =
+  let header =
+    match dst with Some _ -> 0 | None -> cost.Costmodel.header_bytes
+  in
+  let p =
+    if kind = Owner then 0
+    else Array.length payload * cost.Costmodel.elem_bytes
+  in
+  p + header
 
 let next_seq t =
   let s = t.seq in
@@ -116,6 +151,7 @@ let make_delivery t ~name (s : send) (r : recv) =
   in
   t.matched <- t.matched + 1;
   t.bytes <- t.bytes + bytes;
+  occ_add t r.r_dst bytes;
   insert_delivery t
     {
       arrival;
@@ -153,6 +189,7 @@ let post_one_send t ~time ~src ~name ~kind ~payload ~dst =
     { s_seq = next_seq t; s_time = depart; s_src = src; s_kind = kind;
       s_payload = payload; s_dst = dst }
   in
+  occ_add t src (send_bytes t.cost ~kind ~payload ~dst);
   let rq = queue t.recvs name in
   (* Earliest pending receive eligible for this send. *)
   let eligible r =
@@ -200,6 +237,8 @@ let pop_delivery t =
   | [] -> None
   | d :: rest ->
       t.deliveries <- rest;
+      occ_sub t d.src d.bytes;
+      occ_sub t d.dst d.bytes;
       Some d
 
 let pending_of tbl extract =
@@ -216,3 +255,4 @@ let pending_recvs t =
 
 let messages_matched t = t.matched
 let bytes_matched t = t.bytes
+let peak_inflight t = Array.copy t.occ_peak

@@ -48,4 +48,5 @@ val pending_sends : t -> (string * kind * int) list
 val pending_recvs : t -> (string * kind * int) list
 val messages_matched : t -> int
 val bytes_matched : t -> int
+val peak_inflight : t -> int array
 val kind_to_string : kind -> string

@@ -127,7 +127,11 @@ type stats = {
   nic_fanout_copies : int;
   nic_msgs_saved : int;
   nic_bytes : int;
+  peak_inflight_bytes : int array;
+  redist_stages : int;
 }
+
+let max_peak_inflight s = Array.fold_left max 0 s.peak_inflight_bytes
 
 let idle_fraction s =
   let n = Array.length s.busy in
@@ -162,4 +166,7 @@ let pp_stats ppf s =
     Format.fprintf ppf
       " nic(pkts=%d filtered=%d agg=%d emit=%d fanout=%d saved=%d %dB)"
       s.nic_packets s.nic_filtered s.nic_aggregated s.nic_emitted
-      s.nic_fanout_copies s.nic_msgs_saved s.nic_bytes
+      s.nic_fanout_copies s.nic_msgs_saved s.nic_bytes;
+  if s.redist_stages > 0 then
+    Format.fprintf ppf " redist(stages=%d peak_inflight=%dB)" s.redist_stages
+      (max_peak_inflight s)

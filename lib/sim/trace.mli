@@ -104,7 +104,17 @@ type stats = {
   nic_fanout_copies : int; (** copies produced by multicast fan-out *)
   nic_msgs_saved : int;    (** endpoint messages saved by in-flight folding *)
   nic_bytes : int;         (** bytes carried on NIC fabric hops *)
+  peak_inflight_bytes : int array;
+      (** per-pid peak bytes simultaneously in flight on the board
+          (charged to the source from send post, to the destination
+          from match, until delivery consumption) *)
+  redist_stages : int;
+      (** stages the redistribution planner scheduled (0 = no planned
+          redistribution in this program) *)
 }
+
+(** Max over processors of [peak_inflight_bytes]. *)
+val max_peak_inflight : stats -> int
 
 (** Idle fraction: 1 - sum(busy)/(nprocs * makespan). *)
 val idle_fraction : stats -> float

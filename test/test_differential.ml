@@ -352,6 +352,126 @@ let prop_fatal_faults =
     (QCheck.make ~print:print_cfg gen_cfg)
     check_cfg_fatal
 
+(* ---- redistribution planner (DESIGN.md §10): the collective
+   lowering must be observationally pure performance.  For random
+   machine sizes, slab depths and budgets, the planned redistflow
+   all-to-all must leave the array bit-identical to the naive lowering
+   and to the analytic reference — on both engines, across cost
+   models, and under eventual-delivery fault plans — and whenever the
+   planner reports a feasible in-budget schedule, the *measured* peak
+   in-flight bytes must actually stay within that budget. *)
+
+module Redistflow = Xdp_apps.Redistflow
+module Plan_redist = Xdp.Plan_redist
+module Collective = Xdp_dist.Collective
+
+type rcfg = { r_nprocs : int; r_n : int; r_m : int; r_div : int }
+
+let print_rcfg c =
+  Printf.sprintf "redistflow P=%d n=%d m=%d budget_div=%d" c.r_nprocs c.r_n
+    c.r_m c.r_div
+
+let gen_rcfg =
+  G.(
+    let* p = int_range 2 8 in
+    (* powers of two exercise the Exchange shape; the rest fall back
+       to Ring / Gather_scatter *)
+    let* mult = int_range 1 3 in
+    let* m = int_range 1 2 in
+    let* div = oneofl [ 0; 2; 4 ] in
+    return { r_nprocs = p; r_n = p * mult; r_m = m; r_div = div })
+
+let rcfg_budget c =
+  if c.r_div = 0 then 0
+  else
+    let mp = Xdp_sim.Costmodel.message_passing in
+    let moves =
+      Xdp_dist.Redistribution.plan
+        ~src:(Redistflow.layout_before ~n:c.r_n ~m:c.r_m ~nprocs:c.r_nprocs)
+        ~dst:(Redistflow.layout_after ~n:c.r_n ~m:c.r_m ~nprocs:c.r_nprocs)
+    in
+    max 1
+      (Collective.naive_peak ~nprocs:c.r_nprocs
+         ~elem_bytes:mp.Xdp_sim.Costmodel.elem_bytes
+         ~header_bytes:mp.Xdp_sim.Costmodel.header_bytes moves
+      / c.r_div)
+
+let check_rcfg c =
+  let budget = rcfg_budget c in
+  let reference = Redistflow.reference ~n:c.r_n ~m:c.r_m () in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> QCheck.Test.fail_reportf "%s: %s" (print_rcfg c) msg)
+      fmt
+  in
+  let build strategy =
+    Redistflow.build_info ~n:c.r_n ~nprocs:c.r_nprocs ~m:c.r_m ~strategy ()
+  in
+  let naive_prog, _ = build `Naive in
+  let planned_prog, info =
+    build (`Collectives { Plan_redist.peak_budget = budget })
+  in
+  let info = Option.get info in
+  let check_identical label (r : Exec.result) =
+    if
+      not
+        (Xdp_util.Tensor.equal ~eps:0.0 (Exec.array r "A") reference)
+    then fail "%s: tensor differs from reference" label
+  in
+  (* both engines, two cost models, naive and planned *)
+  List.iter
+    (fun (engine, elabel) ->
+      List.iter
+        (fun (cost, clabel) ->
+          check_identical
+            (Printf.sprintf "naive %s %s" elabel clabel)
+            (Exec.run ~engine ~cost ~init:Redistflow.init ~nprocs:c.r_nprocs
+               naive_prog);
+          let r =
+            Exec.run ~engine ~cost ~init:Redistflow.init
+              ~redist_stages:info.Plan_redist.stages ~nprocs:c.r_nprocs
+              planned_prog
+          in
+          check_identical (Printf.sprintf "planned %s %s" elabel clabel) r;
+          (* the budget invariant is judged under the cost model the
+             planner's default params mirror *)
+          if
+            clabel = "mp" && info.Plan_redist.feasible && budget > 0
+            && Xdp_sim.Trace.max_peak_inflight r.Exec.stats > budget
+          then
+            fail "planned %s: measured peak %dB exceeds budget %dB" elabel
+              (Xdp_sim.Trace.max_peak_inflight r.Exec.stats)
+              budget;
+          if r.Exec.stats.Xdp_sim.Trace.redist_stages <> info.Plan_redist.stages
+          then fail "planned %s: stats lost the stage count" elabel)
+        [
+          (Xdp_sim.Costmodel.message_passing, "mp");
+          (Xdp_sim.Costmodel.idealized, "ideal");
+        ])
+    [ (`Interp, "interp"); (`Compiled, "compiled") ];
+  (* and under an eventual-delivery fault plan *)
+  let fault =
+    let g = Xdp_util.Prng.stream 0x2ED1 [ c.r_nprocs; c.r_n; c.r_m; c.r_div ] in
+    Xdp_net.Faultplan.make
+      ~seed:(Xdp_util.Prng.int g 1_000_000)
+      ~drop:(Xdp_util.Prng.float_in g 0.0 0.3)
+      ~dup:(Xdp_util.Prng.float_in g 0.0 0.2)
+      ~jitter:(Xdp_util.Prng.float_in g 0.0 0.4)
+      ~deliver_after:(Xdp_util.Prng.int_in g 0 3)
+      ()
+  in
+  check_identical "planned faulty"
+    (Exec.run ~fault ~init:Redistflow.init
+       ~redist_stages:info.Plan_redist.stages ~nprocs:c.r_nprocs planned_prog);
+  true
+
+let prop_redist_planner =
+  QCheck.Test.make
+    ~name:"planned redistribution is bit-identical and within budget"
+    ~count:25
+    (QCheck.make ~print:print_rcfg gen_rcfg)
+    check_rcfg
+
 (* A couple of fixed regression seeds that exercise every spec form. *)
 let test_fixed_cases () =
   List.iter
@@ -396,4 +516,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_engines;
           QCheck_alcotest.to_alcotest prop_fatal_faults;
         ] );
+      ( "redistribution planner",
+        [ QCheck_alcotest.to_alcotest prop_redist_planner ] );
     ]

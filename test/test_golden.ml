@@ -389,6 +389,35 @@ let test_determinism_farm_dynamic () =
        ~init:(Xdp_apps.Farm.init ~skew:(Xdp_apps.Farm.Random 7) ~ntasks:24)
        ~nprocs:4 ~trace:true p)
 
+(* ---- collective redistribution schedule golden: the planner's
+   chosen schedule for the 8-proc redistflow all-to-all under a
+   600-byte budget is pinned by a digest over Collective.describe
+   (stable text: shape/window header plus every stage's move list).
+   A drift means the search or the staging changed — which silently
+   re-times every planned redistribution. *)
+let test_redist_schedule_digest () =
+  let moves =
+    Xdp_dist.Redistribution.plan
+      ~src:(Xdp_apps.Redistflow.layout_before ~n:16 ~m:2 ~nprocs:8)
+      ~dst:(Xdp_apps.Redistflow.layout_after ~n:16 ~m:2 ~nprocs:8)
+  in
+  let sched, info =
+    Xdp.Plan_redist.plan ~params:Xdp.Plan_redist.default_params ~nprocs:8
+      ~budget:400 moves
+  in
+  Alcotest.(check string) "schedule digest" "04603e110ebe5db3c87d2abc22854f95"
+    (Digest.to_hex (Digest.string (Xdp_dist.Collective.describe sched)));
+  Alcotest.(check string) "shape" "ring"
+    (Xdp_dist.Collective.shape_name info.Xdp.Plan_redist.shape);
+  Alcotest.(check int) "window" 1 info.Xdp.Plan_redist.window;
+  Alcotest.(check int) "stages" 7 info.Xdp.Plan_redist.stages;
+  Alcotest.(check int) "moves" 56 info.Xdp.Plan_redist.moves;
+  Alcotest.(check bool) "feasible" true info.Xdp.Plan_redist.feasible;
+  Alcotest.(check bool) "est within budget" true
+    (info.Xdp.Plan_redist.est_peak <= 400);
+  Alcotest.(check bool) "naive over budget" true
+    (info.Xdp.Plan_redist.naive_peak > 400)
+
 let () =
   Alcotest.run "golden"
     [
@@ -406,6 +435,8 @@ let () =
             test_fusion_digests;
           Alcotest.test_case "fft3d pipelined under faults stats+trace" `Quick
             test_determinism_fft3d_faulty;
+          Alcotest.test_case "collective redistribution schedule digest" `Quick
+            test_redist_schedule_digest;
         ] );
       ( "paper listings",
         [

@@ -79,6 +79,60 @@ let test_deterministic_order () =
   let keys = List.map (fun (m : Redistribution.move) -> (m.src, m.dst)) p1 in
   Alcotest.(check bool) "sorted" true (keys = List.sort compare keys)
 
+(* ---- overflow-safe byte/element accounting (DESIGN.md §10): the
+   aggregate counters behind the collective planner's budget checks
+   must raise instead of wrapping on 63-bit ints. *)
+
+let test_checked_arith () =
+  Alcotest.(check int) "add" 7 (Redistribution.checked_add "t" 3 4);
+  Alcotest.(check int) "mul" 12 (Redistribution.checked_mul "t" 3 4);
+  Alcotest.(check int) "mul by zero" 0 (Redistribution.checked_mul "t" 0 max_int);
+  (* boundary: max_int itself is representable... *)
+  Alcotest.(check int) "add boundary" max_int
+    (Redistribution.checked_add "t" max_int 0);
+  Alcotest.(check int) "mul boundary" max_int
+    (Redistribution.checked_mul "t" max_int 1);
+  (* ... and one past it raises, naming the quantity *)
+  Alcotest.check_raises "add overflow"
+    (Invalid_argument "Redistribution: t overflows") (fun () ->
+      ignore (Redistribution.checked_add "t" max_int 1));
+  Alcotest.check_raises "mul overflow"
+    (Invalid_argument "Redistribution: t overflows") (fun () ->
+      ignore (Redistribution.checked_mul "t" (max_int / 2) 3));
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Redistribution: negative t") (fun () ->
+      ignore (Redistribution.checked_add "t" (-1) 1))
+
+let huge_box () =
+  (* 2^61 elements: exact on its own, two of them overflow 2^62 - 1 *)
+  Box.make [ Triplet.range 1 (1 lsl 31); Triplet.range 1 (1 lsl 30) ]
+
+let test_box_elems_overflow () =
+  Alcotest.(check int) "small box exact" 6
+    (Redistribution.box_elems (Box.make [ Triplet.range 1 2; Triplet.range 1 3 ]));
+  (* 2^31 * (2^31 - 1) = max_int - (2^31 - 1): the largest
+     power-of-two-shaped product still under max_int = 2^62 - 1 *)
+  Alcotest.(check int) "near-max exact"
+    (max_int - ((1 lsl 31) - 1))
+    (Redistribution.box_elems
+       (Box.make [ Triplet.range 1 (1 lsl 31); Triplet.range 1 ((1 lsl 31) - 1) ]));
+  (* one dimension wider and the product wraps — must raise instead *)
+  Alcotest.check_raises "element-count overflow"
+    (Invalid_argument "Redistribution: element count overflows") (fun () ->
+      ignore
+        (Redistribution.box_elems
+           (Box.make [ Triplet.range 1 (1 lsl 31); Triplet.range 1 (1 lsl 31) ])))
+
+let test_volume_overflow () =
+  (* two moves of 2^61 elements each: both individually exact, the sum
+     one past max_int — the regression that motivated the checks *)
+  let m src = { Redistribution.src; dst = src + 1; box = huge_box () } in
+  Alcotest.(check int) "single huge move exact" (1 lsl 61)
+    (Redistribution.volume [ m 0 ]);
+  Alcotest.check_raises "volume overflow"
+    (Invalid_argument "Redistribution: volume overflows") (fun () ->
+      ignore (Redistribution.volume [ m 0; m 2 ]))
+
 let prop_block_to_cyclic_conserves =
   QCheck.Test.make ~name:"block->cyclic conserves elements" ~count:100
     QCheck.(pair (int_range 1 24) (int_range 1 6))
@@ -98,6 +152,13 @@ let () =
           Alcotest.test_case "identity" `Quick test_identity_plan_empty;
           Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
           Alcotest.test_case "deterministic" `Quick test_deterministic_order;
+        ] );
+      ( "overflow-safe accounting",
+        [
+          Alcotest.test_case "checked arithmetic" `Quick test_checked_arith;
+          Alcotest.test_case "box_elems boundary" `Quick
+            test_box_elems_overflow;
+          Alcotest.test_case "volume boundary" `Quick test_volume_overflow;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_block_to_cyclic_conserves ] );

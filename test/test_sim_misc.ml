@@ -63,6 +63,8 @@ let stats_zero n =
     nic_fanout_copies = 0;
     nic_msgs_saved = 0;
     nic_bytes = 0;
+    peak_inflight_bytes = Array.make n 0;
+    redist_stages = 0;
   }
 
 let test_idle_fraction () =
