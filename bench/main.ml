@@ -34,6 +34,7 @@ let items : (string * (unit -> unit)) list =
     ("batch", (fun () -> Batchbench.run ()));
     ("nic", (fun () -> Nicbench.run ()));
     ("redist", (fun () -> Redistbench.run ()));
+    ("search", (fun () -> Searchbench.run ()));
     (* tiny sizes, same code paths: the `bench-smoke` dune alias runs
        these under `dune runtest` so the harness cannot bit-rot *)
     ("micro-smoke", (fun () -> Micro.run ~smoke:true ()));
@@ -42,6 +43,7 @@ let items : (string * (unit -> unit)) list =
     ("batch-smoke", (fun () -> Batchbench.run ~smoke:true ()));
     ("nic-smoke", (fun () -> Nicbench.run ~smoke:true ()));
     ("redist-smoke", (fun () -> Redistbench.run ~smoke:true ()));
+    ("search-smoke", (fun () -> Searchbench.run ~smoke:true ()));
   ]
 
 let () =

@@ -63,6 +63,38 @@ let redist_conv =
   in
   Arg.conv (parse, Format.pp_print_string)
 
+(* --placement: dlstack layout selection.  Strict in the --redist
+   style: exactly "naive", "hand" or "search". *)
+let placement_conv =
+  let parse s =
+    match Workload.placement_of_string s with
+    | Ok _ -> Ok s
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* --shard / --wshard: dlstack per-layer overrides; "" keeps the
+   anchor placement's spec. *)
+let shard_conv =
+  let parse s =
+    if s = "" then Ok s
+    else
+      match Xdp_search.Space.act_of_string s with
+      | Ok _ -> Ok s
+      | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+let wshard_conv =
+  let parse s =
+    if s = "" then Ok s
+    else
+      match Xdp_search.Space.wgt_of_string s with
+      | Ok _ -> Ok s
+      | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 (* --redist-budget: per-processor peak bytes, 0 = unbounded. *)
 let redist_budget_conv =
   let parse s =
@@ -152,11 +184,13 @@ let reference_of (s : Manifest.spec) =
       (* redistribution moves ownership, never values: the expected
          tensor is the init applied to the whole index space *)
       Some (Xdp_apps.Redistflow.reference ~n:s.n ())
+  | "dlstack" ->
+      Some (Xdp_apps.Dlstack.reference (Workload.dlstack_config s))
   | _ -> None
 
 let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
     drop dup jitter fault_seed timeout nic_reduce nic_filter redist
-    redist_budget =
+    redist_budget placement shard wshard layers dim =
   try
     (* --nic-reduce forces the in-network reduce stage *)
     let app, stage, nic_arity =
@@ -188,6 +222,11 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
         nic_arity;
         redist;
         redist_budget;
+        placement;
+        shard;
+        wshard;
+        layers;
+        dim;
       }
     in
     let spec =
@@ -274,7 +313,7 @@ let run app stage n nprocs sweeps seg misaligned cost engine dump trace gantt
       1
 
 let app_t =
-  Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm, redist.")
+  Arg.(value & opt string "vecadd" & info [ "app"; "a" ] ~doc:"Application: vecadd, fft3d, jacobi, jacobi2d, reduce, farm, redist, dlstack.")
 
 let stage_t =
   Arg.(
@@ -386,12 +425,178 @@ let redist_budget_t =
            collectives); $(b,0) (the default) means unbounded, so the \
            planner simply minimizes estimated makespan.")
 
+let placement_t =
+  Arg.(
+    value
+    & opt placement_conv "naive"
+    & info [ "placement" ] ~docv:"PLACEMENT"
+        ~doc:
+          "Layout selection for $(b,--app dlstack): $(b,naive) (fully \
+           replicated data parallelism, the anchor every comparison is \
+           against), $(b,hand) (classic row-sharded data parallelism with \
+           a rooted-tree allreduce) or $(b,search) (the deterministic \
+           enumerate-then-anneal winner under the static cost estimator, \
+           DESIGN.md section 11).  All three produce bit-identical \
+           results.")
+
+let shard_t =
+  Arg.(
+    value & opt shard_conv ""
+    & info [ "shard" ] ~docv:"ACT"
+        ~doc:
+          "Dlstack activation-sharding override applied on top of the \
+           $(b,naive)/$(b,hand) placements: $(b,row), $(b,col) or \
+           $(b,repl).  Rejected with $(b,--placement search) — the \
+           searcher owns every axis it sweeps.")
+
+let wshard_t =
+  Arg.(
+    value & opt wshard_conv ""
+    & info [ "wshard" ] ~docv:"WGT"
+        ~doc:
+          "Dlstack weight-sharding override, same scope as $(b,--shard): \
+           $(b,shard) or $(b,repl).")
+
+let layers_t =
+  Arg.(
+    value
+    & opt int Manifest.default_spec.layers
+    & info [ "layers"; "L" ] ~doc:"Dlstack pipeline depth (layers).")
+
+let dim_t =
+  Arg.(
+    value
+    & opt int Manifest.default_spec.dim
+    & info [ "dim" ] ~doc:"Dlstack feature width (weight-vector length).")
+
 let run_term =
   Term.(
     const run $ app_t $ stage_t $ n_t $ procs_t $ sweeps_t $ seg_t $ mis_t
     $ cost_t $ engine_t $ dump_t $ trace_t $ gantt_t $ drop_t $ dup_t
     $ jitter_t $ fault_seed_t $ timeout_t $ nic_reduce_t $ nic_filter_t
-    $ redist_t $ redist_budget_t)
+    $ redist_t $ redist_budget_t $ placement_t $ shard_t $ wshard_t
+    $ layers_t $ dim_t)
+
+(* ------------------------------------------------------------------ *)
+(* xdpc search                                                         *)
+
+let objective_conv =
+  Arg.conv
+    ( msg_of_string Xdp_search.Anneal.objective_of_string,
+      fun ppf o ->
+        Format.pp_print_string ppf (Xdp_search.Anneal.objective_name o) )
+
+let search n dim layers nprocs seed rounds proposals objective jobs =
+  let module Space = Xdp_search.Space in
+  let module Anneal = Xdp_search.Anneal in
+  let module Estimate = Xdp_search.Estimate in
+  try
+    let cfg = { Space.procs = nprocs; batch = n; dim; nlayers = layers } in
+    (match Space.validate_config cfg with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    let opts = { Anneal.seed; rounds; proposals; objective } in
+    let params = Estimate.default_params in
+    (* --jobs fans each round's proposal batch over the batch service's
+       Domain pool; scoring is pure and order-preserved, so the result
+       is identical to the inline path. *)
+    let pscore =
+      if jobs <= 1 then None
+      else
+        Some
+          (fun pls ->
+            let out =
+              Array.map (fun _ -> (None : Space.summary option)) pls
+            in
+            Xdp_batch.Pool.run ~workers:jobs ~njobs:(Array.length pls)
+              ~f:(fun ~worker:_ i -> Space.estimate params cfg pls.(i))
+              ~emit:(fun i s -> out.(i) <- Some s);
+            Array.map
+              (function Some s -> s | None -> assert false)
+              out)
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Anneal.search ?pscore ~params cfg opts in
+    let dt = Unix.gettimeofday () -. t0 in
+    let pr name (s : Space.summary) key =
+      Format.printf "%-8s  %7d msgs  %10d bytes  est makespan %12.0f  %s@."
+        name s.Space.comm.Estimate.msgs s.Space.comm.Estimate.wire_bytes
+        s.Space.est_makespan key
+    in
+    pr "naive" r.Anneal.naive_summary (Space.key (Space.naive cfg));
+    pr "hand" r.Anneal.hand_summary (Space.key (Space.hand cfg));
+    pr "searched" r.Anneal.best_summary (Space.key r.Anneal.best);
+    Format.printf
+      "evaluated %d candidates (%d enumeration seeds) in %.3fs (%.0f \
+       candidates/s)@."
+      r.Anneal.evaluated r.Anneal.seeded dt
+      (float_of_int r.Anneal.evaluated /. Float.max 1e-9 dt);
+    print_string (Space.describe cfg r.Anneal.best);
+    0
+  with Failure msg | Invalid_argument msg ->
+    Format.eprintf "xdpc search: %s@." msg;
+    1
+
+let search_seed_t =
+  Arg.(
+    value
+    & opt int Xdp_search.Anneal.default_options.seed
+    & info [ "seed" ] ~doc:"Seed of the deterministic annealing schedule.")
+
+let rounds_t =
+  Arg.(
+    value
+    & opt int Xdp_search.Anneal.default_options.rounds
+    & info [ "rounds" ] ~doc:"Annealing rounds after the enumeration phase.")
+
+let proposals_t =
+  Arg.(
+    value
+    & opt int Xdp_search.Anneal.default_options.proposals
+    & info [ "proposals" ] ~doc:"Candidate mutations scored per round.")
+
+let objective_t =
+  Arg.(
+    value
+    & opt objective_conv Xdp_search.Anneal.default_options.objective
+    & info [ "objective" ] ~docv:"OBJ"
+        ~doc:
+          "Search objective: $(b,bytes) (endpoint wire bytes, ties broken \
+           on message count) or $(b,makespan) (the coarse alpha-beta + \
+           compute estimate).")
+
+let search_jobs_t =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Domain workers scoring each proposal batch in parallel.  The \
+              searched placement is identical for every value of $(docv).")
+
+let search_cmd =
+  let doc = "search dlstack placements with the static cost estimator" in
+  Cmd.v
+    (Cmd.info "search" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Enumerates every uniform GSPMD-style placement of the \
+              dlstack training step over every mesh factorization, then \
+              anneals from the best seed — scoring each candidate with \
+              the static estimator of DESIGN.md section 11 in \
+              microseconds, never building or executing a program.  The \
+              winner, the naive anchor and the hand placement are \
+              reported with their estimated message/byte totals; run the \
+              winner with $(b,xdpc -a dlstack --placement search).";
+           `P
+             "The search is a pure function of the configuration and \
+              options: estimated costs drive every decision, random \
+              draws replay from a keyed PRNG stream, and $(b,--jobs) \
+              only parallelizes scoring.";
+         ])
+    Term.(
+      const search $ n_t $ dim_t $ layers_t $ procs_t $ search_seed_t
+      $ rounds_t $ proposals_t $ objective_t $ search_jobs_t)
 
 (* ------------------------------------------------------------------ *)
 (* xdpc batch                                                          *)
@@ -498,6 +703,6 @@ let batch_cmd =
 
 let cmd =
   let doc = "run bundled XDP applications on the simulated SPMD machine" in
-  Cmd.group ~default:run_term (Cmd.info "xdpc" ~doc) [ batch_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "xdpc" ~doc) [ batch_cmd; search_cmd ]
 
 let () = exit (Cmd.eval' cmd)

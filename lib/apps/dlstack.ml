@@ -1,0 +1,850 @@
+open Xdp.Build
+module Space = Xdp_search.Space
+module Dist = Xdp_dist.Dist
+module Grid = Xdp_dist.Grid
+module Tensor = Xdp_util.Tensor
+
+let eta = 1.0 /. 1024.0
+let in_val i j = float_of_int ((i + (2 * j)) mod 7)
+
+let init name idx =
+  match (name, idx) with
+  | "IN", [ i; j ] -> in_val i j
+  | _ ->
+      (* weight arrays W<l> start at 1.0; scratch (incl. WC<l>) at 0 *)
+      if
+        String.length name >= 2
+        && name.[0] = 'W'
+        && name.[1] >= '0'
+        && name.[1] <= '9'
+      then 1.0
+      else 0.0
+
+(* ------------------------------------------------------------------ *)
+
+let build (cfg : Space.config) (pl : Space.placement) =
+  (match Space.validate cfg pl with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Dlstack.build: " ^ e));
+  let p = cfg.procs
+  and bsz = cfg.batch
+  and d = cfg.dim
+  and nl = cfg.nlayers in
+  let dp = pl.dp and pp = pl.pp in
+  let bpd = bsz / dp and bpp = bsz / p and ppd = p / dp in
+  (* feature blocks exist only when a Col/Wshard spec forced dim|dp *)
+  let dpd = if d mod dp = 0 then d / dp else 0 in
+  let mesh = Grid.make [ pp; dp ] and machine = Grid.make [ p ] in
+  let xn l = "X" ^ string_of_int l
+  and cn l = "C" ^ string_of_int l
+  and wn l = "W" ^ string_of_int l
+  and wcn l = "WC" ^ string_of_int l
+  and gpn l = "GP" ^ string_of_int l
+  and grn l = "GR" ^ string_of_int l
+  and gtn l = "GT" ^ string_of_int l
+  and gbn l = "GB" ^ string_of_int l
+  and gan l = "GA" ^ string_of_int l
+  and gsn l = "GS" ^ string_of_int l in
+  let spec l = pl.layers.(l - 1) in
+  (* mesh coordinates: pid = stage * dp + peer, peers 1-based *)
+  let c0 s = mypid -: i ((s * dp) + 1) in
+  let cpeer s = c0 s +: i 1 in
+  let in_stage s body =
+    ((mypid >=: i ((s * dp) + 1)) &&: (mypid <=: i ((s + 1) * dp))) @: body
+  in
+  let pid_of s qv = i (s * dp) +: qv in
+  let rows_of qv = slice (((qv -: i 1) *: i bpd) +: i 1) (qv *: i bpd) in
+  let cols_of qv = slice (((qv -: i 1) *: i dpd) +: i 1) (qv *: i dpd) in
+  let myrows s = rows_of (cpeer s) and mycols s = cols_of (cpeer s) in
+  let rlo s = (c0 s *: i bpd) +: i 1 and rhi s = cpeer s *: i bpd in
+  let clo s = (c0 s *: i dpd) +: i 1 and chi s = cpeer s *: i dpd in
+  let mrows_of mv = slice (((mv -: i 1) *: i bpp) +: i 1) (mv *: i bpp) in
+  let machine_rows = mrows_of mypid in
+  let mlo = ((mypid -: i 1) *: i bpp) +: i 1 and mhi = mypid *: i bpp in
+  let iv = var "ii" and jv = var "jj" and qv = var "q" in
+
+  (* ---------------- declarations ---------------- *)
+  let input_needed l =
+    if l = 1 then not (Space.entry_elided cfg pl)
+    else not (Space.transfer_elided ~src:(spec (l - 1)) ~dst:(spec l))
+  in
+  let vec3 name =
+    decl ~name ~shape:[ pp; dp; d ]
+      ~dist:[ Dist.Block; Dist.Block; Dist.Star ]
+      ~grid:mesh ()
+  in
+  let quad4 name =
+    decl ~name ~shape:[ pp; dp; dp; d ]
+      ~dist:[ Dist.Block; Dist.Block; Dist.Star; Dist.Star ]
+      ~grid:mesh ()
+  in
+  let act_decl name = function
+    | Space.Row ->
+        decl ~name ~shape:[ pp; bsz; d ]
+          ~dist:[ Dist.Block; Dist.Block; Dist.Star ]
+          ~grid:mesh ()
+    | Space.Col ->
+        decl ~name ~shape:[ pp; bsz; d ]
+          ~dist:[ Dist.Block; Dist.Star; Dist.Block ]
+          ~grid:mesh ()
+    | Space.Repl ->
+        decl ~name ~shape:[ pp; dp; bsz; d ]
+          ~dist:[ Dist.Block; Dist.Block; Dist.Star; Dist.Star ]
+          ~grid:mesh ()
+  in
+  let decls =
+    ref
+      [
+        decl ~name:"OUT" ~shape:[ bsz; d ]
+          ~dist:[ Dist.Block; Dist.Star ]
+          ~grid:machine ();
+        decl ~name:"IN" ~shape:[ bsz; d ]
+          ~dist:[ Dist.Block; Dist.Star ]
+          ~grid:machine ();
+      ]
+  in
+  let push dl = decls := dl :: !decls in
+  for l = 1 to nl do
+    let sp = spec l in
+    push (act_decl (xn l) sp.act);
+    if input_needed l then push (act_decl (cn l) sp.act);
+    (match sp.wgt with
+    | Space.Wshard ->
+        push
+          (decl ~name:(wn l) ~shape:[ pp; d ]
+             ~dist:[ Dist.Block; Dist.Block ]
+             ~grid:mesh ())
+    | Space.Wrepl -> push (vec3 (wn l)));
+    if sp.wgt = Space.Wshard && sp.act <> Space.Col then push (vec3 (wcn l));
+    push (vec3 (gpn l));
+    if dp > 1 then
+      match (sp.act, sp.wgt, sp.gsum) with
+      | Space.Row, Space.Wrepl, Space.Tree ->
+          (* rooted-tree scratch: partials and the total live on the
+             stage root (a whole-extent block-cyclic dimension) *)
+          push
+            (decl ~name:(grn l) ~shape:[ pp; dp; d ]
+               ~dist:[ Dist.Block; Dist.Block_cyclic dp; Dist.Star ]
+               ~grid:mesh ());
+          push
+            (decl ~name:(gtn l) ~shape:[ pp; d ]
+               ~dist:[ Dist.Block; Dist.Block_cyclic d ]
+               ~grid:mesh ());
+          push (vec3 (gbn l))
+      | Space.Row, Space.Wrepl, Space.Allgather | Space.Col, Space.Wrepl, _
+        ->
+          push (quad4 (gan l))
+      | Space.Row, Space.Wshard, _ -> push (quad4 (gsn l))
+      | _ -> ()
+  done;
+
+  (* ---------------- statements ---------------- *)
+  let stmts = ref [] in
+  let emit s = stmts := s :: !stmts in
+
+  (* entry: the machine-wide batch-sharded IN reaches layer 1's stage *)
+  let l1 = spec 1 in
+  let s1 = l1.stage in
+  let slot1 = i (s1 + 1) in
+  let entry_reader, entry_await =
+    if Space.entry_elided cfg pl then
+      ((fun iv jv -> elem "IN" [ iv; jv ]), None)
+    else begin
+      (match l1.act with
+      | Space.Row ->
+          emit
+            (send_to
+               (sec "IN" [ machine_rows; all ])
+               [ i (s1 * dp) +: (((mypid -: i 1) /: i ppd) +: i 1) ])
+      | Space.Col ->
+          emit
+            (loop "q" (i 1) (i dp)
+               [
+                 send_to
+                   (sec "IN" [ machine_rows; cols_of qv ])
+                   [ pid_of s1 qv ];
+               ])
+      | Space.Repl ->
+          emit
+            (loop "q" (i 1) (i dp)
+               [ send_to (sec "IN" [ machine_rows; all ]) [ pid_of s1 qv ] ]));
+      let c1 = cn 1 in
+      let mv = var "m" in
+      (match l1.act with
+      | Space.Row ->
+          emit
+            (in_stage s1
+               [
+                 loop "m"
+                   ((c0 s1 *: i ppd) +: i 1)
+                   (cpeer s1 *: i ppd)
+                   [
+                     recv
+                       ~into:(sec c1 [ at slot1; mrows_of mv; all ])
+                       ~from:(sec "IN" [ mrows_of mv; all ]);
+                   ];
+               ])
+      | Space.Col ->
+          emit
+            (in_stage s1
+               [
+                 loop "m" (i 1) (i p)
+                   [
+                     recv
+                       ~into:(sec c1 [ at slot1; mrows_of mv; mycols s1 ])
+                       ~from:(sec "IN" [ mrows_of mv; mycols s1 ]);
+                   ];
+               ])
+      | Space.Repl ->
+          emit
+            (in_stage s1
+               [
+                 loop "m" (i 1) (i p)
+                   [
+                     recv
+                       ~into:
+                         (sec c1
+                            [ at slot1; at (cpeer s1); mrows_of mv; all ])
+                       ~from:(sec "IN" [ mrows_of mv; all ]);
+                   ];
+               ]));
+      let aw =
+        match l1.act with
+        | Space.Row -> sec c1 [ at slot1; myrows s1; all ]
+        | Space.Col -> sec c1 [ at slot1; all; mycols s1 ]
+        | Space.Repl -> sec c1 [ at slot1; at (cpeer s1); all; all ]
+      in
+      let rd iv jv =
+        match l1.act with
+        | Space.Row | Space.Col -> elem c1 [ slot1; iv; jv ]
+        | Space.Repl -> elem c1 [ slot1; cpeer s1; iv; jv ]
+      in
+      (rd, Some aw)
+    end
+  in
+
+  for l = 1 to nl do
+    let sp = spec l in
+    let s = sp.stage in
+    let slot = i (s + 1) in
+    (* staged-in activations: reader + the await that gates compute *)
+    let reader, c_await =
+      if l = 1 then (entry_reader, entry_await)
+      else begin
+        let prev = spec (l - 1) in
+        let spv = prev.stage in
+        let slotp = i (spv + 1) in
+        let xp = xn (l - 1) in
+        if Space.transfer_elided ~src:prev ~dst:sp then
+          let rd iv jv =
+            match prev.act with
+            | Space.Repl -> elem xp [ slotp; cpeer s; iv; jv ]
+            | _ -> elem xp [ slotp; iv; jv ]
+          in
+          (rd, None)
+        else begin
+          let c = cn l in
+          let sends, recvs =
+            match (prev.act, sp.act) with
+            | Space.Row, Space.Row ->
+                ( [
+                    send_to
+                      (sec xp [ at slotp; myrows spv; all ])
+                      [ pid_of s (cpeer spv) ];
+                  ],
+                  [
+                    recv
+                      ~into:(sec c [ at slot; myrows s; all ])
+                      ~from:(sec xp [ at slotp; myrows s; all ]);
+                  ] )
+            | Space.Row, Space.Col ->
+                ( [
+                    loop "q" (i 1) (i dp)
+                      [
+                        send_to
+                          (sec xp [ at slotp; myrows spv; cols_of qv ])
+                          [ pid_of s qv ];
+                      ];
+                  ],
+                  [
+                    loop "q" (i 1) (i dp)
+                      [
+                        recv
+                          ~into:(sec c [ at slot; rows_of qv; mycols s ])
+                          ~from:(sec xp [ at slotp; rows_of qv; mycols s ]);
+                      ];
+                  ] )
+            | Space.Row, Space.Repl ->
+                ( [
+                    loop "q" (i 1) (i dp)
+                      [
+                        send_to
+                          (sec xp [ at slotp; myrows spv; all ])
+                          [ pid_of s qv ];
+                      ];
+                  ],
+                  [
+                    loop "q" (i 1) (i dp)
+                      [
+                        recv
+                          ~into:
+                            (sec c
+                               [ at slot; at (cpeer s); rows_of qv; all ])
+                          ~from:(sec xp [ at slotp; rows_of qv; all ]);
+                      ];
+                  ] )
+            | Space.Col, Space.Row ->
+                ( [
+                    loop "q" (i 1) (i dp)
+                      [
+                        send_to
+                          (sec xp [ at slotp; rows_of qv; mycols spv ])
+                          [ pid_of s qv ];
+                      ];
+                  ],
+                  [
+                    loop "q" (i 1) (i dp)
+                      [
+                        recv
+                          ~into:(sec c [ at slot; myrows s; cols_of qv ])
+                          ~from:(sec xp [ at slotp; myrows s; cols_of qv ]);
+                      ];
+                  ] )
+            | Space.Col, Space.Col ->
+                ( [
+                    send_to
+                      (sec xp [ at slotp; all; mycols spv ])
+                      [ pid_of s (cpeer spv) ];
+                  ],
+                  [
+                    recv
+                      ~into:(sec c [ at slot; all; mycols s ])
+                      ~from:(sec xp [ at slotp; all; mycols s ]);
+                  ] )
+            | Space.Col, Space.Repl ->
+                ( [
+                    loop "q" (i 1) (i dp)
+                      [
+                        send_to
+                          (sec xp [ at slotp; all; mycols spv ])
+                          [ pid_of s qv ];
+                      ];
+                  ],
+                  [
+                    loop "q" (i 1) (i dp)
+                      [
+                        recv
+                          ~into:
+                            (sec c
+                               [ at slot; at (cpeer s); all; cols_of qv ])
+                          ~from:(sec xp [ at slotp; all; cols_of qv ]);
+                      ];
+                  ] )
+            | Space.Repl, Space.Row ->
+                ( [
+                    send_to
+                      (sec xp [ at slotp; at (cpeer spv); myrows spv; all ])
+                      [ pid_of s (cpeer spv) ];
+                  ],
+                  [
+                    recv
+                      ~into:(sec c [ at slot; myrows s; all ])
+                      ~from:
+                        (sec xp [ at slotp; at (cpeer s); myrows s; all ]);
+                  ] )
+            | Space.Repl, Space.Col ->
+                ( [
+                    send_to
+                      (sec xp [ at slotp; at (cpeer spv); all; mycols spv ])
+                      [ pid_of s (cpeer spv) ];
+                  ],
+                  [
+                    recv
+                      ~into:(sec c [ at slot; all; mycols s ])
+                      ~from:
+                        (sec xp [ at slotp; at (cpeer s); all; mycols s ]);
+                  ] )
+            | Space.Repl, Space.Repl ->
+                ( [
+                    send_to
+                      (sec xp [ at slotp; at (cpeer spv); all; all ])
+                      [ pid_of s (cpeer spv) ];
+                  ],
+                  [
+                    recv
+                      ~into:(sec c [ at slot; at (cpeer s); all; all ])
+                      ~from:(sec xp [ at slotp; at (cpeer s); all; all ]);
+                  ] )
+          in
+          emit (in_stage spv sends);
+          emit (in_stage s recvs);
+          let aw =
+            match sp.act with
+            | Space.Row -> sec c [ at slot; myrows s; all ]
+            | Space.Col -> sec c [ at slot; all; mycols s ]
+            | Space.Repl -> sec c [ at slot; at (cpeer s); all; all ]
+          in
+          let rd iv jv =
+            match sp.act with
+            | Space.Row | Space.Col -> elem c [ slot; iv; jv ]
+            | Space.Repl -> elem c [ slot; cpeer s; iv; jv ]
+          in
+          (rd, Some aw)
+        end
+      end
+    in
+
+    (* sharded weights under a non-Col spec: allgather the blocks *)
+    let wc_await =
+      if not (sp.wgt = Space.Wshard && sp.act <> Space.Col) then None
+      else begin
+        let w = wn l and wc = wcn l in
+        emit
+          (in_stage s
+             [
+               loop "q" (i 1) (i dp)
+                 [
+                   if_
+                     (qv <>: cpeer s)
+                     [ send_to (sec w [ at slot; mycols s ]) [ pid_of s qv ] ]
+                     [];
+                 ];
+               loop "q" (i 1) (i dp)
+                 [
+                   if_
+                     (qv <>: cpeer s)
+                     [
+                       recv
+                         ~into:(sec wc [ at slot; at (cpeer s); cols_of qv ])
+                         ~from:(sec w [ at slot; cols_of qv ]);
+                     ]
+                     [];
+                 ];
+               loop "jj" (clo s) (chi s)
+                 [ set wc [ slot; cpeer s; jv ] (elem w [ slot; jv ]) ];
+             ]);
+        Some (sec wc [ at slot; at (cpeer s); all ])
+      end
+    in
+
+    (* forward: X_l = input * W_l + 1, under the staged-in awaits *)
+    let welem jv =
+      match (sp.wgt, sp.act) with
+      | Space.Wrepl, _ -> elem (wn l) [ slot; cpeer s; jv ]
+      | Space.Wshard, Space.Col -> elem (wn l) [ slot; jv ]
+      | Space.Wshard, _ -> elem (wcn l) [ slot; cpeer s; jv ]
+    in
+    let cell = (reader iv jv *: welem jv) +: f 1.0 in
+    let fwd =
+      match sp.act with
+      | Space.Row ->
+          [
+            loop "ii" (rlo s) (rhi s)
+              [ loop "jj" (i 1) (i d) [ set (xn l) [ slot; iv; jv ] cell ] ];
+          ]
+      | Space.Col ->
+          [
+            loop "ii" (i 1) (i bsz)
+              [
+                loop "jj" (clo s) (chi s) [ set (xn l) [ slot; iv; jv ] cell ];
+              ];
+          ]
+      | Space.Repl ->
+          [
+            loop "ii" (i 1) (i bsz)
+              [
+                loop "jj" (i 1) (i d)
+                  [ set (xn l) [ slot; cpeer s; iv; jv ] cell ];
+              ];
+          ]
+    in
+    let fwd = match c_await with None -> fwd | Some aw -> [ await aw @: fwd ] in
+    let fwd =
+      match wc_await with None -> fwd | Some aw -> [ await aw @: fwd ]
+    in
+    emit (in_stage s fwd);
+
+    (* gradient partial: column sums of the local activation block *)
+    let x_read =
+      match sp.act with
+      | Space.Repl -> elem (xn l) [ slot; cpeer s; iv; jv ]
+      | _ -> elem (xn l) [ slot; iv; jv ]
+    in
+    let accum ii_lo ii_hi =
+      [
+        setv "g" (f 0.0);
+        loop "ii" ii_lo ii_hi [ setv "g" (var "g" +: x_read) ];
+        set (gpn l) [ slot; cpeer s; jv ] (var "g");
+      ]
+    in
+    let gpart =
+      match sp.act with
+      | Space.Row -> [ loop "jj" (i 1) (i d) (accum (rlo s) (rhi s)) ]
+      | Space.Col -> [ loop "jj" (clo s) (chi s) (accum (i 1) (i bsz)) ]
+      | Space.Repl -> [ loop "jj" (i 1) (i d) (accum (i 1) (i bsz)) ]
+    in
+    emit (in_stage s gpart);
+
+    (* gradient allreduce + weight update *)
+    let gp = gpn l in
+    let w_add idx grad = set (wn l) idx (elem (wn l) idx +: (f eta *: grad)) in
+    let upd =
+      if dp = 1 then
+        match sp.wgt with
+        | Space.Wshard ->
+            [
+              loop "jj" (clo s) (chi s)
+                [ w_add [ slot; jv ] (elem gp [ slot; cpeer s; jv ]) ];
+            ]
+        | Space.Wrepl ->
+            [
+              loop "jj" (i 1) (i d)
+                [ w_add [ slot; cpeer s; jv ] (elem gp [ slot; cpeer s; jv ]) ];
+            ]
+      else
+        match (sp.act, sp.wgt, sp.gsum) with
+        | Space.Repl, Space.Wrepl, _ ->
+            (* replicated partials are already total *)
+            [
+              loop "jj" (i 1) (i d)
+                [ w_add [ slot; cpeer s; jv ] (elem gp [ slot; cpeer s; jv ]) ];
+            ]
+        | (Space.Repl | Space.Col), Space.Wshard, _ ->
+            (* the owned feature block's partial is total *)
+            [
+              loop "jj" (clo s) (chi s)
+                [ w_add [ slot; jv ] (elem gp [ slot; cpeer s; jv ]) ];
+            ]
+        | Space.Col, Space.Wrepl, _ ->
+            (* disjoint feature blocks: allgather concatenates *)
+            let ga = gan l in
+            [
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      send_to
+                        (sec gp [ at slot; at (cpeer s); mycols s ])
+                        [ pid_of s qv ];
+                    ]
+                    [];
+                ];
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      recv
+                        ~into:
+                          (sec ga [ at slot; at (cpeer s); at qv; cols_of qv ])
+                        ~from:(sec gp [ at slot; at qv; cols_of qv ]);
+                    ]
+                    [];
+                ];
+              await (sec ga [ at slot; at (cpeer s); all; all ])
+              @: [
+                   loop "q" (i 1) (i dp)
+                     [
+                       if_
+                         (qv =: cpeer s)
+                         [
+                           loop "jj"
+                             (((qv -: i 1) *: i dpd) +: i 1)
+                             (qv *: i dpd)
+                             [
+                               w_add [ slot; cpeer s; jv ]
+                                 (elem gp [ slot; cpeer s; jv ]);
+                             ];
+                         ]
+                         [
+                           loop "jj"
+                             (((qv -: i 1) *: i dpd) +: i 1)
+                             (qv *: i dpd)
+                             [
+                               w_add [ slot; cpeer s; jv ]
+                                 (elem ga [ slot; cpeer s; qv; jv ]);
+                             ];
+                         ];
+                     ];
+                 ];
+            ]
+        | Space.Row, Space.Wshard, _ ->
+            (* reduce-scatter: every peer sums partials for its block *)
+            let gs = gsn l in
+            [
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      send_to
+                        (sec gp [ at slot; at (cpeer s); cols_of qv ])
+                        [ pid_of s qv ];
+                    ]
+                    [];
+                ];
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      recv
+                        ~into:
+                          (sec gs [ at slot; at (cpeer s); at qv; mycols s ])
+                        ~from:(sec gp [ at slot; at qv; mycols s ]);
+                    ]
+                    [];
+                ];
+              await (sec gs [ at slot; at (cpeer s); all; mycols s ])
+              @: [
+                   loop "jj" (clo s) (chi s)
+                     [
+                       setv "g" (elem gp [ slot; cpeer s; jv ]);
+                       loop "q" (i 1) (i dp)
+                         [
+                           if_
+                             (qv <>: cpeer s)
+                             [
+                               setv "g"
+                                 (var "g" +: elem gs [ slot; cpeer s; qv; jv ]);
+                             ]
+                             [];
+                         ];
+                       w_add [ slot; jv ] (var "g");
+                     ];
+                 ];
+            ]
+        | Space.Row, Space.Wrepl, Space.Allgather ->
+            (* symmetric: every peer folds every partial *)
+            let ga = gan l in
+            [
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      send_to
+                        (sec gp [ at slot; at (cpeer s); all ])
+                        [ pid_of s qv ];
+                    ]
+                    [];
+                ];
+              loop "q" (i 1) (i dp)
+                [
+                  if_
+                    (qv <>: cpeer s)
+                    [
+                      recv
+                        ~into:(sec ga [ at slot; at (cpeer s); at qv; all ])
+                        ~from:(sec gp [ at slot; at qv; all ]);
+                    ]
+                    [];
+                ];
+              await (sec ga [ at slot; at (cpeer s); all; all ])
+              @: [
+                   loop "jj" (i 1) (i d)
+                     [
+                       setv "g" (elem gp [ slot; cpeer s; jv ]);
+                       loop "q" (i 1) (i dp)
+                         [
+                           if_
+                             (qv <>: cpeer s)
+                             [
+                               setv "g"
+                                 (var "g" +: elem ga [ slot; cpeer s; qv; jv ]);
+                             ]
+                             [];
+                         ];
+                       w_add [ slot; cpeer s; jv ] (var "g");
+                     ];
+                 ];
+            ]
+        | Space.Row, Space.Wrepl, Space.Tree ->
+            (* rooted tree: reduce to the stage root, broadcast back *)
+            let gr = grn l and gt = gtn l and gb = gbn l in
+            let root = (s * dp) + 1 in
+            let is_root = mypid =: i root in
+            [
+              if_ is_root
+                [
+                  loop "q" (i 2) (i dp)
+                    [
+                      recv
+                        ~into:(sec gr [ at slot; at qv; all ])
+                        ~from:(sec gp [ at slot; at qv; all ]);
+                    ];
+                ]
+                [
+                  send_to (sec gp [ at slot; at (cpeer s); all ]) [ i root ];
+                  recv
+                    ~into:(sec gb [ at slot; at (cpeer s); all ])
+                    ~from:(sec gt [ at slot; all ]);
+                ];
+              if_ is_root
+                [
+                  await (sec gr [ at slot; slice (i 2) (i dp); all ])
+                  @: [
+                       loop "jj" (i 1) (i d)
+                         [
+                           setv "g" (elem gp [ slot; i 1; jv ]);
+                           loop "q" (i 2) (i dp)
+                             [ setv "g" (var "g" +: elem gr [ slot; qv; jv ]) ];
+                           set gt [ slot; jv ] (var "g");
+                         ];
+                       loop "q" (i 2) (i dp)
+                         [ send_to (sec gt [ at slot; all ]) [ pid_of s qv ] ];
+                       loop "jj" (i 1) (i d)
+                         [ w_add [ slot; i 1; jv ] (elem gt [ slot; jv ]) ];
+                     ];
+                ]
+                [
+                  await (sec gb [ at slot; at (cpeer s); all ])
+                  @: [
+                       loop "jj" (i 1) (i d)
+                         [
+                           w_add [ slot; cpeer s; jv ]
+                             (elem gb [ slot; cpeer s; jv ]);
+                         ];
+                     ];
+                ];
+            ]
+    in
+    emit (in_stage s upd)
+  done;
+
+  (* exit: the last layer's activations land in the machine-wide OUT *)
+  let ll = spec nl in
+  let sl = ll.stage in
+  let slotl = i (sl + 1) in
+  let xl = xn nl in
+  if Space.exit_elided cfg pl then (
+    match ll.act with
+    | Space.Row ->
+        emit
+          (loop "ii" mlo mhi
+             [
+               loop "jj" (i 1) (i d)
+                 [ set "OUT" [ iv; jv ] (elem xl [ slotl; iv; jv ]) ];
+             ])
+    | Space.Repl ->
+        emit
+          (loop "ii" mlo mhi
+             [
+               loop "jj" (i 1) (i d)
+                 [ set "OUT" [ iv; jv ] (elem xl [ slotl; mypid; iv; jv ]) ];
+             ])
+    | Space.Col -> assert false (* exit_elided never holds for Col *))
+  else begin
+    let mv = var "m" in
+    (match ll.act with
+    | Space.Row ->
+        emit
+          (in_stage sl
+             [
+               loop "m"
+                 ((c0 sl *: i ppd) +: i 1)
+                 (cpeer sl *: i ppd)
+                 [ send_to (sec xl [ at slotl; mrows_of mv; all ]) [ mv ] ];
+             ]);
+        emit
+          (recv
+             ~into:(sec "OUT" [ machine_rows; all ])
+             ~from:(sec xl [ at slotl; machine_rows; all ]))
+    | Space.Col ->
+        emit
+          (in_stage sl
+             [
+               loop "m" (i 1) (i p)
+                 [
+                   send_to
+                     (sec xl [ at slotl; mrows_of mv; mycols sl ])
+                     [ mv ];
+                 ];
+             ]);
+        emit
+          (loop "q" (i 1) (i dp)
+             [
+               recv
+                 ~into:(sec "OUT" [ machine_rows; cols_of qv ])
+                 ~from:(sec xl [ at slotl; machine_rows; cols_of qv ]);
+             ])
+    | Space.Repl ->
+        (* replica c serves machine processors congruent to c mod dp *)
+        let kv = var "k" in
+        let dest = ((kv -: i 1) *: i dp) +: cpeer sl in
+        emit
+          (in_stage sl
+             [
+               loop "k" (i 1) (i ppd)
+                 [
+                   send_to
+                     (sec xl [ at slotl; at (cpeer sl); mrows_of dest; all ])
+                     [ dest ];
+                 ];
+             ]);
+        emit
+          (recv
+             ~into:(sec "OUT" [ machine_rows; all ])
+             ~from:
+               (sec xl
+                  [
+                    at slotl;
+                    at (((mypid -: i 1) %: i dp) +: i 1);
+                    machine_rows;
+                    all;
+                  ])));
+    emit (await (sec "OUT" [ machine_rows; all ]) @: [])
+  end;
+  program
+    ~name:("dlstack-" ^ Space.key pl)
+    ~decls:(List.rev !decls) (List.rev !stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic values: X_l = IN + l exactly, so the layer-l gradient is
+   S(j) + batch*l with S(j) the column sum of IN, and every quantity
+   is an exact dyadic. *)
+
+let reference (cfg : Space.config) =
+  Tensor.init [ cfg.batch; cfg.dim ] (function
+    | [ i; j ] -> in_val i j +. float_of_int cfg.nlayers
+    | _ -> assert false)
+
+let grad_total (cfg : Space.config) l j =
+  let s = ref 0.0 in
+  for ii = 1 to cfg.batch do
+    s := !s +. in_val ii j
+  done;
+  !s +. float_of_int (cfg.batch * l)
+
+let expected_weights (cfg : Space.config) (pl : Space.placement) l =
+  if l < 1 || l > cfg.nlayers then
+    invalid_arg "Dlstack.expected_weights: layer out of range";
+  let sp = pl.layers.(l - 1) in
+  let slot = sp.stage + 1 in
+  let wexp j = 1.0 +. (eta *. grad_total cfg l j) in
+  match sp.wgt with
+  | Space.Wshard ->
+      Tensor.init [ pl.pp; cfg.dim ] (function
+        | [ s; j ] -> if s = slot then wexp j else 1.0
+        | _ -> assert false)
+  | Space.Wrepl ->
+      Tensor.init [ pl.pp; pl.dp; cfg.dim ] (function
+        | [ s; _; j ] -> if s = slot then wexp j else 1.0
+        | _ -> assert false)
+
+let check (cfg : Space.config) (pl : Space.placement) arrays =
+  let check_one name want k =
+    let got = arrays name in
+    if Tensor.equal ~eps:0.0 got want then k ()
+    else Error (name ^ " diverges from the analytic value")
+  in
+  let rec layers l =
+    if l > cfg.nlayers then Ok ()
+    else
+      check_one
+        ("W" ^ string_of_int l)
+        (expected_weights cfg pl l)
+        (fun () -> layers (l + 1))
+  in
+  check_one "OUT" (reference cfg) (fun () -> layers 1)

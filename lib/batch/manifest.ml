@@ -19,6 +19,11 @@ type spec = {
   nic_arity : int;
   redist : string;
   redist_budget : int;
+  placement : string;
+  shard : string;
+  wshard : string;
+  layers : int;
+  dim : int;
 }
 
 let default_spec =
@@ -41,6 +46,11 @@ let default_spec =
     nic_arity = 4;
     redist = "naive";
     redist_budget = 0;
+    placement = "naive";
+    shard = "";
+    wshard = "";
+    layers = 4;
+    dim = 8;
   }
 
 type job = { id : int; label : string; spec : spec }
@@ -65,6 +75,12 @@ let label_of_spec s =
   if s.redist <> "naive" then (
     Printf.bprintf b " redist=%s" s.redist;
     if s.redist_budget > 0 then Printf.bprintf b " budget=%d" s.redist_budget);
+  if s.app = "dlstack" then begin
+    Printf.bprintf b " layers=%d dim=%d placement=%s" s.layers s.dim
+      s.placement;
+    if s.shard <> "" then Printf.bprintf b " shard=%s" s.shard;
+    if s.wshard <> "" then Printf.bprintf b " wshard=%s" s.wshard
+  end;
   Buffer.contents b
 
 let jobs_of_specs specs =
@@ -85,7 +101,8 @@ let known_fields =
   [
     "app"; "stage"; "n"; "procs"; "sweeps"; "seg"; "misaligned"; "cost";
     "engine"; "drop"; "dup"; "jitter"; "fault_seed"; "timeout"; "max_retries";
-    "nic_arity"; "redist"; "redist_budget";
+    "nic_arity"; "redist"; "redist_budget"; "placement"; "shard"; "wshard";
+    "layers"; "dim";
   ]
 
 (* Expand one field value into its axis of scalars: an array lists
@@ -181,6 +198,11 @@ let apply_field where spec field v =
   | "nic_arity" -> { spec with nic_arity = as_int where field v }
   | "redist" -> { spec with redist = as_str where field v }
   | "redist_budget" -> { spec with redist_budget = as_int where field v }
+  | "placement" -> { spec with placement = as_str where field v }
+  | "shard" -> { spec with shard = as_str where field v }
+  | "wshard" -> { spec with wshard = as_str where field v }
+  | "layers" -> { spec with layers = as_int where field v }
+  | "dim" -> { spec with dim = as_int where field v }
   | f -> fail where "unknown field '%s' (known: %s)" f
            (String.concat ", " known_fields)
 
@@ -208,6 +230,8 @@ let validate_ranges where (s : spec) =
     fail where "field 'nic_arity': must be >= 2 (got %d)" s.nic_arity;
   if s.redist_budget < 0 then
     fail where "field 'redist_budget': must be >= 0 (got %d)" s.redist_budget;
+  if s.layers < 1 then fail where "field 'layers': must be >= 1 (got %d)" s.layers;
+  if s.dim < 1 then fail where "field 'dim': must be >= 1 (got %d)" s.dim;
   s
 
 (* Cross-product expansion of one job object over its axes, canonical

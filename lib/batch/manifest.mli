@@ -20,11 +20,13 @@
     which worker finishes first.
 
     Fields: ["app"] (required: vecadd, fft3d, jacobi, jacobi2d,
-    reduce, farm, redist), ["stage"], ["n"], ["procs"], ["sweeps"],
-    ["seg"], ["misaligned"], ["cost"], ["engine"], ["drop"], ["dup"],
-    ["jitter"], ["fault_seed"], ["timeout"], ["max_retries"],
-    ["nic_arity"], ["redist"], ["redist_budget"].  Anything else is
-    rejected with the offending job and field named. *)
+    reduce, farm, redist, dlstack), ["stage"], ["n"], ["procs"],
+    ["sweeps"], ["seg"], ["misaligned"], ["cost"], ["engine"],
+    ["drop"], ["dup"], ["jitter"], ["fault_seed"], ["timeout"],
+    ["max_retries"], ["nic_arity"], ["redist"], ["redist_budget"],
+    ["placement"], ["shard"], ["wshard"], ["layers"], ["dim"].
+    Anything else is rejected with the offending job and field
+    named. *)
 
 type spec = {
   app : string;
@@ -57,6 +59,18 @@ type spec = {
       (** per-processor peak in-flight byte budget handed to the
           collective planner when [redist = "collectives"]; [0] means
           unbounded.  Must be >= 0. *)
+  placement : string;
+      (** layout selection for [app = "dlstack"]: ["naive"], ["hand"]
+          or ["search"] (a sweepable axis); ignored elsewhere. *)
+  shard : string;
+      (** activation sharding override for the dlstack [naive]/[hand]
+          placements: [""] (keep the anchor's spec), ["row"], ["col"]
+          or ["repl"]; rejected with [placement = "search"]. *)
+  wshard : string;
+      (** weight sharding override, same scope as [shard]: [""],
+          ["shard"] or ["repl"]. *)
+  layers : int;  (** dlstack pipeline depth.  Must be >= 1. *)
+  dim : int;  (** dlstack feature width.  Must be >= 1. *)
 }
 
 val default_spec : spec

@@ -25,6 +25,7 @@ let stage_table =
     ("reduce", [ ("naive", []); ("partial", []); ("nic", [ "in-network" ]) ]);
     ("farm", [ ("static", []); ("dynamic", []) ]);
     ("redist", [ ("a2a", []) ]);
+    ("dlstack", [ ("train", []) ]);
   ]
 
 let known_apps = List.map fst stage_table
@@ -86,6 +87,100 @@ let redist_of_string = function
            "unknown redistribution strategy '%s' (accepted: naive, collectives)"
            s)
 
+let placement_of_string = function
+  | "naive" -> Ok `Naive
+  | "hand" -> Ok `Hand
+  | "search" -> Ok `Search
+  | s ->
+      Error
+        (Printf.sprintf "unknown placement '%s' (accepted: naive, hand, search)"
+           s)
+
+let dlstack_config (s : Manifest.spec) =
+  {
+    Xdp_search.Space.procs = s.procs;
+    batch = s.n;
+    dim = s.dim;
+    nlayers = s.layers;
+  }
+
+let dlstack_placement (s : Manifest.spec) =
+  let module Space = Xdp_search.Space in
+  let cfg = dlstack_config s in
+  match placement_of_string s.placement with
+  | Error e -> Error e
+  | Ok p -> (
+      match Space.validate_config cfg with
+      | Error e -> Error ("dlstack: " ^ e)
+      | Ok () -> (
+          match p with
+          | `Search ->
+              if s.shard <> "" || s.wshard <> "" then
+                Error
+                  "dlstack: shard/wshard overrides apply only to the naive \
+                   and hand placements"
+              else
+                let r =
+                  Xdp_search.Anneal.search
+                    ~params:Xdp_search.Estimate.default_params cfg
+                    Xdp_search.Anneal.default_options
+                in
+                Ok r.Xdp_search.Anneal.best
+          | (`Naive | `Hand) as base -> (
+              let base_pl =
+                match base with
+                | `Naive -> Space.naive cfg
+                | `Hand -> Space.hand cfg
+              in
+              let enum of_string v =
+                if v = "" then Ok None
+                else Result.map Option.some (of_string v)
+              in
+              match (enum Space.act_of_string s.shard,
+                     enum Space.wgt_of_string s.wshard)
+              with
+              | Error e, _ | _, Error e -> Error ("dlstack: " ^ e)
+              | Ok act, Ok wgt -> (
+                  let pl =
+                    Space.normalize
+                      {
+                        base_pl with
+                        Space.layers =
+                          Array.map
+                            (fun (l : Space.layer_spec) ->
+                              {
+                                l with
+                                Space.act = Option.value ~default:l.Space.act act;
+                                wgt = Option.value ~default:l.Space.wgt wgt;
+                              })
+                            base_pl.Space.layers;
+                      }
+                  in
+                  match Space.validate cfg pl with
+                  | Ok () -> Ok pl
+                  | Error e -> Error ("dlstack: " ^ e)))))
+
+(* Canonicalize the dlstack sharding enums (aliases like "replicate")
+   and resolve the placement once, so a bad spec fails at parse time
+   with the job named, not at build time. *)
+let check_dlstack (s : Manifest.spec) =
+  let module Space = Xdp_search.Space in
+  if s.app <> "dlstack" then Ok s
+  else
+    match dlstack_placement s with
+    | Error e -> Error e
+    | Ok _ ->
+        let canon of_string name v =
+          if v = "" then ""
+          else match of_string v with Ok x -> name x | Error _ -> v
+        in
+        Ok
+          {
+            s with
+            shard = canon Space.act_of_string Space.act_name s.shard;
+            wshard = canon Space.wgt_of_string Space.wgt_name s.wshard;
+          }
+
 let check_spec (s : Manifest.spec) =
   match canonical_stage s.app s.stage with
   | Error e -> Error e
@@ -97,12 +192,13 @@ let check_spec (s : Manifest.spec) =
       | Error e -> Error e
       | Ok cm -> (
           match s.engine with
-          | None -> Ok { s with stage; cost = cm.Xdp_sim.Costmodel.name }
+          | None ->
+              check_dlstack { s with stage; cost = cm.Xdp_sim.Costmodel.name }
           | Some e -> (
               match engine_of_string e with
               | Error err -> Error err
               | Ok eng ->
-                  Ok
+                  check_dlstack
                     {
                       s with
                       stage;
@@ -237,6 +333,20 @@ let build (s : Manifest.spec) : t =
         nic = [];
         redist_stages =
           (match info with Some i -> i.Xdp.Plan_redist.stages | None -> 0);
+      }
+  | "dlstack" ->
+      let cfg = dlstack_config s in
+      let pl =
+        match dlstack_placement s with
+        | Ok pl -> pl
+        | Error e -> failwith e
+      in
+      {
+        prog = Xdp_apps.Dlstack.build cfg pl;
+        init = Xdp_apps.Dlstack.init;
+        check = "OUT";
+        nic = [];
+        redist_stages = 0;
       }
   | app ->
       failwith

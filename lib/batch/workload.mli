@@ -36,6 +36,23 @@ val redist_of_string : string -> ([ `Naive | `Collectives ], string) result
     field and the [--redist] CLI flag; the budget travels separately
     as [redist_budget]). *)
 
+val placement_of_string :
+  string -> ([ `Naive | `Hand | `Search ], string) result
+(** Accepts exactly [naive], [hand] and [search] (the [placement]
+    manifest field and the [--placement] CLI flag). *)
+
+val dlstack_config : Manifest.spec -> Xdp_search.Space.config
+(** The [dlstack] workload a spec names: [procs], [batch = n], [dim],
+    [nlayers = layers]. *)
+
+val dlstack_placement :
+  Manifest.spec -> (Xdp_search.Space.placement, string) result
+(** Resolve a spec's [placement]: the [naive]/[hand] anchors (with the
+    [shard]/[wshard] per-layer overrides applied and re-validated), or
+    the deterministic {!Xdp_search.Anneal.search} winner under the
+    default options ([search], which rejects overrides — the searcher
+    owns every axis it sweeps). *)
+
 val check_spec : Manifest.spec -> (Manifest.spec, string) result
 (** Validate app, stage, cost and engine names and canonicalize them
     (aliases and defaulted stages are rewritten to canonical names, so

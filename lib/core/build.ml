@@ -29,6 +29,7 @@ let at e = At e
 let slice lo hi = Slice (lo, hi, Int 1)
 let slice3 lo hi st = Slice (lo, hi, st)
 let sec arr sel = { arr; sel }
+let esec arr idxs = { arr; sel = List.map (fun e -> At e) idxs }
 let iown s = Iown s
 let accessible s = Accessible s
 let await s = Await s

@@ -51,6 +51,8 @@ val slice3 : expr -> expr -> expr -> dim_sel
 val sec : string -> dim_sel list -> section
 
 (** [esec "A" [i]] — section of a single element. *)
+val esec : string -> expr list -> section
+
 val iown : section -> expr
 
 val accessible : section -> expr
